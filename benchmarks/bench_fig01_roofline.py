@@ -1,0 +1,64 @@
+"""Fig 1: H100 vs RPU roofline (ISO-TDP) and AI vs batch size."""
+
+from conftest import emit
+
+from repro.analysis.roofline_fig import (
+    RPU_DESIGN_INTENSITY,
+    h100_roofline,
+    intensity_vs_batch,
+    kernel_points,
+    rpu_roofline,
+)
+from repro.util.tables import Table
+
+
+def build():
+    return (
+        h100_roofline(),
+        rpu_roofline(40),
+        kernel_points(),
+        intensity_vs_batch(),
+    )
+
+
+def test_fig01_roofline(benchmark):
+    h100, rpu, points, curves = benchmark(build)
+
+    rooflines = Table(
+        "Fig 1 (left): rooflines at ISO-TDP", ["system", "peak TFLOPs", "BW TB/s", "ridge FLOPs/B"]
+    )
+    for line in (h100, rpu):
+        rooflines.add_row(
+            [
+                line.name,
+                line.peak_flops / 1e12,
+                line.peak_bandwidth / 1e12,
+                line.ridge_intensity,
+            ]
+        )
+
+    markers = Table(
+        "Fig 1 (left): Llama4-Maverick decode kernels on the roofline",
+        ["kernel", "AI (FLOPs/B)", "H100 attainable TF/s", "RPU-40CU attainable TF/s"],
+    )
+    for point in points:
+        markers.add_row(
+            [
+                point.label,
+                point.intensity,
+                h100.attainable_flops(point.intensity) / 1e12,
+                rpu.attainable_flops(point.intensity) / 1e12,
+            ]
+        )
+
+    batching = Table(
+        "Fig 1 (right): impact of batching on AI (RPU design point = "
+        f"{RPU_DESIGN_INTENSITY:.0f} Ops/B)",
+        ["batch"] + list(curves),
+    )
+    batches = [b for b, _ in next(iter(curves.values()))]
+    for i, batch in enumerate(batches):
+        batching.add_row([batch] + [curve[i][1] for curve in curves.values()])
+
+    emit(rooflines, markers, batching)
+    assert rpu.ridge_intensity < h100.ridge_intensity

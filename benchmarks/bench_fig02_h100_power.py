@@ -1,0 +1,40 @@
+"""Fig 2: H100 power trace (prefill/decode) and BW util vs layer size."""
+
+from conftest import emit
+
+from repro.analysis.h100_characterization import (
+    bw_util_vs_layer_capacity,
+    inference_power_trace,
+)
+from repro.util.tables import Table
+
+
+def build():
+    return inference_power_trace(samples=60), bw_util_vs_layer_capacity()
+
+
+def test_fig02_h100_characterization(benchmark):
+    trace, curve = benchmark(build)
+
+    phases = Table(
+        "Fig 2 (left): Llama3-70B FP8 BS=32 16k/2k on 4xH100",
+        ["phase", "avg power (W/GPU)", "metric"],
+    )
+    phases.add_row(["prefill", trace.prefill_power_w, f"{trace.prefill_s:.1f} s duration"])
+    phases.add_row(
+        [
+            "decode",
+            trace.decode_power_w,
+            f"{trace.decode_bw_utilization:.1%} mem BW util",
+        ]
+    )
+
+    util = Table(
+        "Fig 2 (right): isolated VMM bandwidth utilization",
+        ["layer capacity", "BW utilization"],
+    )
+    for capacity, utilization in curve:
+        util.add_row([f"{capacity / 1e6:.2f} MB", f"{utilization:.1%}"])
+
+    emit(phases, util)
+    assert trace.prefill_power_w > trace.decode_power_w

@@ -1,0 +1,23 @@
+"""Fig 3: isolated H100 dense kernels -- power and energy/FLOP vs batch."""
+
+from conftest import emit
+
+from repro.analysis.h100_characterization import kernel_power_sweep
+from repro.util.tables import Table
+
+
+def test_fig03_h100_kernels(benchmark):
+    results = benchmark(kernel_power_sweep)
+
+    table = Table(
+        "Fig 3: H100 dense (batch x N) @ (N x N) kernels (BF16)",
+        ["N", "batch", "power (W)", "pJ/FLOP", "bound"],
+    )
+    for r in results:
+        table.add_row(
+            [r.n, r.batch, r.power_w, r.pj_per_flop, "mem" if r.mem_bound else "comp"]
+        )
+    emit(table)
+
+    low_batch = [r for r in results if r.batch <= 64]
+    assert all(r.power_w < 0.45 * 700 for r in low_batch)

@@ -1,0 +1,29 @@
+"""Fig 4: memory-technology landscape (BW/Cap vs latency per token)."""
+
+from conftest import emit
+
+from repro.analysis.landscape_fig import gap_summary, landscape_rows
+from repro.util.tables import Table
+
+
+def build():
+    return landscape_rows(), gap_summary()
+
+
+def test_fig04_landscape(benchmark):
+    rows, summary = benchmark(build)
+
+    table = Table(
+        "Fig 4: memory technologies for low-latency inference",
+        ["technology", "kind", "BW/Cap (1/s)", "ms/token @100% util", "Goldilocks"],
+    )
+    for row in rows:
+        table.add_row(
+            [row.name, row.kind, row.bw_per_cap, row.latency_per_token_ms, row.in_goldilocks]
+        )
+    gap = Table("Commercial technology gap", ["edge", "BW/Cap (1/s)"])
+    gap.add_row(["DRAM top", summary["gap_low"]])
+    gap.add_row(["SRAM bottom", summary["gap_high"]])
+    gap.add_row(["HBM-CO coverage", f"{summary['hbmco_min']:.0f} - {summary['hbmco_max']:.0f}"])
+    emit(table, gap)
+    assert summary["hbmco_points_in_gap"] > 0

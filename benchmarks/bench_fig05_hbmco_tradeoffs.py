@@ -1,0 +1,38 @@
+"""Fig 5: HBM-CO design-space tradeoffs (cost/GB, energy/bit, BW/Cap)."""
+
+from conftest import emit
+
+from repro.analysis.tradeoffs_fig import callouts, design_space_rows, headline_ratios
+from repro.util.tables import Table
+
+
+def build():
+    return design_space_rows(), callouts(), headline_ratios()
+
+
+def test_fig05_hbmco_tradeoffs(benchmark):
+    rows, marks, ratios = benchmark(build)
+
+    span = Table(
+        "Fig 5: HBM-CO design space (144 configs; extremes + callouts shown)",
+        ["config", "capacity GiB", "BW/Cap", "pJ/bit", "cost/GB", "module cost"],
+    )
+    interesting = [
+        min(rows, key=lambda r: r.capacity_gib),
+        max(rows, key=lambda r: r.capacity_gib),
+        marks["HBM3e"],
+        marks["candidate"],
+    ]
+    for row in interesting:
+        span.add_row(
+            [row.label, row.capacity_gib, row.bw_per_cap, row.energy_pj_per_bit,
+             row.cost_per_gb, row.module_cost]
+        )
+
+    headline = Table("Candidate HBM-CO vs HBM3e (paper headline ratios)", ["metric", "value"])
+    for name, value in ratios.items():
+        headline.add_row([name, value])
+    emit(span, headline)
+
+    assert ratios["energy_reduction"] > 2.3
+    assert 1.7 < ratios["cost_per_gb_increase"] < 1.9

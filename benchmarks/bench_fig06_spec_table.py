@@ -1,0 +1,17 @@
+"""Fig 6: RPU hierarchy specification table."""
+
+from conftest import emit
+
+from repro.arch.summary import spec_table
+from repro.arch.area import h100_shoreline, rpu_shoreline_at_iso_area
+
+
+def test_fig06_spec_table(benchmark):
+    table = benchmark(spec_table)
+    emit(
+        table,
+        f"Shoreline at ISO compute area: RPU "
+        f"{rpu_shoreline_at_iso_area():.0f} mm vs H100 "
+        f"{h100_shoreline().shoreline_mm:.0f} mm (paper: ~600 vs 60)",
+    )
+    assert "Compute Unit" in table.render()

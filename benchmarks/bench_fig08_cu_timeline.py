@@ -1,0 +1,28 @@
+"""Fig 8: one-CU decode timelines (event-driven simulation).
+
+Llama3-8B on a 64-CU RPU: BS=1 / seq 16k (memory-bound, decoupled
+prefetch) and BS=32 / seq 8k (roofline-straddling, buffer smoothing).
+"""
+
+from conftest import emit
+
+from repro.analysis.timeline_fig import fig8_reports
+from repro.util.tables import Table
+
+
+def test_fig08_cu_timeline(benchmark):
+    reports = benchmark(fig8_reports)
+
+    for report in reports:
+        emit(report.render())
+        spans = Table(
+            f"Kernel spans -- {report.label}",
+            ["kernel", "span (us)", "avg compute util"],
+        )
+        for kernel, span, util in report.result.kernel_table()[:8]:
+            spans.add_row([kernel, span * 1e6, f"{util:.0%}"])
+        emit(spans)
+
+    bs1, bs32 = reports
+    assert bs1.result.mem_utilization > 0.9
+    assert bs32.result.comp_utilization > bs1.result.comp_utilization

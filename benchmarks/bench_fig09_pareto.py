@@ -1,0 +1,43 @@
+"""Fig 9: HBM-CO Pareto frontier for Llama3-405B on a 64-CU RPU."""
+
+from conftest import emit
+
+from repro.analysis.pareto import (
+    capacity_per_core_mib,
+    energy_capacity_frontier,
+    frontier_points,
+    optimal_point,
+)
+from repro.util.tables import Table
+from repro.util.units import GIB
+
+
+def build():
+    points = energy_capacity_frontier()
+    return points, frontier_points(points), optimal_point(points)
+
+
+def test_fig09_pareto(benchmark):
+    points, frontier, best = benchmark(build)
+
+    table = Table(
+        "Fig 9: energy/inference vs system capacity (RPU 64-CU, Llama3-405B, BS=1, 8k)",
+        ["config", "system GiB", "MiB/core", "EPI (J)", "fits"],
+    )
+    for point in points:
+        table.add_row(
+            [
+                point.label,
+                point.system_capacity_bytes / GIB,
+                capacity_per_core_mib(point),
+                point.energy_per_inference_j,
+                point.fits,
+            ]
+        )
+    emit(
+        table,
+        f"Optimal memory: {best.label} at {capacity_per_core_mib(best):.0f} "
+        f"MiB/core (paper: 192 MiB/core; the MX scale overhead selects one "
+        f"SKU up), EPI {best.energy_per_inference_j:.2f} J",
+    )
+    assert len(frontier) >= 3

@@ -1,0 +1,38 @@
+"""Fig 10: HBM-CO SKU selection + slowdown maps (Llama4-Maverick, 64 CUs)."""
+
+from conftest import emit
+
+from repro.analysis.sku_map import BATCH_SIZES, SEQ_LENS, sku_selection_map
+from repro.util.tables import Table
+
+
+def test_fig10_sku_map(benchmark):
+    cells = benchmark(sku_selection_map)
+    grid = {(c.batch_size, c.seq_len): c for c in cells}
+
+    sku = Table(
+        "Fig 10 (top): optimal HBM-CO BW/Cap | system capacity (GiB)",
+        ["seq len"] + [f"BS={b}" for b in BATCH_SIZES],
+    )
+    slow = Table(
+        "Fig 10 (bottom): slowdown vs BS=1/8k | KV fraction | capacity util",
+        ["seq len"] + [f"BS={b}" for b in BATCH_SIZES],
+    )
+    for seq in SEQ_LENS:
+        sku_row, slow_row = [f"{seq // 1024}K"], [f"{seq // 1024}K"]
+        for batch in BATCH_SIZES:
+            cell = grid.get((batch, seq))
+            if cell is None:
+                sku_row.append("--")
+                slow_row.append("--")
+            else:
+                sku_row.append(f"{cell.bw_per_cap:.0f} | {cell.system_capacity_gib:.0f}")
+                slow_row.append(
+                    f"{cell.slowdown:.1f}x | {cell.kv_fraction:.0%} | "
+                    f"{cell.capacity_utilization:.0%}"
+                )
+        sku.add_row(sku_row)
+        slow.add_row(slow_row)
+    emit(sku, slow)
+
+    assert grid[(1, 8192)].bw_per_cap >= grid[(32, 131072)].bw_per_cap

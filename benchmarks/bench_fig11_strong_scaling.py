@@ -1,0 +1,89 @@
+"""Fig 11: strong scaling vs H100 ISO-TDP; batched token generation."""
+
+from conftest import emit
+
+from repro.analysis.batch_sweep import batched_token_gen
+from repro.analysis.strong_scaling import iso_tdp_comparison, optimal_scale, strong_scaling
+from repro.models.llama3 import LLAMA3_8B, LLAMA3_70B, LLAMA3_405B
+from repro.models.llama4 import LLAMA4_MAVERICK, LLAMA4_SCOUT
+from repro.util.tables import Table
+
+MODELS = (LLAMA3_8B, LLAMA3_70B, LLAMA3_405B, LLAMA4_MAVERICK)
+CU_COUNTS = [16, 36, 64, 100, 128, 164, 204, 228, 292, 356, 428, 484]
+
+
+def build():
+    scaling = {m.name: strong_scaling(m, cu_counts=CU_COUNTS) for m in MODELS}
+    iso = [
+        iso_tdp_comparison(LLAMA3_8B, 1),
+        iso_tdp_comparison(LLAMA3_70B, 2),
+        iso_tdp_comparison(LLAMA3_405B, 4),
+    ]
+    best = {m.name: optimal_scale(m, max_cus=484) for m in MODELS}
+    batched = {
+        m.name: batched_token_gen(m, batch_sizes=(1, 8, 32, 128))
+        for m in (LLAMA4_SCOUT, LLAMA4_MAVERICK, LLAMA3_70B, LLAMA3_405B)
+    }
+    return scaling, iso, best, batched
+
+
+def test_fig11_strong_scaling(benchmark):
+    scaling, iso, best, batched = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    top = Table(
+        "Fig 11 (top): strong scaling, BS=1, seq 8k (speedup vs min-capacity RPU)",
+        ["CUs"] + [m.name for m in MODELS],
+    )
+    for i, num_cus in enumerate(CU_COUNTS):
+        row = [num_cus]
+        for model in MODELS:
+            points = {p.num_cus: p for p in scaling[model.name]}
+            point = points.get(num_cus)
+            row.append(f"{point.speedup:.1f}x" if point else "--")
+        top.add_row(row)
+
+    markers = Table(
+        "Fig 11 (top): ISO-TDP H100 markers",
+        ["model", "GPU", "GPU ms/tok", "RPU CUs", "RPU ms/tok", "speedup"],
+    )
+    for c, model in zip(iso, (LLAMA3_8B, LLAMA3_70B, LLAMA3_405B)):
+        markers.add_row(
+            [model.name, c.gpu_name, c.gpu_latency_s * 1e3, c.rpu_cus,
+             c.rpu_latency_s * 1e3, f"{c.speedup:.1f}x"]
+        )
+
+    peaks = Table(
+        "Peak performance points (paper: 70B 0.4ms @204, 405B 1.0ms @428, "
+        "Maverick 0.2ms @128)",
+        ["model", "CUs", "ms/token", "TB/s", "bound"],
+    )
+    for name, point in best.items():
+        peaks.add_row(
+            [name, point.num_cus, point.latency_s * 1e3, point.mem_bandwidth_tb_s,
+             point.bound]
+        )
+
+    bottom = Table(
+        "Fig 11 (bottom): OTPS/query and BW util on 128 CUs",
+        ["model", "BS=1", "BS=8", "BS=32", "BS=128", "BW util @128"],
+    )
+    for name, points in batched.items():
+        bottom.add_row(
+            [name]
+            + [f"{p.otps_per_query:.0f}" for p in points]
+            + [f"{points[-1].mem_bw_utilization:.0%}"]
+        )
+    emit(top, markers, peaks, bottom)
+
+    assert all(c.speedup > 25 for c in iso)
+
+
+def test_fig11_single_point_timing(benchmark):
+    """Timed micro-benchmark: one strong-scaling evaluation."""
+    from repro.analysis.perf_model import decode_step_perf, system_for
+    from repro.models.workload import Workload
+
+    workload = Workload(LLAMA3_70B, batch_size=1, seq_len=8192)
+    system = system_for(204, workload)
+    result = benchmark(decode_step_perf, system, workload)
+    assert result.latency_s < 1e-3

@@ -1,0 +1,60 @@
+"""Fig 12: energy per inference and system cost vs scale (Llama3-405B)."""
+
+from conftest import emit
+
+from repro.analysis.energy_cost import (
+    cost_sweep,
+    energy_sweep,
+    h100_reference_epi,
+    hbm3e_reference_epi,
+)
+from repro.util.tables import Table
+
+CU_COUNTS = [36, 100, 164, 228, 292, 356, 420, 484]
+
+
+def build():
+    return (
+        energy_sweep(cu_counts=CU_COUNTS),
+        cost_sweep(cu_counts=CU_COUNTS),
+        cost_sweep(cu_counts=CU_COUNTS, hbm3e_memory=True),
+        hbm3e_reference_epi(),
+        h100_reference_epi(),
+    )
+
+
+def test_fig12_energy_cost(benchmark):
+    energy, cost_co, cost_3e, epi_3e, epi_h100 = benchmark.pedantic(
+        build, rounds=1, iterations=1
+    )
+
+    top = Table(
+        "Fig 12 (top): EPI vs scale with optimal HBM-CO selection",
+        ["CUs", "SKU", "BW/Cap", "EPI (J)", "mem", "comp", "net"],
+    )
+    for point in energy:
+        top.add_row(
+            [point.num_cus, point.sku_label, point.bw_per_cap, point.epi_j,
+             point.epi_mem_j, point.epi_comp_j, point.epi_net_j]
+        )
+
+    refs = Table("Reference EPIs", ["system", "EPI (J)", "vs best RPU"])
+    best = min(p.epi_j for p in energy)
+    refs.add_row(["RPU + HBM3e-capacity memory (64 CU)", epi_3e, f"{epi_3e / best:.1f}x"])
+    refs.add_row(["4xH100 (modeled)", epi_h100, f"{epi_h100 / best:.1f}x"])
+
+    bottom = Table(
+        "Fig 12 (bottom): normalized system cost (vs smallest valid config)",
+        ["CUs", "silicon", "memory", "substrate", "PCB", "total", "HBM3e total", "ratio"],
+    )
+    base = cost_co[0].total
+    for co, e3 in zip(cost_co, cost_3e):
+        bottom.add_row(
+            [co.num_cus, co.silicon / base, co.memory / base, co.substrate / base,
+             co.pcb / base, co.total / base, e3.total / base,
+             f"{e3.total / co.total:.1f}x"]
+        )
+    emit(top, refs, bottom)
+
+    assert energy[-1].epi_j < energy[0].epi_j
+    assert cost_3e[-1].total / cost_co[-1].total > 4

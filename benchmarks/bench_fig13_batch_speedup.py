@@ -1,0 +1,36 @@
+"""Fig 13: speedup and EPI improvement vs H100 across batch sizes."""
+
+from conftest import emit
+
+from repro.analysis.batch_sweep import speedup_vs_h100
+from repro.models.llama3 import LLAMA3_8B, LLAMA3_70B
+from repro.util.tables import Table
+
+
+def build():
+    return (
+        speedup_vs_h100(LLAMA3_8B, num_cus=64, gpu_count=1),
+        speedup_vs_h100(LLAMA3_70B, num_cus=128, gpu_count=2),
+    )
+
+
+def test_fig13_batch_speedup(benchmark):
+    curves = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    for label, points in zip(
+        ("Llama3-8B: H100 vs 64 CUs", "Llama3-70B: 2xH100 vs 128 CUs"), curves
+    ):
+        table = Table(
+            f"Fig 13: {label} (8k context)",
+            ["batch", "RPU ms/step", "H100 ms/step", "speedup", "EPI improvement"],
+        )
+        for p in points:
+            table.add_row(
+                [p.batch_size, p.rpu_latency_s * 1e3, p.gpu_latency_s * 1e3,
+                 f"{p.speedup:.1f}x", f"{p.epi_improvement:.1f}x"]
+            )
+        emit(table)
+
+    for points in curves:
+        assert points[0].speedup > points[-1].speedup  # plateau at large batch
+        assert points[0].speedup > 20

@@ -1,0 +1,29 @@
+"""Fig 14: leading platforms under speculative decoding (Llama3-70B)."""
+
+from conftest import emit
+
+from repro.analysis.platforms import comparison_table
+from repro.util.tables import Table
+
+
+def test_fig14_platforms(benchmark):
+    rows = benchmark(comparison_table)
+
+    table = Table(
+        "Fig 14: platform comparison, Llama3-70B speculative decoding "
+        "(8-token lookahead, 4.6 accepted/window)",
+        ["system", "memory", "TDP (W)", "BW/Cap", "Ops/Byte", "70B deployment",
+         "tokens/s"],
+    )
+    for row in rows:
+        table.add_row(
+            [row.name, row.main_memory, row.tdp_w, row.bw_per_cap,
+             row.comp_per_bw_ops_byte, row.systems_for_70b,
+             row.spec_decode_tokens_per_s]
+        )
+    emit(table)
+
+    rpu = rows[-1]
+    assert rpu.spec_decode_tokens_per_s > max(
+        r.spec_decode_tokens_per_s for r in rows[:-1]
+    )

@@ -1,0 +1,16 @@
+"""Shared helpers for the figure-regeneration benchmarks.
+
+Every benchmark regenerates one paper figure/table and prints the same
+rows/series the paper reports (visible with ``pytest benchmarks/ -s`` or
+in the captured output); pytest-benchmark times the regeneration.
+"""
+
+from __future__ import annotations
+
+
+def emit(*blocks: object) -> None:
+    """Print figure output (one blank line between blocks)."""
+    print()
+    for block in blocks:
+        print(block)
+        print()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Datacenter-scale Llama3-405B serving study (paper Section VIII).
+
+Strong scaling from the smallest viable RPU to the broadcast plateau,
+with per-scale optimal memory selection, energy per inference, system
+cost, and the 4xH100 ISO-TDP comparison.
+
+Run:  python examples/datacenter_llama405b.py
+"""
+
+from repro.analysis.energy_cost import system_cost
+from repro.analysis.perf_model import decode_step_perf, min_cus_for, system_for
+from repro.analysis.strong_scaling import iso_tdp_comparison
+from repro.models import LLAMA3_405B, Workload
+from repro.util.tables import Table
+from repro.util.units import fmt_time
+
+
+def main() -> None:
+    workload = Workload(LLAMA3_405B, batch_size=1, seq_len=8192)
+    floor = min_cus_for(workload)
+    print(f"Workload: {workload} "
+          f"({workload.memory_footprint_bytes() / 1e9:.0f} GB, min {floor} CUs)\n")
+
+    table = Table(
+        "Llama3-405B strong scaling (BS=1, 8k, optimal SKU per scale)",
+        ["CUs", "SKU", "ms/token", "bound", "EPI (J)", "W total", "norm. cost"],
+    )
+    base_cost = None
+    for num_cus in (floor, 36, 64, 128, 204, 308, 428, 484):
+        if num_cus < floor:
+            continue
+        system = system_for(num_cus, workload)
+        result = decode_step_perf(system, workload)
+        cost = system_cost(num_cus, system.cu.memory).total
+        if base_cost is None:
+            base_cost = cost
+        table.add_row(
+            [num_cus, system.cu.memory.config.label(),
+             result.latency_s * 1e3, result.bound,
+             result.energy_per_token_j(), result.avg_power_w, cost / base_cost]
+        )
+    print(table)
+
+    comparison = iso_tdp_comparison(LLAMA3_405B, 4)
+    print(
+        f"\nISO-TDP vs {comparison.gpu_name} (2.8 kW): "
+        f"RPU-{comparison.rpu_cus}CU at {fmt_time(comparison.rpu_latency_s)}/token "
+        f"vs {fmt_time(comparison.gpu_latency_s)}/token "
+        f"-> {comparison.speedup:.1f}x lower latency "
+        f"(paper: 45.3x at 308 CUs)"
+    )
+
+
+if __name__ == "__main__":
+    main()

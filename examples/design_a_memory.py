@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Design an HBM-CO memory for your workload (paper Section III/VII).
+
+Walks the capacity-optimized memory design space for a chosen model and
+deployment scale: which SKU fits, what it costs, what it saves over
+HBM3e, and what the Pareto frontier looks like.
+
+Run:  python examples/design_a_memory.py [model] [num_cus]
+"""
+
+import sys
+
+from repro.analysis.perf_model import decode_step_perf
+from repro.arch.specs import STACKS_PER_CU
+from repro.arch.system import RpuSystem
+from repro.memory import HBM3E, design_point, sku_family
+from repro.memory.sku import sku_for_system
+from repro.models import Workload, get_model
+from repro.util.tables import Table
+from repro.util.units import GIB
+
+
+def main(model_name: str = "Llama3-70B", num_cus: int = 64) -> None:
+    model = get_model(model_name)
+    workload = Workload(model, batch_size=1, seq_len=8192)
+    required = workload.memory_footprint_bytes()
+    num_stacks = num_cus * STACKS_PER_CU
+
+    print(f"Designing memory for {workload} on {num_cus} CUs")
+    print(f"Required: {required / 1e9:.1f} GB over {num_stacks} stacks "
+          f"({required / num_stacks / GIB:.3f} GiB/stack)\n")
+
+    table = Table(
+        "HBM-CO chiplet family (one channel/layer, 256 GiB/s each)",
+        ["config", "GiB/stack", "BW/Cap", "pJ/bit", "module cost", "fits", "EPI (J)"],
+    )
+    for sku in sku_family():
+        fits = sku.capacity_bytes * num_stacks >= required
+        epi = ""
+        if fits:
+            system = RpuSystem.with_memory(num_cus, sku)
+            epi = f"{decode_step_perf(system, workload).energy_per_token_j():.2f}"
+        table.add_row(
+            [sku.config.label(), sku.capacity_bytes / GIB, sku.bw_per_cap,
+             sku.energy_pj_per_bit, sku.module_cost, fits, epi]
+        )
+    print(table)
+
+    chosen = sku_for_system(required, num_stacks)
+    hbm3e = design_point(HBM3E)
+    print(f"\nSelected SKU: {chosen.config.label()} "
+          f"({chosen.capacity_bytes / GIB:.3f} GiB, BW/Cap {chosen.bw_per_cap:.0f}/s)")
+    print(f"  energy/bit: {chosen.energy_pj_per_bit:.2f} pJ/b "
+          f"({hbm3e.energy_pj_per_bit / chosen.energy_pj_per_bit:.1f}x better than HBM3e)")
+    print(f"  module cost: {chosen.module_cost:.3f}x HBM3e "
+          f"({1 / chosen.module_cost:.0f}x cheaper per module)")
+
+
+if __name__ == "__main__":
+    name = sys.argv[1] if len(sys.argv) > 1 else "Llama3-70B"
+    cus = int(sys.argv[2]) if len(sys.argv) > 2 else 64
+    main(name, cus)

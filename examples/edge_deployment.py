@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Edge-scale RPU design points (paper Section VIII).
+
+The paper sketches edge systems: Llama3-70B at ~220 W and
+Llama4-Maverick at ~260 W, trading scale for power.  This example sizes
+those systems from the power model, selects their memories and reports
+token latencies -- including the speculative-decoding configuration.
+
+Run:  python examples/edge_deployment.py
+"""
+
+from repro.analysis.perf_model import decode_step_perf, system_for
+from repro.arch.power import decode_tdp_per_cu
+from repro.arch.system import RpuSystem
+from repro.models import LLAMA3_8B, LLAMA3_70B, LLAMA4_MAVERICK, Workload
+from repro.specdec.speculative import SpeculativeConfig, speculative_tokens_per_s
+from repro.util.tables import Table
+
+
+def size_for_budget(workload: Workload, budget_w: float) -> RpuSystem:
+    """Largest system (with its optimal SKU) within a power budget."""
+    per_cu = decode_tdp_per_cu(RpuSystem(1).cu)
+    num_cus = max(1, int(budget_w / per_cu))
+    return system_for(num_cus, workload)
+
+
+def main() -> None:
+    table = Table(
+        "Edge RPU design points",
+        ["deployment", "TDP (W)", "CUs", "SKU (BW/Cap)", "ms/token", "J/token"],
+    )
+    for name, model, budget in (
+        ("high-perf edge, Llama3-70B", LLAMA3_70B, 220.0),
+        ("edge, Llama4-Maverick", LLAMA4_MAVERICK, 260.0),
+        ("datacenter, Llama3-70B", LLAMA3_70B, 1000.0),
+    ):
+        workload = Workload(model, batch_size=1, seq_len=8192)
+        system = size_for_budget(workload, budget)
+        result = decode_step_perf(system, workload)
+        table.add_row(
+            [name, budget, system.num_cus,
+             f"{system.cu.memory.bw_per_cap:.0f}",
+             result.latency_s * 1e3, result.energy_per_token_j()]
+        )
+    print(table)
+
+    # Speculative decoding on the 1 kW system: 8B draft, 70B target.
+    target = Workload(LLAMA3_70B, batch_size=1, seq_len=8192)
+    draft = Workload(LLAMA3_8B, batch_size=1, seq_len=8192)
+    system = size_for_budget(target, 1000.0)
+    target_s = decode_step_perf(system, target).latency_s
+    draft_s = decode_step_perf(system, draft, check_capacity=False).latency_s
+    rate = speculative_tokens_per_s(draft_s, target_s, SpeculativeConfig())
+    plain = 1.0 / target_s
+    print(
+        f"\nSpeculative decoding (8B draft -> 70B target) on "
+        f"RPU-{system.num_cus}CU: {rate:.0f} tok/s vs {plain:.0f} plain "
+        f"({rate / plain:.2f}x; paper: ~1.8x)"
+    )
+
+
+if __name__ == "__main__":
+    main()

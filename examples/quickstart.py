@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Quickstart: size an RPU for a model and measure one decode step.
+
+Builds a 204-CU RPU with the optimal HBM-CO SKU for Llama3-70B, runs the
+fast analytical model and the full event-driven simulator, and compares
+both against a 2xH100 baseline at ISO-TDP.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.analysis.perf_model import decode_step_perf, iso_tdp_system, system_for
+from repro.gpu.inference import decode_step
+from repro.gpu.system import GpuSystem
+from repro.models import LLAMA3_70B, Workload
+from repro.sim.system_sim import simulate_decode_step
+from repro.util.units import fmt_time
+
+
+def main() -> None:
+    workload = Workload(LLAMA3_70B, batch_size=1, seq_len=8192)
+    print(f"Workload: {workload}")
+    print(f"Footprint: {workload.memory_footprint_bytes() / 1e9:.1f} GB\n")
+
+    # 1. The paper's peak-performance design point: 204 CUs.
+    system = system_for(204, workload)
+    print(f"System:   {system}")
+    result = decode_step_perf(system, workload)
+    print(
+        f"Analytical model: {fmt_time(result.latency_s)}/token "
+        f"({result.bound}-bound, {result.mem_bw_utilization:.0%} BW util, "
+        f"{result.energy_per_token_j():.2f} J/token)\n"
+    )
+
+    # 2. The event-driven simulator (one representative CU in detail).
+    sim = simulate_decode_step(system, workload)
+    print(f"Event simulation: {fmt_time(sim.latency_s)}/token")
+    print(
+        f"  pipeline utilization: mem {sim.mem_utilization:.0%} / "
+        f"comp {sim.comp_utilization:.0%} / net {sim.net_utilization:.0%}"
+    )
+    print(f"  power: {sim.avg_power_per_cu_w():.1f} W per CU\n")
+
+    # 3. ISO-TDP comparison against 2xH100.
+    gpu = GpuSystem(count=2)
+    rpu_iso = iso_tdp_system(gpu, workload)
+    gpu_result = decode_step(gpu, workload)
+    rpu_result = decode_step_perf(rpu_iso, workload)
+    print(
+        f"ISO-TDP ({gpu.tdp_w:.0f} W): {gpu.name} {fmt_time(gpu_result.latency_s)} "
+        f"vs RPU-{rpu_iso.num_cus}CU {fmt_time(rpu_result.latency_s)} "
+        f"-> {gpu_result.latency_s / rpu_result.latency_s:.1f}x faster"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Serve a reasoning query end-to-end (paper Sections I, VI and IX).
+
+Disaggregated pipeline: prefill on GPUs, KV handoff over the Ring
+Station, autonomous decode on the RPU.  Compares against decoding on the
+same GPUs, against the ~10 s interaction threshold the paper motivates.
+
+Run:  python examples/reasoning_serving.py
+"""
+
+from repro.analysis.perf_model import system_for
+from repro.gpu.system import GpuSystem
+from repro.models import LLAMA3_70B, Workload
+from repro.serving import INTERACTION_THRESHOLD_S, DisaggregatedSystem
+from repro.util.tables import Table
+from repro.util.units import fmt_time
+
+
+def main() -> None:
+    # A reasoning query: 2k-token prompt, 4k tokens of chain of thought.
+    workload = Workload(LLAMA3_70B, batch_size=1, seq_len=6144, decode_len=4096)
+    system = DisaggregatedSystem(
+        prefill_engine=GpuSystem(count=2),
+        decode_engine=system_for(128, workload),
+    )
+    print(f"Query: {workload.prefill_len} prompt + {workload.decode_len} "
+          f"reasoning tokens of {workload.model.name}")
+    print(f"Pipeline: {system.prefill_engine.name} prefill -> "
+          f"{system.decode_engine}\n")
+
+    rpu = system.query(workload)
+    gpu = system.gpu_only_query(workload)
+
+    table = Table(
+        f"End-to-end reasoning latency (interaction threshold "
+        f"{INTERACTION_THRESHOLD_S:.0f} s)",
+        ["stage", "RPU decode", "GPU-only decode"],
+    )
+    table.add_row(["prefill", fmt_time(rpu.prefill_s), fmt_time(gpu.prefill_s)])
+    table.add_row(["KV transfer", fmt_time(rpu.kv_transfer_s), "--"])
+    table.add_row(["decode (4096 tok)", fmt_time(rpu.decode_s), fmt_time(gpu.decode_s)])
+    table.add_row(["TTFT", fmt_time(rpu.ttft_s), fmt_time(gpu.ttft_s)])
+    table.add_row(["TPOT", fmt_time(rpu.tpot_s), fmt_time(gpu.tpot_s)])
+    table.add_row(["end-to-end", fmt_time(rpu.end_to_end_s), fmt_time(gpu.end_to_end_s)])
+    table.add_row(["interactive?", rpu.interactive, gpu.interactive])
+    table.add_row(["energy (J)", rpu.total_energy_j, gpu.total_energy_j])
+    print(table)
+
+    print(f"\nThe RPU answers in {fmt_time(rpu.end_to_end_s)}; the same "
+          f"GPUs alone take {fmt_time(gpu.end_to_end_s)} "
+          f"({gpu.end_to_end_s / rpu.end_to_end_s:.1f}x longer).")
+
+
+if __name__ == "__main__":
+    main()

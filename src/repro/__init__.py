@@ -1,0 +1,39 @@
+"""repro: a from-scratch reproduction of "RPU: A Reasoning Processing
+Unit" (Adiletta, Wei, Brooks -- HPCA 2026).
+
+Public API highlights:
+
+- :mod:`repro.memory` -- the HBM-CO capacity-optimized memory model;
+- :mod:`repro.arch` -- the RPU core/CU/package/system hierarchy;
+- :mod:`repro.models` -- the Llama3/Llama4 workload zoo;
+- :mod:`repro.compiler` / :mod:`repro.isa` -- the deterministic toolchain;
+- :mod:`repro.sim` -- the event-driven simulator;
+- :mod:`repro.gpu` -- the H100/H200 baselines;
+- :mod:`repro.analysis` -- one module per paper figure/table.
+
+Quick start::
+
+    from repro.models import LLAMA3_70B, Workload
+    from repro.analysis.perf_model import decode_step_perf, system_for
+
+    workload = Workload(LLAMA3_70B, batch_size=1, seq_len=8192)
+    system = system_for(204, workload)          # 204 CUs, optimal HBM-CO
+    result = decode_step_perf(system, workload)
+    print(f"{result.latency_s * 1e3:.2f} ms/token")
+"""
+
+__version__ = "1.0.0"
+
+from repro.arch import ComputeUnit, Package, ReasoningCore, RpuSystem
+from repro.models import MODELS, Workload, get_model
+
+__all__ = [
+    "MODELS",
+    "ComputeUnit",
+    "Package",
+    "ReasoningCore",
+    "RpuSystem",
+    "Workload",
+    "get_model",
+    "__version__",
+]

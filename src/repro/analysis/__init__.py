@@ -1,0 +1,11 @@
+"""Experiment harness: one module per paper figure/table.
+
+``perf_model`` is the fast layer-wise RPU model (validated against the
+event simulator) that the wide sweeps (Figs 9-13) use; Fig 8 runs the full
+event simulator.  Every module exposes functions returning plain data
+(rows/series) that the corresponding benchmark prints.
+"""
+
+from repro.analysis.perf_model import RpuPerfResult, decode_step_perf, iso_tdp_system, min_cus_for
+
+__all__ = ["RpuPerfResult", "decode_step_perf", "iso_tdp_system", "min_cus_for"]

@@ -1,0 +1,90 @@
+"""Batch-size sweeps: Fig 11 (bottom) and Fig 13.
+
+- OTPS per query and memory-bandwidth utilization vs batch size on a
+  128-CU RPU (Fig 11 bottom);
+- speedup and energy-per-inference improvement over H100 across batch
+  sizes for Llama3-8B (vs 64 CUs) and Llama3-70B (vs 128 CUs) (Fig 13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.perf_model import decode_step_perf, system_for
+from repro.gpu.inference import decode_step
+from repro.gpu.system import GpuSystem
+from repro.models.config import ModelConfig
+from repro.models.workload import Workload
+
+
+@dataclass(frozen=True)
+class BatchPoint:
+    batch_size: int
+    otps_per_query: float
+    mem_bw_utilization: float
+    bound: str
+
+
+def batched_token_gen(
+    model: ModelConfig,
+    *,
+    num_cus: int = 128,
+    seq_len: int = 8192,
+    batch_sizes: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64, 128),
+) -> list[BatchPoint]:
+    """Per-query throughput and BW utilization vs batch (Fig 11 bottom)."""
+    points = []
+    for batch in batch_sizes:
+        workload = Workload(model, batch_size=batch, seq_len=seq_len)
+        system = system_for(num_cus, workload)
+        result = decode_step_perf(system, workload)
+        points.append(
+            BatchPoint(
+                batch_size=batch,
+                otps_per_query=result.otps_per_query,
+                mem_bw_utilization=result.mem_bw_utilization,
+                bound=result.bound,
+            )
+        )
+    return points
+
+
+@dataclass(frozen=True)
+class SpeedupPoint:
+    batch_size: int
+    rpu_latency_s: float
+    gpu_latency_s: float
+    speedup: float
+    epi_improvement: float
+
+
+def speedup_vs_h100(
+    model: ModelConfig,
+    *,
+    num_cus: int,
+    gpu_count: int = 1,
+    seq_len: int = 8192,
+    batch_sizes: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64),
+) -> list[SpeedupPoint]:
+    """Speedup and energy-per-inference improvement vs batch (Fig 13)."""
+    points = []
+    for batch in batch_sizes:
+        workload = Workload(model, batch_size=batch, seq_len=seq_len)
+        gpu = GpuSystem(count=gpu_count)
+        while not gpu.fits(workload.memory_footprint_bytes()):
+            gpu = GpuSystem(count=gpu.count * 2)
+        system = system_for(num_cus, workload)
+        rpu_result = decode_step_perf(system, workload)
+        gpu_result = decode_step(gpu, workload)
+        rpu_epi = rpu_result.energy_per_token_j(batch)
+        gpu_epi = gpu_result.energy_j / batch
+        points.append(
+            SpeedupPoint(
+                batch_size=batch,
+                rpu_latency_s=rpu_result.latency_s,
+                gpu_latency_s=gpu_result.latency_s,
+                speedup=gpu_result.latency_s / rpu_result.latency_s,
+                epi_improvement=gpu_epi / rpu_epi,
+            )
+        )
+    return points

@@ -1,0 +1,134 @@
+"""Fig 12: energy per inference and system cost versus scale (Llama3-405B).
+
+Energy: per-CU-count EPI with the mem/comp/net split and the optimal
+BW/Cap choice at each scale (rising until the highest-BW/Cap SKU is
+reachable), compared against an RPU forced to HBM3e-like memory and
+against the measured 4xH100 EPI.
+
+Cost: silicon + memory + substrate + PCB, normalized to the smallest
+valid configuration.  The non-memory per-CU cost is calibrated to the
+paper's Section VII anchor (a 4.3x total-system-cost reduction at 64 CUs
+when switching HBM3e-like memory to the optimal HBM-CO).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.perf_model import decode_step_perf, min_cus_for, system_for
+from repro.arch.specs import CUS_PER_PACKAGE, STACKS_PER_CU
+from repro.arch.system import RpuSystem
+from repro.gpu.inference import decode_step
+from repro.gpu.system import GpuSystem
+from repro.memory.design_space import DesignPoint
+from repro.memory.hbmco import hbm3e_like_sku
+from repro.memory.design_space import design_point
+from repro.models.config import ModelConfig
+from repro.models.llama3 import LLAMA3_405B
+from repro.models.workload import Workload
+
+#: Non-memory cost per CU (compute chiplet silicon, substrate share, PCB
+#: share) in HBM3e-module units; calibrated to the paper's 4.3x anchor.
+SILICON_COST_PER_CU = 0.030
+SUBSTRATE_COST_PER_PACKAGE = 0.032
+PCB_COST_PER_32_CUS = 0.064
+
+
+@dataclass(frozen=True)
+class EnergyPoint:
+    num_cus: int
+    sku_label: str
+    bw_per_cap: float
+    epi_j: float
+    epi_mem_j: float
+    epi_comp_j: float
+    epi_net_j: float
+
+
+@dataclass(frozen=True)
+class CostPoint:
+    num_cus: int
+    silicon: float
+    memory: float
+    substrate: float
+    pcb: float
+
+    @property
+    def total(self) -> float:
+        return self.silicon + self.memory + self.substrate + self.pcb
+
+
+def system_cost(num_cus: int, sku: DesignPoint) -> CostPoint:
+    """Absolute system cost (HBM3e-module units) for one configuration."""
+    packages = -(-num_cus // CUS_PER_PACKAGE)
+    return CostPoint(
+        num_cus=num_cus,
+        silicon=num_cus * SILICON_COST_PER_CU,
+        memory=num_cus * STACKS_PER_CU * sku.module_cost,
+        substrate=packages * SUBSTRATE_COST_PER_PACKAGE,
+        pcb=max(1, num_cus // 32) * PCB_COST_PER_32_CUS,
+    )
+
+
+def energy_sweep(
+    model: ModelConfig = LLAMA3_405B,
+    *,
+    seq_len: int = 8192,
+    cu_counts: list[int] | None = None,
+) -> list[EnergyPoint]:
+    """EPI vs scale with per-scale optimal SKU (Fig 12 top)."""
+    workload = Workload(model, batch_size=1, seq_len=seq_len)
+    if cu_counts is None:
+        floor = min_cus_for(workload)
+        cu_counts = [c for c in range(36, 485, 32)] + [floor]
+        cu_counts = sorted({max(c, floor) for c in cu_counts})
+    points = []
+    for num_cus in cu_counts:
+        system = system_for(num_cus, workload)
+        result = decode_step_perf(system, workload)
+        points.append(
+            EnergyPoint(
+                num_cus=num_cus,
+                sku_label=system.cu.memory.config.label(),
+                bw_per_cap=system.cu.memory.bw_per_cap,
+                epi_j=result.energy_per_token_j(),
+                epi_mem_j=result.energy_mem_j,
+                epi_comp_j=result.energy_comp_j,
+                epi_net_j=result.energy_net_j,
+            )
+        )
+    return points
+
+
+def hbm3e_reference_epi(model: ModelConfig = LLAMA3_405B, *, num_cus: int = 64) -> float:
+    """EPI of an RPU forced to HBM3e-capacity memory (the dashed line)."""
+    workload = Workload(model, batch_size=1, seq_len=8192)
+    system = RpuSystem.with_memory(num_cus, design_point(hbm3e_like_sku()))
+    return decode_step_perf(system, workload).energy_per_token_j()
+
+
+def h100_reference_epi(model: ModelConfig = LLAMA3_405B, *, gpu_count: int = 4) -> float:
+    """Measured-4xH100-EPI line of Fig 12 (from the GPU model)."""
+    workload = Workload(model, batch_size=1, seq_len=8192)
+    return decode_step(GpuSystem(count=gpu_count), workload).energy_j
+
+
+def cost_sweep(
+    model: ModelConfig = LLAMA3_405B,
+    *,
+    cu_counts: list[int] | None = None,
+    hbm3e_memory: bool = False,
+) -> list[CostPoint]:
+    """Normalized system cost vs scale (Fig 12 bottom)."""
+    workload = Workload(model, batch_size=1, seq_len=8192)
+    if cu_counts is None:
+        floor = min_cus_for(workload)
+        cu_counts = sorted({max(c, floor) for c in range(36, 453, 32)})
+    points = []
+    for num_cus in cu_counts:
+        if hbm3e_memory:
+            sku = design_point(hbm3e_like_sku())
+        else:
+            sku = system_for(num_cus, workload).cu.memory
+        points.append(system_cost(num_cus, sku))
+    return points

@@ -1,0 +1,86 @@
+"""Figs 2-3: H100 characterization (power trace, BW utilization, kernel
+power/energy sweeps) -- the motivation experiments of Section II."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.efficiency import bandwidth_utilization
+from repro.gpu.inference import decode_step, prefill_time_and_power
+from repro.gpu.kernels import DenseKernelResult, profile_dense_kernel
+from repro.gpu.specs import H100
+from repro.gpu.system import GpuSystem
+from repro.models.dtypes import DType
+from repro.models.llama3 import LLAMA3_70B
+from repro.models.workload import Workload
+
+
+@dataclass(frozen=True)
+class PowerTrace:
+    """The Fig 2 (left) power trace: prefill burst then decode tail."""
+
+    times_s: list[float]
+    watts: list[float]
+    prefill_s: float
+    prefill_power_w: float
+    decode_power_w: float
+    decode_bw_utilization: float
+
+
+def inference_power_trace(
+    *,
+    gpu_count: int = 4,
+    batch_size: int = 32,
+    prefill_tokens: int = 16384,
+    decode_tokens: int = 2048,
+    samples: int = 200,
+) -> PowerTrace:
+    """Llama3-70B FP8 batch-32 16k/2k distributed inference trace."""
+    workload = Workload(
+        LLAMA3_70B,
+        batch_size=batch_size,
+        seq_len=prefill_tokens + decode_tokens,
+        decode_len=decode_tokens,
+        weight_dtype=DType.FP8,
+    )
+    system = GpuSystem(H100, gpu_count)
+    prefill_s, prefill_w = prefill_time_and_power(system, workload)
+    decode = decode_step(system, workload)
+    decode_s = decode.latency_s * decode_tokens
+
+    total = prefill_s + decode_s
+    times, watts = [], []
+    for i in range(samples):
+        t = total * i / (samples - 1)
+        times.append(t)
+        watts.append(prefill_w if t < prefill_s else decode.avg_power_w)
+    return PowerTrace(
+        times_s=times,
+        watts=[w / gpu_count for w in watts],  # per-GPU, as Fig 2 plots
+        prefill_s=prefill_s,
+        prefill_power_w=prefill_w / gpu_count,
+        decode_power_w=decode.avg_power_w / gpu_count,
+        decode_bw_utilization=decode.mem_bw_utilization,
+    )
+
+
+def bw_util_vs_layer_capacity(
+    capacities_bytes: tuple[float, ...] = tuple(
+        10 ** e for e in (5, 5.5, 6, 6.5, 7, 7.5, 8, 8.5, 9)
+    ),
+) -> list[tuple[float, float]]:
+    """Fig 2 right: isolated VMM bandwidth utilization vs working set."""
+    return [(c, bandwidth_utilization(c)) for c in capacities_bytes]
+
+
+def kernel_power_sweep(
+    *,
+    matrix_sizes: tuple[int, ...] = (1024, 2048, 4096),
+    batch_sizes: tuple[int, ...] = (4, 16, 32, 64, 256, 1024, 2048, 8192, 16384),
+) -> list[DenseKernelResult]:
+    """Fig 3: isolated dense kernels across batch and matrix size."""
+    results = []
+    for n in matrix_sizes:
+        for batch in batch_sizes:
+            results.append(profile_dense_kernel(H100, batch, n))
+    return results

@@ -1,0 +1,64 @@
+"""Fig 4: the memory-technology landscape and the Goldilocks gap."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.memory.design_space import enumerate_rpu_skus
+from repro.memory.landscape import (
+    GOLDILOCKS_BW_PER_CAP,
+    MEMORY_TECHNOLOGIES,
+    MemoryTechnology,
+    technology_gap,
+)
+
+
+@dataclass(frozen=True)
+class LandscapeRow:
+    name: str
+    kind: str
+    bw_per_cap: float
+    latency_per_token_ms: float
+    in_goldilocks: bool
+
+
+def landscape_rows() -> list[LandscapeRow]:
+    """Commercial technologies plus the HBM-CO design-space band."""
+    rows = [
+        LandscapeRow(
+            name=tech.name,
+            kind=tech.kind,
+            bw_per_cap=tech.bw_per_cap,
+            latency_per_token_ms=tech.latency_per_token_s * 1e3,
+            in_goldilocks=tech.in_goldilocks,
+        )
+        for tech in MEMORY_TECHNOLOGIES
+    ]
+    skus = enumerate_rpu_skus()
+    low = min(p.bw_per_cap for p in skus)
+    high = max(p.bw_per_cap for p in skus)
+    for label, ratio in (("HBM-CO (min)", low), ("HBM-CO (max)", high)):
+        rows.append(
+            LandscapeRow(
+                name=label,
+                kind="hbm-co",
+                bw_per_cap=ratio,
+                latency_per_token_ms=1e3 / ratio,
+                in_goldilocks=GOLDILOCKS_BW_PER_CAP[0] <= ratio <= GOLDILOCKS_BW_PER_CAP[1],
+            )
+        )
+    return sorted(rows, key=lambda r: r.bw_per_cap)
+
+
+def gap_summary() -> dict[str, float]:
+    """The commercial gap edges and how much of it HBM-CO covers."""
+    low, high = technology_gap()
+    skus = enumerate_rpu_skus()
+    covered = [p.bw_per_cap for p in skus if low < p.bw_per_cap < high]
+    return {
+        "gap_low": low,
+        "gap_high": high,
+        "hbmco_points_in_gap": float(len(covered)),
+        "hbmco_min": min(p.bw_per_cap for p in skus),
+        "hbmco_max": max(p.bw_per_cap for p in skus),
+    }

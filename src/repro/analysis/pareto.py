@@ -1,0 +1,97 @@
+"""Fig 9: HBM-CO Pareto frontier for Llama3-405B on a 64-CU RPU.
+
+For every SKU in the chiplet family that still fits the workload, compute
+system energy per inference; the capacity-indexed frontier (smaller
+capacity -> lower energy) is what Fig 9 plots, annotated with each SKU's
+configuration and the workload's own capacity line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.perf_model import decode_step_perf
+from repro.arch.specs import STACKS_PER_CU
+from repro.arch.system import RpuSystem
+from repro.memory.design_space import DesignPoint, sku_family
+from repro.models.config import ModelConfig
+from repro.models.llama3 import LLAMA3_405B
+from repro.models.workload import Workload
+from repro.util.units import GIB
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One memory configuration evaluated at system level."""
+
+    sku: DesignPoint
+    system_capacity_bytes: float
+    energy_per_inference_j: float
+    fits: bool
+
+    @property
+    def label(self) -> str:
+        return self.sku.config.label()
+
+
+def energy_capacity_frontier(
+    model: ModelConfig = LLAMA3_405B,
+    *,
+    num_cus: int = 64,
+    batch_size: int = 1,
+    seq_len: int = 8192,
+) -> list[ParetoPoint]:
+    """Energy/inference vs system capacity across the SKU family."""
+    workload = Workload(model, batch_size=batch_size, seq_len=seq_len)
+    required = workload.memory_footprint_bytes()
+    num_stacks = num_cus * STACKS_PER_CU
+
+    points = []
+    for sku in sku_family():
+        system_capacity = sku.capacity_bytes * num_stacks
+        fits = system_capacity >= required
+        if fits:
+            system = RpuSystem.with_memory(num_cus, sku)
+            result = decode_step_perf(system, workload)
+            energy = result.energy_per_token_j(batch_size)
+        else:
+            energy = float("nan")
+        points.append(
+            ParetoPoint(
+                sku=sku,
+                system_capacity_bytes=system_capacity,
+                energy_per_inference_j=energy,
+                fits=fits,
+            )
+        )
+    return sorted(points, key=lambda p: p.system_capacity_bytes)
+
+
+def frontier_points(points: list[ParetoPoint]) -> list[ParetoPoint]:
+    """The Pareto-filtered curve Fig 9 draws ("non-optimal points are
+    omitted"): keep a point only if no smaller-capacity point achieves
+    lower or equal energy.  Selection (Fig 10) still uses the full family.
+    """
+    fitting = sorted(
+        (p for p in points if p.fits), key=lambda p: p.system_capacity_bytes
+    )
+    frontier: list[ParetoPoint] = []
+    for point in fitting:
+        if not frontier or point.energy_per_inference_j > frontier[-1].energy_per_inference_j:
+            frontier.append(point)
+        # equal-or-lower energy at higher capacity is dominated: skip
+    return frontier
+
+
+def optimal_point(points: list[ParetoPoint]) -> ParetoPoint:
+    """Smallest fitting capacity = lowest energy (the figure's callout)."""
+    fitting = [p for p in points if p.fits]
+    if not fitting:
+        raise ValueError("no SKU fits the workload at this scale")
+    return min(fitting, key=lambda p: p.system_capacity_bytes)
+
+
+def capacity_per_core_mib(point: ParetoPoint) -> float:
+    """The per-core capacity the paper annotates (e.g. 192 MiB/core)."""
+    pseudo_channels = point.sku.config.pseudo_channels
+    return point.sku.capacity_bytes / pseudo_channels / (GIB / 1024)

@@ -1,0 +1,106 @@
+"""Fig 14: comparison of leading hardware platforms under speculative
+decoding (Llama3-70B target, Llama3-8B draft).
+
+Competitor rows are the published datapoints the paper itself cites
+(vendor blogs / third-party benchmarks); the RPU row is computed from this
+repository's models with the paper's speculative setup (8-token lookahead,
+4.6 accepted per window).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.perf_model import decode_step_perf, system_for
+from repro.models.llama3 import LLAMA3_8B, LLAMA3_70B
+from repro.models.workload import Workload
+from repro.specdec.speculative import SpeculativeConfig, speculative_tokens_per_s
+from repro.util.units import GB, GIB, MB
+
+
+@dataclass(frozen=True)
+class PlatformRow:
+    """One row of the Fig 14 table."""
+
+    name: str
+    main_memory: str
+    shoreline_mm: float | None
+    tdp_w: float
+    bw_per_cap: float
+    comp_per_bw_ops_byte: float
+    systems_for_70b: str
+    spec_decode_tokens_per_s: float
+
+
+#: Published datapoints (the paper's own sources for competitor systems).
+PUBLISHED_PLATFORMS: tuple[PlatformRow, ...] = (
+    PlatformRow(
+        name="NVIDIA H200",
+        main_memory="HBM3e",
+        shoreline_mm=60.0,
+        tdp_w=700.0,
+        bw_per_cap=34.0,
+        comp_per_bw_ops_byte=206.0,
+        systems_for_70b="1 GPU (spec-70B)",
+        spec_decode_tokens_per_s=457.0,
+    ),
+    PlatformRow(
+        name="SambaNova SN40L",
+        main_memory="HBM3",
+        shoreline_mm=None,
+        tdp_w=700.0,
+        bw_per_cap=25.0,
+        comp_per_bw_ops_byte=399.0,
+        systems_for_70b="16 sockets",
+        spec_decode_tokens_per_s=704.0,
+    ),
+    PlatformRow(
+        name="Groq LPU",
+        main_memory="SRAM",
+        shoreline_mm=None,
+        tdp_w=300.0,
+        bw_per_cap=355_000.0,
+        comp_per_bw_ops_byte=2.4,
+        systems_for_70b="~400-600 processors",
+        spec_decode_tokens_per_s=1660.0,
+    ),
+    PlatformRow(
+        name="Cerebras WSE-3",
+        main_memory="SRAM",
+        shoreline_mm=None,
+        tdp_w=23_000.0,
+        bw_per_cap=477_000.0,
+        comp_per_bw_ops_byte=6.0,
+        systems_for_70b="4 wafers",
+        spec_decode_tokens_per_s=2148.0,
+    ),
+)
+
+
+def rpu_row(*, num_cus: int = 200, seq_len: int = 8192) -> PlatformRow:
+    """The RPU-200CU row, computed with the paper's speculative setup."""
+    target = Workload(LLAMA3_70B, batch_size=1, seq_len=seq_len)
+    draft = Workload(LLAMA3_8B, batch_size=1, seq_len=seq_len)
+    system = system_for(num_cus, target)
+    target_step = decode_step_perf(system, target).latency_s
+    draft_step = decode_step_perf(system, draft, check_capacity=False).latency_s
+    tokens_per_s = speculative_tokens_per_s(
+        draft_step, target_step, SpeculativeConfig(lookahead=8, accepted_per_window=4.6)
+    )
+    sku = system.cu.memory
+    core = system.cu.core
+    return PlatformRow(
+        name=f"RPU-{num_cus}CU",
+        main_memory="HBM-CO",
+        shoreline_mm=num_cus * 32.0,
+        tdp_w=num_cus * 9.0,
+        bw_per_cap=sku.bw_per_cap,
+        comp_per_bw_ops_byte=core.spec.compute_to_bandwidth,
+        systems_for_70b="1 board",
+        spec_decode_tokens_per_s=tokens_per_s,
+    )
+
+
+def comparison_table(*, num_cus: int = 200) -> list[PlatformRow]:
+    """All rows of Fig 14 (published competitors + computed RPU)."""
+    return [*PUBLISHED_PLATFORMS, rpu_row(num_cus=num_cus)]

@@ -1,0 +1,137 @@
+"""Fig 1: roofline comparison and the impact of batching on arithmetic
+intensity.
+
+Left panel: H100 vs an ISO-TDP RPU-40CU roofline with Llama4-Maverick
+decode kernels (BS 1 and 32) placed on it.  Right panel: arithmetic
+intensity vs batch size for a dense model and a MoE model, against the
+RPU's 32 Ops/Byte design point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.system import RpuSystem
+from repro.gpu.specs import H100, GpuSpec
+from repro.models.config import ModelConfig
+from repro.models.flops import (
+    KernelKind,
+    decode_step_profile,
+    step_arithmetic_intensity,
+)
+from repro.models.llama3 import LLAMA3_70B
+from repro.models.llama4 import LLAMA4_MAVERICK
+from repro.models.workload import Workload
+
+
+@dataclass(frozen=True)
+class Roofline:
+    """A peak-compute / peak-bandwidth roofline."""
+
+    name: str
+    peak_flops: float
+    peak_bandwidth: float
+    tdp_w: float
+
+    @property
+    def ridge_intensity(self) -> float:
+        """FLOPs/byte where the roofline bends."""
+        return self.peak_flops / self.peak_bandwidth
+
+    def attainable_flops(self, intensity: float) -> float:
+        if intensity < 0:
+            raise ValueError("intensity must be non-negative")
+        return min(self.peak_flops, intensity * self.peak_bandwidth)
+
+
+def h100_roofline(spec: GpuSpec = H100) -> Roofline:
+    return Roofline(
+        name=spec.name,
+        peak_flops=spec.peak_bf16_flops,
+        peak_bandwidth=spec.mem_bandwidth_bytes_per_s,
+        tdp_w=spec.tdp_w,
+    )
+
+
+def rpu_roofline(num_cus: int = 40) -> Roofline:
+    """RPU-40CU: the paper's ISO-TDP comparison point for one H100."""
+    system = RpuSystem(num_cus)
+    return Roofline(
+        name=f"RPU-{num_cus}CU",
+        peak_flops=system.peak_flops,
+        peak_bandwidth=system.mem_bandwidth_bytes_per_s,
+        tdp_w=num_cus * 14.0,
+    )
+
+
+@dataclass(frozen=True)
+class KernelPoint:
+    """A kernel placed on the roofline (Fig 1 left markers)."""
+
+    label: str
+    intensity: float
+    batch_size: int
+
+
+def kernel_points(
+    model: ModelConfig = LLAMA4_MAVERICK,
+    *,
+    seq_len: int = 8192,
+    batch_sizes: tuple[int, ...] = (1, 32),
+) -> list[KernelPoint]:
+    """Per-kind average intensity of decode kernels at each batch size."""
+    points = []
+    for batch in batch_sizes:
+        workload = Workload(model, batch_size=batch, seq_len=seq_len)
+        kernels = decode_step_profile(workload)
+        by_kind: dict[KernelKind, tuple[float, float]] = {}
+        for kernel in kernels:
+            if kernel.hbm_bytes == 0:
+                continue
+            flops, nbytes = by_kind.get(kernel.kind, (0.0, 0.0))
+            by_kind[kernel.kind] = (flops + kernel.flops, nbytes + kernel.hbm_bytes)
+        labels = {
+            KernelKind.LINEAR: "Linear",
+            KernelKind.MOE: "MoE",
+            KernelKind.SDPA: "SDPA",
+        }
+        for kind, (flops, nbytes) in by_kind.items():
+            if kind not in labels:
+                continue
+            points.append(
+                KernelPoint(
+                    label=f"BS={batch} {labels[kind]}",
+                    intensity=flops / nbytes,
+                    batch_size=batch,
+                )
+            )
+        points.append(
+            KernelPoint(
+                label=f"BS={batch} Avg.",
+                intensity=step_arithmetic_intensity(workload),
+                batch_size=batch,
+            )
+        )
+    return points
+
+
+def intensity_vs_batch(
+    dense: ModelConfig = LLAMA3_70B,
+    moe: ModelConfig = LLAMA4_MAVERICK,
+    *,
+    seq_len: int = 8192,
+    batch_sizes: tuple[int, ...] = (1, 2, 4, 8, 16, 32),
+) -> dict[str, list[tuple[int, float]]]:
+    """Fig 1 right: AI vs batch for dense and MoE models."""
+    curves: dict[str, list[tuple[int, float]]] = {}
+    for label, model in ((f"Dense ({dense.name})", dense), (f"MoE ({moe.name})", moe)):
+        curve = []
+        for batch in batch_sizes:
+            workload = Workload(model, batch_size=batch, seq_len=seq_len)
+            curve.append((batch, step_arithmetic_intensity(workload)))
+        curves[label] = curve
+    return curves
+
+
+#: The RPU's compute-to-bandwidth design point (Ops/Byte).
+RPU_DESIGN_INTENSITY = 32.0

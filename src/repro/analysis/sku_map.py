@@ -1,0 +1,80 @@
+"""Fig 10: HBM-CO SKU selection map and slowdown map for Llama4-Maverick.
+
+For every (batch size, sequence length) cell: the system needs
+weights + KV capacity; with bandwidth fixed (64 CUs x 512 GiB/s), the
+best SKU is the smallest one that fits.  The second map reports the
+decode slowdown relative to BS=1 / 8k, with the KV-cache share of
+capacity as the sub-metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.perf_model import decode_step_perf
+from repro.arch.specs import STACKS_PER_CU
+from repro.arch.system import RpuSystem
+from repro.memory.sku import CapacityError, sku_for_system
+from repro.models.config import ModelConfig
+from repro.models.llama4 import LLAMA4_MAVERICK
+from repro.models.workload import Workload
+from repro.util.units import GIB
+
+BATCH_SIZES = (1, 2, 4, 8, 16, 32)
+SEQ_LENS = (8192, 16384, 32768, 65536, 131072)
+
+
+@dataclass(frozen=True)
+class SkuCell:
+    """One cell of the Fig 10 maps."""
+
+    batch_size: int
+    seq_len: int
+    bw_per_cap: float
+    system_capacity_gib: float
+    slowdown: float
+    kv_fraction: float
+    capacity_utilization: float
+    sku_label: str
+
+
+def sku_selection_map(
+    model: ModelConfig = LLAMA4_MAVERICK,
+    *,
+    num_cus: int = 64,
+    batch_sizes: tuple[int, ...] = BATCH_SIZES,
+    seq_lens: tuple[int, ...] = SEQ_LENS,
+) -> list[SkuCell]:
+    """The full map; cells where no SKU fits are omitted."""
+    baseline = Workload(model, batch_size=1, seq_len=min(seq_lens))
+    base_system = RpuSystem.with_memory(
+        num_cus,
+        sku_for_system(baseline.memory_footprint_bytes(), num_cus * STACKS_PER_CU),
+    )
+    base_latency = decode_step_perf(base_system, baseline).latency_s
+
+    cells = []
+    for seq_len in seq_lens:
+        for batch in batch_sizes:
+            workload = Workload(model, batch_size=batch, seq_len=seq_len)
+            required = workload.memory_footprint_bytes()
+            try:
+                sku = sku_for_system(required, num_cus * STACKS_PER_CU)
+            except CapacityError:
+                continue
+            system = RpuSystem.with_memory(num_cus, sku)
+            result = decode_step_perf(system, workload)
+            system_capacity = sku.capacity_bytes * num_cus * STACKS_PER_CU
+            cells.append(
+                SkuCell(
+                    batch_size=batch,
+                    seq_len=seq_len,
+                    bw_per_cap=sku.bw_per_cap,
+                    system_capacity_gib=system_capacity / GIB,
+                    slowdown=result.latency_s / base_latency,
+                    kv_fraction=workload.kv_capacity_fraction(),
+                    capacity_utilization=required / system_capacity,
+                    sku_label=sku.config.label(),
+                )
+            )
+    return cells

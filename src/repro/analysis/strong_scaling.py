@@ -1,0 +1,111 @@
+"""Strong scaling (Fig 11 top, paper Section VIII).
+
+Sweep the CU count for each model at BS=1 / 8k, selecting the optimal
+HBM-CO SKU at every scale; report speedup relative to the smallest
+configuration that fits the model, plus the ISO-TDP H100 comparison
+points the figure annotates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.perf_model import (
+    RpuPerfResult,
+    decode_step_perf,
+    iso_tdp_system,
+    min_cus_for,
+    system_for,
+)
+from repro.gpu.inference import decode_step
+from repro.gpu.system import GpuSystem
+from repro.models.config import ModelConfig
+from repro.models.workload import Workload
+from repro.util.units import TB
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One point of the strong-scaling curve."""
+
+    num_cus: int
+    sku_label: str
+    latency_s: float
+    speedup: float
+    mem_bandwidth_tb_s: float
+    power_w: float
+    bound: str
+
+
+def strong_scaling(
+    model: ModelConfig,
+    *,
+    batch_size: int = 1,
+    seq_len: int = 8192,
+    cu_counts: list[int] | None = None,
+) -> list[ScalingPoint]:
+    """Speedup vs CU count (relative to the minimum-capacity RPU)."""
+    workload = Workload(model, batch_size=batch_size, seq_len=seq_len)
+    floor = min_cus_for(workload)
+    if cu_counts is None:
+        cu_counts = sorted({max(floor, c) for c in range(floor, 513, 16)} | {floor})
+
+    points: list[ScalingPoint] = []
+    base_latency: float | None = None
+    for num_cus in cu_counts:
+        if num_cus < floor:
+            continue
+        system = system_for(num_cus, workload)
+        result = decode_step_perf(system, workload)
+        if base_latency is None:
+            base_latency = result.latency_s
+        points.append(
+            ScalingPoint(
+                num_cus=num_cus,
+                sku_label=system.cu.memory.config.label(),
+                latency_s=result.latency_s,
+                speedup=base_latency / result.latency_s,
+                mem_bandwidth_tb_s=system.mem_bandwidth_bytes_per_s / TB,
+                power_w=result.avg_power_w,
+                bound=result.bound,
+            )
+        )
+    return points
+
+
+@dataclass(frozen=True)
+class IsoTdpComparison:
+    """One H100 marker of Fig 11: the RPU at matching TDP."""
+
+    gpu_name: str
+    gpu_latency_s: float
+    rpu_cus: int
+    rpu_latency_s: float
+    speedup: float
+
+
+def iso_tdp_comparison(
+    model: ModelConfig,
+    gpu_count: int,
+    *,
+    seq_len: int = 8192,
+) -> IsoTdpComparison:
+    """RPU-vs-H100 at ISO-TDP for one model (Fig 11's diamonds)."""
+    workload = Workload(model, batch_size=1, seq_len=seq_len)
+    gpu = GpuSystem(count=gpu_count)
+    gpu_result = decode_step(gpu, workload)
+    rpu = iso_tdp_system(gpu, workload)
+    rpu_result = decode_step_perf(rpu, workload)
+    return IsoTdpComparison(
+        gpu_name=gpu.name,
+        gpu_latency_s=gpu_result.latency_s,
+        rpu_cus=rpu.num_cus,
+        rpu_latency_s=rpu_result.latency_s,
+        speedup=gpu_result.latency_s / rpu_result.latency_s,
+    )
+
+
+def optimal_scale(model: ModelConfig, *, seq_len: int = 8192, max_cus: int = 512) -> ScalingPoint:
+    """The latency-optimal CU count (before the broadcast plateau wins)."""
+    points = strong_scaling(model, seq_len=seq_len, cu_counts=list(range(4, max_cus + 1, 8)))
+    return min(points, key=lambda p: p.latency_s)

@@ -1,0 +1,67 @@
+"""Fig 8: one-CU decode timelines from the event-driven simulator.
+
+Runs the full event simulation of Llama3-8B on a 64-CU RPU at the paper's
+two operating points (BS=1/16k and BS=32/8k) and renders the per-pipeline
+utilization strips, buffer occupancy and power summary the figure shows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.system import RpuSystem
+from repro.memory.sku import sku_for_system
+from repro.models.llama3 import LLAMA3_8B
+from repro.models.workload import Workload
+from repro.sim.results import SimResult
+from repro.sim.system_sim import simulate_decode_step
+
+
+@dataclass(frozen=True)
+class TimelineReport:
+    """One Fig 8 panel set."""
+
+    label: str
+    result: SimResult
+    peak_mem_buffer_bytes: float
+    peak_net_buffer_bytes: float
+
+    def render(self, width: int = 90) -> str:
+        result = self.result
+        bin_s = result.latency_s / width
+        lines = [
+            f"=== {self.label} ===",
+            result.mem_trace.render_ascii(bin_s, result.latency_s, width),
+            result.comp_trace.render_ascii(bin_s, result.latency_s, width),
+            result.net_trace.render_ascii(bin_s, result.latency_s, width),
+            (
+                f"latency {result.latency_s * 1e6:.1f} us | "
+                f"mem {result.mem_utilization:.0%} comp {result.comp_utilization:.0%} "
+                f"net {result.net_utilization:.0%} | "
+                f"{result.avg_power_per_cu_w():.1f} W/CU | "
+                f"peak buf {self.peak_mem_buffer_bytes / 1024:.0f} KiB"
+            ),
+        ]
+        return "\n".join(lines)
+
+
+def simulate_fig8_case(*, batch_size: int, seq_len: int, num_cus: int = 64) -> TimelineReport:
+    """One of the two Fig 8 scenarios on Llama3-8B."""
+    workload = Workload(LLAMA3_8B, batch_size=batch_size, seq_len=seq_len)
+    sku = sku_for_system(workload.memory_footprint_bytes(), num_cus * 2)
+    system = RpuSystem.with_memory(num_cus, sku)
+    result = simulate_decode_step(system, workload)
+    return TimelineReport(
+        label=f"Llama3-8B BS={batch_size} seq={seq_len} {num_cus}-CU",
+        result=result,
+        peak_mem_buffer_bytes=max(b for _, b in result.mem_buffer_trace),
+        peak_net_buffer_bytes=max(b for _, b in result.net_buffer_trace),
+    )
+
+
+def fig8_reports() -> list[TimelineReport]:
+    """Both paper scenarios: BS=1 / 16k and BS=32 / 8k."""
+    return [
+        simulate_fig8_case(batch_size=1, seq_len=16384),
+        simulate_fig8_case(batch_size=32, seq_len=8192),
+    ]

@@ -1,0 +1,63 @@
+"""Fig 5: HBM-CO design-space tradeoffs (cost/GB vs capacity, energy/bit
+vs BW/Cap) with the paper's two callouts (HBM3e and the candidate)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.memory.cost import bandwidth_per_cost
+from repro.memory.design_space import (
+    DesignPoint,
+    design_point,
+    enumerate_design_space,
+)
+from repro.memory.hbmco import HBM3E, candidate_hbmco
+from repro.util.units import GIB
+
+
+@dataclass(frozen=True)
+class TradeoffRow:
+    label: str
+    capacity_gib: float
+    bw_per_cap: float
+    energy_pj_per_bit: float
+    cost_per_gb: float
+    module_cost: float
+
+
+def _row(point: DesignPoint, label: str | None = None) -> TradeoffRow:
+    return TradeoffRow(
+        label=label or point.config.label(),
+        capacity_gib=point.capacity_bytes / GIB,
+        bw_per_cap=point.bw_per_cap,
+        energy_pj_per_bit=point.energy_pj_per_bit,
+        cost_per_gb=point.cost_per_gb,
+        module_cost=point.module_cost,
+    )
+
+
+def design_space_rows() -> list[TradeoffRow]:
+    """The full Fig 5 sweep (144 points)."""
+    return [_row(p) for p in enumerate_design_space()]
+
+
+def callouts() -> dict[str, TradeoffRow]:
+    """The two annotated points of Fig 5."""
+    return {
+        "HBM3e": _row(design_point(HBM3E), "HBM3e baseline"),
+        "candidate": _row(design_point(candidate_hbmco()), "Candidate HBM-CO"),
+    }
+
+
+def headline_ratios() -> dict[str, float]:
+    """The paper's headline candidate-vs-HBM3e ratios."""
+    base = design_point(HBM3E)
+    cand = design_point(candidate_hbmco())
+    return {
+        "energy_reduction": base.energy_pj_per_bit / cand.energy_pj_per_bit,
+        "cost_per_gb_increase": cand.cost_per_gb / base.cost_per_gb,
+        "module_cost_reduction": base.module_cost / cand.module_cost,
+        "bandwidth_per_dollar": bandwidth_per_cost(cand.config),
+        "capacity_reduction": base.capacity_bytes / cand.capacity_bytes,
+        "ideal_token_latency_ms": cand.config.ideal_token_latency_s * 1e3,
+    }

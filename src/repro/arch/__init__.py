@@ -1,0 +1,32 @@
+"""RPU hardware hierarchy (paper Section IV, Fig 6).
+
+Static architecture description: reasoning cores, compute units (CUs),
+packages and the board-level ring, together with the area/energy constants
+of Fig 6 and the power- and area-provisioning models that motivate the
+design (70-80% of power to memory interfaces; ~10x the H100's memory IO
+shoreline per unit compute area).
+
+Dynamics (pipelines, buffers, arbitration) live in :mod:`repro.sim`.
+"""
+
+from repro.arch.core import ReasoningCore
+from repro.arch.compute_unit import ComputeUnit
+from repro.arch.package import Package
+from repro.arch.system import RpuSystem
+from repro.arch.power import PowerBreakdown, cu_power, decode_tdp_per_cu, iso_tdp_cus
+from repro.arch.specs import CoreSpec, EnergyTable, CORE_SPEC, ENERGY
+
+__all__ = [
+    "CORE_SPEC",
+    "ENERGY",
+    "ComputeUnit",
+    "CoreSpec",
+    "EnergyTable",
+    "Package",
+    "PowerBreakdown",
+    "ReasoningCore",
+    "RpuSystem",
+    "cu_power",
+    "decode_tdp_per_cu",
+    "iso_tdp_cus",
+]

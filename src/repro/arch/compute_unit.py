@@ -1,0 +1,68 @@
+"""Compute Unit: one compute chiplet + two HBM-CO stacks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.core import ReasoningCore
+from repro.arch.specs import CORES_PER_CU, STACKS_PER_CU
+from repro.memory.design_space import DesignPoint, design_point
+from repro.memory.hbmco import candidate_hbmco
+
+
+def _default_memory() -> DesignPoint:
+    return design_point(candidate_hbmco())
+
+
+@dataclass(frozen=True)
+class ComputeUnit:
+    """16 reasoning cores fed by dual 256 GiB/s HBM-CO shorelines.
+
+    Each of the two stacks exposes 8 pseudo-channels; each pseudo-channel
+    is owned by exactly one core, so the CU's 512 GiB/s is fully
+    partitioned with no shared memory controllers (NUMA at all scales).
+    """
+
+    memory: DesignPoint = field(default_factory=_default_memory)
+
+    def __post_init__(self) -> None:
+        expected = CORES_PER_CU // STACKS_PER_CU
+        actual = self.memory.config.pseudo_channels
+        if actual != expected:
+            raise ValueError(
+                f"RPU CUs need {expected} pseudo-channels per stack "
+                f"(one per core); {self.memory.config.label()} has {actual}. "
+                f"Use a 1-channel-per-layer SKU (see enumerate_rpu_skus)."
+            )
+
+    @property
+    def num_cores(self) -> int:
+        return CORES_PER_CU
+
+    @property
+    def core(self) -> ReasoningCore:
+        """The (identical) per-core view."""
+        return ReasoningCore(memory=self.memory)
+
+    @property
+    def mem_bandwidth_bytes_per_s(self) -> float:
+        return self.core.mem_bandwidth_bytes_per_s * self.num_cores
+
+    @property
+    def mem_capacity_bytes(self) -> float:
+        return self.memory.capacity_bytes * STACKS_PER_CU
+
+    @property
+    def peak_flops(self) -> float:
+        return self.core.peak_flops * self.num_cores
+
+    @property
+    def sram_bytes(self) -> int:
+        spec = self.core.spec
+        per_core = (
+            spec.mem_buffer_bytes
+            + spec.act_buffer_bytes * spec.num_tmacs
+            + spec.net_buffer_bytes
+            + spec.icache_bytes
+        )
+        return per_core * self.num_cores

@@ -1,0 +1,51 @@
+"""Reasoning core: the per-core view of the hierarchy."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.specs import CORE_SPEC, CoreSpec
+from repro.memory.design_space import DesignPoint
+
+
+@dataclass(frozen=True)
+class ReasoningCore:
+    """One reasoning core bound to its HBM-CO pseudo-channel.
+
+    The core is an independent NUMA domain: its 32 GiB/s pseudo-channel,
+    its SRAM buffers, and its slice of the ring network are private; all
+    sharing is explicit through DMA (paper Section V).
+    """
+
+    spec: CoreSpec = field(default_factory=lambda: CORE_SPEC)
+    memory: DesignPoint | None = None
+
+    @property
+    def mem_bandwidth_bytes_per_s(self) -> float:
+        """Pseudo-channel bandwidth (bounded by core interface and device)."""
+        if self.memory is None:
+            return self.spec.mem_bandwidth_bytes_per_s
+        return min(
+            self.spec.mem_bandwidth_bytes_per_s,
+            self.memory.config.pseudo_channel_bandwidth_bytes_per_s,
+        )
+
+    @property
+    def mem_capacity_bytes(self) -> float:
+        """This core's private slice of its stack's capacity."""
+        if self.memory is None:
+            return 0.0
+        return self.memory.capacity_bytes / self.memory.config.pseudo_channels
+
+    @property
+    def peak_flops(self) -> float:
+        return self.spec.peak_flops
+
+    def roofline_flops(self, arithmetic_intensity: float) -> float:
+        """Attainable FLOP/s at the given arithmetic intensity (FLOPs/byte)."""
+        if arithmetic_intensity < 0:
+            raise ValueError("arithmetic intensity must be non-negative")
+        return min(
+            self.peak_flops,
+            arithmetic_intensity * self.mem_bandwidth_bytes_per_s,
+        )

@@ -1,0 +1,33 @@
+"""Package: four CUs on one substrate, a segment of the outer ring."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.compute_unit import ComputeUnit
+from repro.arch.specs import CUS_PER_PACKAGE
+
+
+@dataclass(frozen=True)
+class Package:
+    """Four co-packaged CUs joined by in-package UCIe links."""
+
+    cu: ComputeUnit = field(default_factory=ComputeUnit)
+
+    @property
+    def num_cus(self) -> int:
+        return CUS_PER_PACKAGE
+
+    @property
+    def mem_bandwidth_bytes_per_s(self) -> float:
+        """2 TiB/s with the standard SKUs."""
+        return self.cu.mem_bandwidth_bytes_per_s * self.num_cus
+
+    @property
+    def mem_capacity_bytes(self) -> float:
+        return self.cu.mem_capacity_bytes * self.num_cus
+
+    @property
+    def peak_flops(self) -> float:
+        """64 TFLOPs BF16."""
+        return self.cu.peak_flops * self.num_cus

@@ -1,0 +1,120 @@
+"""Power provisioning (paper Challenge/Contribution 2).
+
+The RPU dedicates 70-80% of its power budget to memory interfaces, so that
+memory-bandwidth-bound decode runs near the thermal design power instead
+of the ~34% an H100 reaches.  This module computes per-CU power from the
+Fig 6 energy table plus the HBM-CO device model, and solves the ISO-TDP
+sizing used throughout the evaluation (how many CUs match an H100 system's
+TDP).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.arch.compute_unit import ComputeUnit
+from repro.arch.specs import (
+    CU_STATIC_POWER_W,
+    ENERGY,
+    MEM_PATH_WIRE_MM,
+    RING_LINK_BANDWIDTH_BYTES_PER_S,
+)
+
+
+@dataclass(frozen=True)
+class PowerBreakdown:
+    """Per-CU power split by pipeline (watts)."""
+
+    memory: float
+    compute: float
+    network: float
+    static: float
+
+    @property
+    def total(self) -> float:
+        return self.memory + self.compute + self.network + self.static
+
+    @property
+    def memory_fraction(self) -> float:
+        """Fraction of total power in the memory path (paper: 70-80%
+        during bandwidth-bound decode)."""
+        return self.memory / self.total if self.total else 0.0
+
+
+def memory_path_pj_per_bit(cu: ComputeUnit) -> float:
+    """Device read + on-die wire + memory-buffer write, pJ/bit."""
+    device = cu.memory.energy.total
+    wire = ENERGY.bus_pj_per_bit_mm * MEM_PATH_WIRE_MM
+    return device + wire + ENERGY.sram_write_pj_per_bit
+
+
+def compute_path_power_w(cu: ComputeUnit, utilization: float) -> float:
+    """Compute-pipeline power at the given utilization.
+
+    Covers TMAC arrays, compressed-weight SRAM reads, stream decoding and
+    activation movement over the compute bus.
+    """
+    if not 0.0 <= utilization <= 1.0:
+        raise ValueError(f"utilization must be in [0, 1], got {utilization}")
+    flops = cu.peak_flops * utilization
+    tmac_w = flops * ENERGY.tmac_pj_per_flop * 1e-12
+    # Weights are re-read from the memory buffer at the (compressed) memory
+    # rate and decoded to BF16 on the fly.
+    weight_bits = cu.mem_bandwidth_bytes_per_s * 8 * utilization
+    sram_w = weight_bits * ENERGY.sram_read_pj_per_bit * 1e-12
+    decode_w = weight_bits * ENERGY.stream_decode_pj_per_bit * 1e-12
+    # Activation register file traffic is ~1/8 of weight traffic (Fig 7:
+    # 128b/cycle of activations against 2x1024b of weights).
+    act_w = 0.125 * sram_w
+    return tmac_w + sram_w + decode_w + act_w
+
+
+def network_path_power_w(cu: ComputeUnit, utilization: float) -> float:
+    """Ring-segment power: UCIe links plus network-buffer writes."""
+    if not 0.0 <= utilization <= 1.0:
+        raise ValueError(f"utilization must be in [0, 1], got {utilization}")
+    bits = RING_LINK_BANDWIDTH_BYTES_PER_S * 8 * utilization
+    link_w = bits * ENERGY.ucie_in_package_pj_per_bit * 1e-12
+    buffer_w = bits * ENERGY.sram_write_pj_per_bit * 1e-12
+    return link_w + buffer_w
+
+
+def cu_power(
+    cu: ComputeUnit,
+    mem_util: float = 1.0,
+    comp_util: float = 1.0,
+    net_util: float = 1.0,
+) -> PowerBreakdown:
+    """Per-CU power at the given pipeline utilizations."""
+    if not 0.0 <= mem_util <= 1.0:
+        raise ValueError(f"mem_util must be in [0, 1], got {mem_util}")
+    mem_bits = cu.mem_bandwidth_bytes_per_s * 8 * mem_util
+    memory_w = mem_bits * memory_path_pj_per_bit(cu) * 1e-12
+    return PowerBreakdown(
+        memory=memory_w,
+        compute=compute_path_power_w(cu, comp_util),
+        network=network_path_power_w(cu, net_util),
+        static=CU_STATIC_POWER_W,
+    )
+
+
+def decode_tdp_per_cu(cu: ComputeUnit, arithmetic_intensity: float = 4.0) -> float:
+    """Sustained per-CU power during bandwidth-bound decode (the RPU's TDP
+    design point): memory at full bandwidth, compute at the utilization the
+    workload's arithmetic intensity implies, light network activity.
+    """
+    comp_util = min(1.0, arithmetic_intensity / cu.core.spec.compute_to_bandwidth)
+    return cu_power(cu, mem_util=1.0, comp_util=comp_util, net_util=0.2).total
+
+
+def iso_tdp_cus(
+    gpu_system_tdp_w: float,
+    cu: ComputeUnit,
+    arithmetic_intensity: float = 4.0,
+) -> int:
+    """Number of CUs whose decode power matches a GPU system's TDP."""
+    if gpu_system_tdp_w <= 0:
+        raise ValueError("gpu_system_tdp_w must be positive")
+    per_cu = decode_tdp_per_cu(cu, arithmetic_intensity)
+    return max(1, math.floor(gpu_system_tdp_w / per_cu))

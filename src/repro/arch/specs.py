@@ -1,0 +1,118 @@
+"""Fig 6 constants: per-core geometry, buffer sizes, bus rates, energies.
+
+These numbers are the paper's calibrated outputs of its SystemC/Catapult
+HLS flow (TSMC N16 synthesized, projected to N2) plus published IO specs
+(UCIe, NVLink-GRS, HBM datasheets).  They are inputs to this reproduction,
+encoded once here and consumed by the power model, the event simulator's
+energy meters, and the spec-table benchmark (Fig 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.units import GHZ, GIB, KIB
+
+
+@dataclass(frozen=True)
+class EnergyTable:
+    """Energy coefficients from Fig 6 (all pJ unless noted)."""
+
+    # Compute
+    tmac_op_pj: float = 25.6  # one 64-MAC tile operation
+    vec_op_pj: float = 2.5  # HP-VOP FP32 op (paper range 1.5-4.0)
+    # SRAM
+    sram_read_pj_per_bit: float = 0.2
+    sram_write_pj_per_bit: float = 0.22
+    # Wires / buses
+    bus_pj_per_bit_mm: float = 0.1
+    # Chiplet and board IO
+    ucie_in_package_pj_per_bit: float = 0.5
+    ucie_off_package_pj_per_bit: float = 0.95  # paper range 0.75-1.2 via PCB
+    hbm_io_pj_per_bit: float = 0.25
+    nvlink_grs_pj_per_bit: float = 1.17  # <10 mm PCB reach (ring station)
+    # Stream decoder dequantization
+    stream_decode_pj_per_bit: float = 0.05
+
+    @property
+    def tmac_pj_per_flop(self) -> float:
+        """A TMAC op is 64 MACs = 128 FLOPs."""
+        return self.tmac_op_pj / 128.0
+
+
+@dataclass(frozen=True)
+class CoreSpec:
+    """One reasoning core (Fig 6, 'Core Specification').
+
+    Reconciliation: the paper lists 4 TMACs/core and 1 TFLOP at 1 GHz.
+    One 8x8 TMAC at 1 GHz is 128 GFLOP/s, so we model the TMAC tile as
+    dual-issue (two 1024-bit weight words per cycle -- the '2x1024b wide'
+    weight scratchpad of Fig 7), giving 1024 FLOP/cycle/core.
+    """
+
+    clock_hz: float = 1.0 * GHZ
+    num_tmacs: int = 4
+    macs_per_tmac: int = 64  # 8x8 array
+    tmac_issue: int = 2  # dual-issue (see docstring)
+    # Buffers (binary sizes, Fig 6)
+    mem_buffer_bytes: int = 512 * KIB
+    act_buffer_bytes: int = 32 * KIB  # per vec-tile ACT/C buffer
+    net_buffer_bytes: int = 256 * KIB
+    icache_bytes: int = 64 * KIB
+    # Memory interface: one HBM-CO pseudo-channel per core.
+    mem_bandwidth_bytes_per_s: float = 32 * GIB
+    # Network interface per core (ring segment share).
+    net_bandwidth_bytes_per_s: float = 16 * GIB
+    # HP-VOPs: 8 FP32 lanes.
+    vops_per_cycle: int = 8
+    # Physical footprint (N2 projection, Fig 6): 0.18 x 0.35 mm halves x2.
+    area_mm2: float = 2 * 0.18 * 0.35
+
+    @property
+    def flops_per_cycle(self) -> int:
+        # multiply + accumulate are separate FLOPs
+        return self.num_tmacs * self.macs_per_tmac * self.tmac_issue * 2
+
+    @property
+    def peak_flops(self) -> float:
+        """Peak BF16 FLOP/s (~1 TFLOP)."""
+        return self.flops_per_cycle * self.clock_hz
+
+    @property
+    def peak_vops(self) -> float:
+        """Peak FP32 vector op/s."""
+        return self.vops_per_cycle * self.clock_hz
+
+    @property
+    def compute_to_bandwidth(self) -> float:
+        """Ops per byte of memory bandwidth (the paper's 32 Ops/Byte)."""
+        return self.peak_flops / self.mem_bandwidth_bytes_per_s
+
+
+ENERGY = EnergyTable()
+CORE_SPEC = CoreSpec()
+
+#: Cores per compute unit (8 along each of the two memory shorelines).
+CORES_PER_CU = 16
+
+#: Compute units per package.
+CUS_PER_PACKAGE = 4
+
+#: HBM-CO stacks per CU (one per 256 GiB/s shoreline).
+STACKS_PER_CU = 2
+
+#: CU-to-CU hop latency through the DMA-optimized UCIe path (paper: <=10ns).
+CU_HOP_LATENCY_S = 8e-9
+
+#: CU-to-CU ring link bandwidth (256 GiB/s outer ring).
+RING_LINK_BANDWIDTH_BYTES_PER_S = 256 * GIB
+
+#: Compute chiplet dimensions (Fig 6): 16 mm shoreline x 2.75 mm deep.
+CU_DIE_WIDTH_MM = 16.0
+CU_DIE_DEPTH_MM = 2.75
+
+#: Static (leakage + control + instruction fetch) power per CU, watts.
+CU_STATIC_POWER_W = 0.4
+
+#: Average on-die distance from the HBM IO ring to a core's memory buffer.
+MEM_PATH_WIRE_MM = 0.5

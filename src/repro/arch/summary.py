@@ -1,0 +1,79 @@
+"""Fig 6 'Metrics' table: core / CU / package roll-up."""
+
+from __future__ import annotations
+
+from repro.arch.compute_unit import ComputeUnit
+from repro.arch.package import Package
+from repro.arch.power import cu_power
+from repro.util.tables import Table
+from repro.util.units import GIB, MIB, TB
+
+
+def spec_table(cu: ComputeUnit | None = None) -> Table:
+    """Render the hierarchy metrics table of Fig 6."""
+    if cu is None:
+        cu = ComputeUnit()
+    core = cu.core
+    package = Package(cu=cu)
+    full_power = cu_power(cu).total
+
+    table = Table(
+        "RPU hierarchy (paper Fig 6 metrics)",
+        ["metric", "Reasoning Core", "Compute Unit", "Package"],
+    )
+    table.add_row(
+        [
+            "Compute (BF16 TFLOPs)",
+            f"{core.peak_flops / 1e12:.2f}",
+            f"{cu.peak_flops / 1e12:.1f}",
+            f"{package.peak_flops / 1e12:.1f}",
+        ]
+    )
+    spec = core.spec
+    core_sram = (
+        spec.mem_buffer_bytes
+        + spec.act_buffer_bytes * spec.num_tmacs
+        + spec.net_buffer_bytes
+        + spec.icache_bytes
+    )
+    table.add_row(
+        [
+            "On-chip SRAM (MiB)",
+            f"{core_sram / MIB:.2f}",
+            f"{cu.sram_bytes / MIB:.1f}",
+            f"{cu.sram_bytes * package.num_cus / MIB:.1f}",
+        ]
+    )
+    table.add_row(
+        [
+            "Memory bandwidth",
+            f"{core.mem_bandwidth_bytes_per_s / GIB:.0f} GiB/s",
+            f"{cu.mem_bandwidth_bytes_per_s / GIB:.0f} GiB/s",
+            f"{package.mem_bandwidth_bytes_per_s / TB:.2f} TB/s",
+        ]
+    )
+    table.add_row(
+        [
+            "Memory capacity (GiB)",
+            f"{core.mem_capacity_bytes / GIB:.3f}",
+            f"{cu.mem_capacity_bytes / GIB:.2f}",
+            f"{package.mem_capacity_bytes / GIB:.2f}",
+        ]
+    )
+    table.add_row(
+        [
+            "Network bandwidth (GiB/s)",
+            f"{spec.net_bandwidth_bytes_per_s / GIB:.0f}",
+            "256",
+            "256",
+        ]
+    )
+    table.add_row(
+        [
+            "Power (W, all pipelines active)",
+            f"{full_power / cu.num_cores:.2f}",
+            f"{full_power:.1f}",
+            f"{full_power * package.num_cus:.1f}",
+        ]
+    )
+    return table

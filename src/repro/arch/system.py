@@ -1,0 +1,106 @@
+"""RPU system: CUs composed into packages and a board-level ring.
+
+An "RPU" is a scalable system of N compute units: packages of four CUs are
+soldered onto a PCB and joined into an outer ring through Ring Stations
+(paper Fig 6, "RPU Scale-Up").  This module provides system-level derived
+metrics and the ring collective-latency model used by both the analytical
+performance model and the event simulator.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.arch.compute_unit import ComputeUnit
+from repro.arch.specs import (
+    CU_HOP_LATENCY_S,
+    CUS_PER_PACKAGE,
+    RING_LINK_BANDWIDTH_BYTES_PER_S,
+    STACKS_PER_CU,
+)
+from repro.memory.design_space import DesignPoint
+
+
+@dataclass(frozen=True)
+class RpuSystem:
+    """A board-scale RPU: ``num_cus`` compute units on one ring."""
+
+    num_cus: int
+    cu: ComputeUnit = field(default_factory=ComputeUnit)
+
+    def __post_init__(self) -> None:
+        if self.num_cus < 1:
+            raise ValueError(f"num_cus must be >= 1, got {self.num_cus}")
+
+    # ------------------------------------------------------------------
+    # Composition
+    # ------------------------------------------------------------------
+    @classmethod
+    def with_memory(cls, num_cus: int, memory: DesignPoint) -> "RpuSystem":
+        return cls(num_cus=num_cus, cu=ComputeUnit(memory=memory))
+
+    @property
+    def num_packages(self) -> int:
+        return math.ceil(self.num_cus / CUS_PER_PACKAGE)
+
+    @property
+    def num_cores(self) -> int:
+        return self.num_cus * self.cu.num_cores
+
+    @property
+    def num_stacks(self) -> int:
+        return self.num_cus * STACKS_PER_CU
+
+    # ------------------------------------------------------------------
+    # Aggregate resources
+    # ------------------------------------------------------------------
+    @property
+    def mem_bandwidth_bytes_per_s(self) -> float:
+        return self.cu.mem_bandwidth_bytes_per_s * self.num_cus
+
+    @property
+    def mem_capacity_bytes(self) -> float:
+        return self.cu.mem_capacity_bytes * self.num_cus
+
+    @property
+    def peak_flops(self) -> float:
+        return self.cu.peak_flops * self.num_cus
+
+    def fits(self, required_bytes: float) -> bool:
+        """Can the system hold a model + KV footprint?"""
+        return self.mem_capacity_bytes >= required_bytes
+
+    # ------------------------------------------------------------------
+    # Ring collectives
+    # ------------------------------------------------------------------
+    def ring_collective_latency_s(
+        self, payload_bytes: float, participants: int | None = None
+    ) -> float:
+        """Latency of one pipelined ring collective (broadcast/all-gather
+        or reduction) over ``participants`` CUs.
+
+        The payload crosses every link once (chunks are pipelined), and the
+        serial chain pays one CU-to-CU hop per participant:
+        ``(P-1) * hop + payload / link_bw``.
+        """
+        if payload_bytes < 0:
+            raise ValueError("payload_bytes must be non-negative")
+        if participants is None:
+            participants = self.num_cus
+        if not 1 <= participants <= self.num_cus:
+            raise ValueError(
+                f"participants must be in [1, {self.num_cus}], got {participants}"
+            )
+        hops = participants - 1
+        return hops * CU_HOP_LATENCY_S + payload_bytes / RING_LINK_BANDWIDTH_BYTES_PER_S
+
+    def __str__(self) -> str:
+        from repro.util.units import GIB, TB
+
+        return (
+            f"RPU-{self.num_cus}CU [{self.cu.memory.config.label()}]: "
+            f"{self.mem_bandwidth_bytes_per_s / TB:.1f} TB/s, "
+            f"{self.mem_capacity_bytes / GIB:.0f} GiB, "
+            f"{self.peak_flops / 1e12:.0f} TFLOPs"
+        )

@@ -1,0 +1,18 @@
+"""RPU compiler (paper Section VI).
+
+A deterministic flow from a model graph to per-core instruction streams:
+
+- :mod:`repro.compiler.graph` -- traces a workload into an ordered op
+  graph (the stand-in for the paper's traced PyTorch graphs);
+- :mod:`repro.compiler.sharding` -- column/group sharding plans for
+  distributed VMM (paper Section IV);
+- :mod:`repro.compiler.lowering` -- lowers ops to the three-stream
+  :class:`repro.isa.Program` with buffer slots, valid counts and chunked
+  weight streaming.
+"""
+
+from repro.compiler.graph import Op, trace
+from repro.compiler.sharding import ShardPlan, plan_linear
+from repro.compiler.lowering import compile_decode_step
+
+__all__ = ["Op", "ShardPlan", "compile_decode_step", "plan_linear", "trace"]

@@ -1,0 +1,56 @@
+"""Workload tracing: model -> ordered op graph.
+
+The paper's compiler traces PyTorch modules; here the model zoo plays the
+role of the module tree and tracing produces the ordered sequence of ops a
+decode step executes, each carrying its resource profile
+(:class:`repro.models.flops.KernelProfile`).  Dependencies are the natural
+chain of a transformer decode step, with two extra attributes lowering
+needs: whether the op's input arrives over the network (a collective
+precedes it) and which ops belong to the same layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.models.flops import KernelKind, KernelProfile, decode_step_profile
+from repro.models.workload import Workload
+
+
+@dataclass(frozen=True)
+class Op:
+    """One node of the traced graph (in execution order)."""
+
+    index: int
+    kernel: KernelProfile
+
+    @property
+    def name(self) -> str:
+        return self.kernel.name
+
+    @property
+    def kind(self) -> KernelKind:
+        return self.kernel.kind
+
+    @property
+    def layer(self) -> int | None:
+        return self.kernel.layer
+
+    @property
+    def needs_network_input(self) -> bool:
+        """True when a collective must complete before this op computes."""
+        return self.kernel.collective_bytes > 0
+
+    @property
+    def uid(self) -> str:
+        """Unique slot-key prefix for this op."""
+        layer = "f" if self.layer is None else str(self.layer)
+        return f"L{layer}.{self.index}.{self.name}"
+
+
+def trace(workload: Workload) -> list[Op]:
+    """Trace one decode step of ``workload`` into an ordered op list."""
+    return [
+        Op(index=i, kernel=profile)
+        for i, profile in enumerate(decode_step_profile(workload))
+    ]

@@ -1,0 +1,239 @@
+"""Lowering: op graph -> three-stream RPU program.
+
+Each traced op becomes a micro-kernel following the paper's
+Loading / Looping / Launching structure:
+
+- *Loading*: the memory stream is cut into chunks (weight or KV tiles) so
+  the memory pipeline can run ahead of compute, bounded only by memory-
+  buffer capacity -- this chunking is what produces the decoupled
+  prefetch behaviour of Fig 8;
+- *Looping*: one compute instruction per chunk consumes the chunk plus
+  (for the first/last chunk) the network-delivered activations;
+- *Launching*: collectives for the op's input broadcast, attention
+  gathers, softmax reductions and group-shard reductions go to the
+  network stream.
+
+Activations stream through a bounded window of the network buffer (half
+its capacity) rather than accumulating: the simulator models window
+residency, matching the stripe streaming of Fig 7.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.arch.specs import CORES_PER_CU
+from repro.arch.system import RpuSystem
+from repro.compiler.graph import Op, trace
+from repro.compiler.sharding import plan_linear
+from repro.isa.instructions import Compute, MemLoad, NetCollective, ReadRef, SlotRef
+from repro.isa.program import CoreProgram, Program
+from repro.models.flops import KernelKind
+from repro.models.workload import Workload
+from repro.util.units import KIB
+
+#: Default memory-stream chunk (one DMA transaction).
+DEFAULT_CHUNK_BYTES = 256 * KIB
+
+#: Fraction of the network buffer an activation window may occupy.
+NET_WINDOW_FRACTION = 0.5
+
+
+def compile_decode_step(
+    workload: Workload,
+    system: RpuSystem,
+    *,
+    chunk_bytes: float = DEFAULT_CHUNK_BYTES,
+) -> Program:
+    """Compile one decode step of ``workload`` for ``system`` (SPMD)."""
+    if chunk_bytes <= 0:
+        raise ValueError("chunk_bytes must be positive")
+    ops = trace(workload)
+    lowerer = _Lowerer(workload, system, chunk_bytes)
+    for op in ops:
+        lowerer.lower(op)
+    program = Program(
+        core=lowerer.core,
+        num_cus=system.num_cus,
+        cores_per_cu=CORES_PER_CU,
+        label=str(workload),
+    )
+    return program
+
+
+class _Lowerer:
+    """Stateful single-pass lowering over the op graph."""
+
+    def __init__(self, workload: Workload, system: RpuSystem, chunk_bytes: float):
+        self.workload = workload
+        self.system = system
+        self.chunk_bytes = chunk_bytes
+        self.core = CoreProgram()
+        self.num_cores = system.num_cores
+        net_buffer = system.cu.core.spec.net_buffer_bytes
+        self.net_window_bytes = net_buffer * NET_WINDOW_FRACTION
+
+    # ------------------------------------------------------------------
+    def lower(self, op: Op) -> None:
+        if op.kind in (KernelKind.LINEAR, KernelKind.MOE):
+            self._lower_streaming(op, traffic="weights")
+        elif op.kind is KernelKind.SDPA:
+            self._lower_streaming(op, traffic="kv")
+        elif op.kind is KernelKind.VOPS:
+            self._lower_vops(op)
+        else:
+            raise ValueError(f"cannot lower op kind {op.kind}")
+
+    # ------------------------------------------------------------------
+    def _activation_slot(self, op: Op, participants: int) -> SlotRef | None:
+        """Emit the input collective (if any); return the slot compute waits on."""
+        if not op.needs_network_input:
+            return None
+        slot = SlotRef("net", f"{op.uid}.act")
+        payload = op.kernel.collective_bytes
+        local = min(payload, self.net_window_bytes)
+        self.core.net.append(
+            NetCollective(
+                dst=slot,
+                payload_bytes=payload,
+                local_bytes=local,
+                participants=participants,
+                op="broadcast",
+                valid_count=1,
+                kernel=op.name,
+            )
+        )
+        return slot
+
+    def _gqa_span(self) -> int:
+        """CUs sharing one KV head's cache (the attention gather scope)."""
+        kv_heads = self.workload.model.attention.num_kv_heads
+        return max(1, min(self.system.num_cus, self.system.num_cus // kv_heads or 1))
+
+    # ------------------------------------------------------------------
+    def _lower_streaming(self, op: Op, traffic: str) -> None:
+        """Weight- or KV-streaming kernel: chunked loads + chunked compute."""
+        kernel = op.kernel
+        if traffic == "weights":
+            stream_bytes = kernel.weight_bytes / self.num_cores
+            participants = self.system.num_cus
+        else:
+            stream_bytes = kernel.kv_bytes / self.num_cores
+            participants = self._gqa_span()
+
+        act_slot = self._activation_slot(op, participants)
+        if traffic == "kv" and act_slot is None:
+            # Attention consumes the gathered Q/head vectors.
+            act_slot = SlotRef("net", f"{op.uid}.q")
+            payload = self.workload.batch_size * (
+                self.workload.model.attention.q_dim * self.workload.act_dtype.nbytes
+            )
+            self.core.net.append(
+                NetCollective(
+                    dst=act_slot,
+                    payload_bytes=payload,
+                    local_bytes=min(payload, self.net_window_bytes),
+                    participants=participants,
+                    op="gather",
+                    valid_count=1,
+                    kernel=op.name,
+                )
+            )
+
+        num_chunks = max(1, math.ceil(stream_bytes / self.chunk_bytes))
+        chunk = stream_bytes / num_chunks
+        flops_per_chunk = kernel.flops / self.num_cores / num_chunks
+
+        for c in range(num_chunks):
+            slot = SlotRef("mem", f"{op.uid}.{traffic[0]}{c}")
+            self.core.mem.append(
+                MemLoad(
+                    dst=slot,
+                    nbytes=chunk,
+                    valid_count=1,
+                    kernel=op.name,
+                    traffic=traffic,
+                )
+            )
+            reads = [ReadRef(slot, consume=True)]
+            if act_slot is not None:
+                # Activations are reused across every chunk (stripe reuse);
+                # the window is released with the final chunk.
+                reads.append(ReadRef(act_slot, consume=(c == num_chunks - 1)))
+            self.core.comp.append(
+                Compute(
+                    reads=tuple(reads),
+                    flops=flops_per_chunk,
+                    engine="tmac",
+                    weight_bytes=chunk if traffic == "weights" else 0.0,
+                    out_bytes=kernel.act_bytes / self.num_cores / num_chunks,
+                    kernel=op.name,
+                )
+            )
+
+        if traffic == "weights":
+            self._maybe_group_reduction(op)
+
+    def _maybe_group_reduction(self, op: Op) -> None:
+        """Group-sharded linears reduce partial outputs over the network."""
+        model = self.workload.model
+        out_dim_estimate = max(
+            1, int(op.kernel.flops / (2 * self.workload.batch_size * model.hidden_size))
+        )
+        plan = plan_linear(model.hidden_size, out_dim_estimate, self.num_cores)
+        if not plan.needs_reduction:
+            return
+        groups_per_cu = max(1, plan.group_size // CORES_PER_CU)
+        payload = (
+            self.workload.batch_size * out_dim_estimate * 4.0  # FP32 partials
+        ) / max(plan.cores_per_group_dim, 1)
+        slot = SlotRef("net", f"{op.uid}.red")
+        self.core.net.append(
+            NetCollective(
+                dst=slot,
+                payload_bytes=payload,
+                local_bytes=min(payload, self.net_window_bytes),
+                participants=min(groups_per_cu, self.system.num_cus),
+                op="reduce",
+                valid_count=1,
+                kernel=op.name,
+            )
+        )
+        self.core.comp.append(
+            Compute(
+                reads=(ReadRef(slot, consume=True),),
+                flops=payload / 4.0,  # one add per partial element
+                engine="vops",
+                kernel=op.name,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def _lower_vops(self, op: Op) -> None:
+        """Vector op; softmax-style ops wait on a cross-CU reduction."""
+        kernel = op.kernel
+        reads: list[ReadRef] = []
+        if op.needs_network_input:
+            slot = SlotRef("net", f"{op.uid}.red")
+            payload = kernel.collective_bytes
+            self.core.net.append(
+                NetCollective(
+                    dst=slot,
+                    payload_bytes=payload,
+                    local_bytes=min(payload, self.net_window_bytes),
+                    participants=self._gqa_span(),
+                    op="reduce",
+                    valid_count=1,
+                    kernel=op.name,
+                )
+            )
+            reads.append(ReadRef(slot, consume=True))
+        self.core.comp.append(
+            Compute(
+                reads=tuple(reads),
+                flops=kernel.flops / self.num_cores,
+                engine="vops",
+                out_bytes=kernel.act_bytes / self.num_cores,
+                kernel=op.name,
+            )
+        )

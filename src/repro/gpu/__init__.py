@@ -1,0 +1,42 @@
+"""GPU baseline models: H100 / H200 (paper Sections II and VIII).
+
+The paper characterizes the H100 with NVML power measurements and isolated
+kernel profiling (Figs 2-3), then compares the RPU against H100/H200
+systems at ISO-TDP (Figs 11-13).  We have no GPU hardware here, so this
+package is a parametric model *fit to the paper's own characterization*:
+
+- :mod:`repro.gpu.specs` -- device datasheets (TDP, peak FLOPs, HBM);
+- :mod:`repro.gpu.efficiency` -- the empirical curves of Figs 2-3
+  (bandwidth utilization vs working-set size, power vs utilization);
+- :mod:`repro.gpu.kernels` -- isolated dense-kernel latency/power/energy
+  (regenerates Fig 3);
+- :mod:`repro.gpu.collectives` -- NVLink collective latency;
+- :mod:`repro.gpu.inference` -- end-to-end decode/prefill latency, power
+  and energy for tensor-parallel LLM inference (Figs 2, 11-13).
+"""
+
+from repro.gpu.specs import H100, H200, GpuSpec
+from repro.gpu.system import GpuSystem
+from repro.gpu.efficiency import bandwidth_utilization, gpu_power_w
+from repro.gpu.kernels import DenseKernelResult, profile_dense_kernel
+from repro.gpu.inference import (
+    GpuStepResult,
+    decode_step,
+    decode_bandwidth_utilization,
+    prefill_time_and_power,
+)
+
+__all__ = [
+    "H100",
+    "H200",
+    "DenseKernelResult",
+    "GpuSpec",
+    "GpuStepResult",
+    "GpuSystem",
+    "bandwidth_utilization",
+    "decode_bandwidth_utilization",
+    "decode_step",
+    "gpu_power_w",
+    "prefill_time_and_power",
+    "profile_dense_kernel",
+]

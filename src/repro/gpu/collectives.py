@@ -1,0 +1,39 @@
+"""NVLink collective latency model.
+
+Tensor-parallel decode issues two all-reduces per transformer layer (after
+the attention output projection and after the MLP down projection).  At
+decode-sized payloads (a few KB per device) these are latency-bound:
+NCCL-style ring all-reduce costs a few microseconds of launch/sync plus a
+per-hop payload term.  The paper's Challenge 3 calls these out as being of
+similar magnitude to the kernels themselves.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.util.units import GB, US
+
+#: Effective per-direction NVLink bandwidth per GPU.
+NVLINK_BANDWIDTH_BYTES_PER_S = 450 * GB
+
+#: Fixed launch + synchronization latency of a collective.
+COLLECTIVE_BASE_S = 2.5 * US
+
+#: Additional latency per participating device (ring hops).
+COLLECTIVE_PER_DEVICE_S = 0.7 * US
+
+
+def allreduce_latency_s(payload_bytes: float, num_devices: int) -> float:
+    """Latency of one all-reduce of ``payload_bytes`` across the system."""
+    if payload_bytes < 0:
+        raise ValueError("payload_bytes must be non-negative")
+    if num_devices < 1:
+        raise ValueError("num_devices must be >= 1")
+    if num_devices == 1:
+        return 0.0
+    # Ring all-reduce: 2(N-1)/N payload crossings, pipelined.
+    transfer = 2.0 * (num_devices - 1) / num_devices * (
+        payload_bytes / NVLINK_BANDWIDTH_BYTES_PER_S
+    )
+    return COLLECTIVE_BASE_S + COLLECTIVE_PER_DEVICE_S * num_devices + transfer

@@ -1,0 +1,72 @@
+"""Empirical H100 efficiency curves, fit to the paper's characterization.
+
+Two effects dominate low-batch GPU inference (paper Section II):
+
+1. **Bandwidth utilization depends on working-set size** (Fig 2, right):
+   full bandwidth needs ~1 GB working sets; typical sharded LLM matrices
+   (tens of MB) reach only 20-60%.  We fit a Hill curve through the
+   paper's isolated-VMM measurements.
+
+2. **Power tracks utilization, not occupancy** (Figs 2-3): prefill hits
+   ~90% TDP at 70% compute utilization, while decode idles near a third
+   of TDP.  We fit a two-term linear power model through the paper's two
+   measured operating points (prefill 634 W, decode 240 W).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.gpu.specs import GpuSpec
+
+#: Hill-curve parameters for bandwidth utilization vs working set (bytes):
+#: util = MAX * sqrt(ws/K) / (1 + sqrt(ws/K)).  Fit: ~5% at 100 KB,
+#: ~38% at 10 MB, ~81% at 1 GB -- the Fig 2 (right) shape.
+BW_UTIL_MAX = 0.92
+BW_UTIL_HALF_BYTES = 2e7
+BW_UTIL_EXPONENT = 0.5
+
+#: Distributed inference reaches lower utilization than isolated kernels
+#: (interleaving, scheduling, cache interference): the paper measures 32%
+#: system-wide decode BW utilization where isolated kernels reach ~50-60%.
+DISTRIBUTED_EFFICIENCY = 0.62
+
+#: Power model coefficients (watts at full utilization of each engine),
+#: fit through the paper's measured prefill/decode operating points.
+POWER_COMPUTE_W = 587.0
+POWER_MEMORY_W = 377.0
+
+
+def bandwidth_utilization(working_set_bytes: float, *, distributed: bool = False) -> float:
+    """Fraction of peak HBM bandwidth a kernel streaming
+    ``working_set_bytes`` achieves (Fig 2, right)."""
+    if working_set_bytes < 0:
+        raise ValueError("working_set_bytes must be non-negative")
+    if working_set_bytes == 0:
+        return 0.0
+    ratio = (working_set_bytes / BW_UTIL_HALF_BYTES) ** BW_UTIL_EXPONENT
+    utilization = BW_UTIL_MAX * ratio / (1.0 + ratio)
+    if distributed:
+        utilization *= DISTRIBUTED_EFFICIENCY
+    return utilization
+
+
+def compute_utilization(batch_tokens: float) -> float:
+    """Fraction of peak tensor-core FLOPs achievable at a given number of
+    tokens per kernel (GEMM M-dimension).
+
+    Tensor cores need large M to fill their tiles: one token uses a single
+    row of a 64-wide MMA tile.  Saturates around M ~ 512.
+    """
+    if batch_tokens <= 0:
+        return 0.0
+    return min(1.0, 0.35 + 0.65 * batch_tokens / 512.0) if batch_tokens >= 1 else 0.0
+
+
+def gpu_power_w(spec: GpuSpec, comp_util: float, mem_util: float) -> float:
+    """Device power at the given engine utilizations, capped at TDP."""
+    for name, value in (("comp_util", comp_util), ("mem_util", mem_util)):
+        if not 0.0 <= value <= 1.0:
+            raise ValueError(f"{name} must be in [0, 1], got {value}")
+    power = spec.idle_w + POWER_COMPUTE_W * comp_util + POWER_MEMORY_W * mem_util
+    return min(power, spec.tdp_w)

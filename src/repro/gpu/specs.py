@@ -1,0 +1,62 @@
+"""GPU device specifications (datasheet values)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.units import GB, TB, US
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """One GPU device as the performance model sees it."""
+
+    name: str
+    tdp_w: float
+    idle_w: float
+    #: Dense BF16 tensor-core throughput (FLOP/s).  4-bit weight kernels
+    #: (MARLIN-style) dequantize to BF16, so they run at this rate too.
+    peak_bf16_flops: float
+    #: Dense FP8 throughput.
+    peak_fp8_flops: float
+    mem_bandwidth_bytes_per_s: float
+    mem_capacity_bytes: float
+    #: Per-kernel launch + scheduling overhead during decode
+    #: (non-negligible for the small kernels of low-batch inference).
+    kernel_launch_s: float
+    #: HBM access energy (pJ/bit), used in the energy accounting.
+    hbm_pj_per_bit: float
+
+    def peak_flops(self, dtype_label: str) -> float:
+        """Peak throughput for a compute dtype ('bf16' or 'fp8')."""
+        if dtype_label in ("bf16", "fp16", "mxfp4", "mxfp6", "mxfp8", "nxfp4", "bfp4"):
+            # Block-quantized weights are dequantized and computed in BF16.
+            return self.peak_bf16_flops
+        if dtype_label == "fp8":
+            return self.peak_fp8_flops
+        raise KeyError(f"no peak-FLOPs entry for dtype {dtype_label!r}")
+
+
+H100 = GpuSpec(
+    name="H100-SXM",
+    tdp_w=700.0,
+    idle_w=90.0,
+    peak_bf16_flops=989e12,
+    peak_fp8_flops=1979e12,
+    mem_bandwidth_bytes_per_s=3.35 * TB,
+    mem_capacity_bytes=80 * GB,
+    kernel_launch_s=4 * US,
+    hbm_pj_per_bit=3.44,  # HBM3e-class, paper Section III
+)
+
+H200 = GpuSpec(
+    name="H200-SXM",
+    tdp_w=700.0,
+    idle_w=90.0,
+    peak_bf16_flops=989e12,
+    peak_fp8_flops=1979e12,
+    mem_bandwidth_bytes_per_s=4.8 * TB,
+    mem_capacity_bytes=141 * GB,
+    kernel_launch_s=4 * US,
+    hbm_pj_per_bit=3.44,
+)

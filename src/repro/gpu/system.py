@@ -1,0 +1,42 @@
+"""A tensor-parallel GPU system (N devices over NVLink)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.specs import H100, GpuSpec
+
+
+@dataclass(frozen=True)
+class GpuSystem:
+    """``count`` GPUs running one model with full tensor parallelism."""
+
+    spec: GpuSpec = H100
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError(f"count must be >= 1, got {self.count}")
+
+    @property
+    def name(self) -> str:
+        return f"{self.count}x{self.spec.name}"
+
+    @property
+    def tdp_w(self) -> float:
+        return self.spec.tdp_w * self.count
+
+    @property
+    def mem_bandwidth_bytes_per_s(self) -> float:
+        return self.spec.mem_bandwidth_bytes_per_s * self.count
+
+    @property
+    def mem_capacity_bytes(self) -> float:
+        return self.spec.mem_capacity_bytes * self.count
+
+    @property
+    def peak_bf16_flops(self) -> float:
+        return self.spec.peak_bf16_flops * self.count
+
+    def fits(self, required_bytes: float) -> bool:
+        return self.mem_capacity_bytes >= required_bytes

@@ -1,0 +1,34 @@
+"""RPU ISA (paper Section VI).
+
+CISC-style long-running instructions: each specifies operand buffer slots,
+transfer sizes and synchronization (valid counts / check-valid flags);
+the hardware executes a fixed streaming schedule.  Three instruction
+streams per core -- memory, compute, network -- advance independently,
+synchronized only through buffer-entry valid counters.
+"""
+
+from repro.isa.instructions import (
+    Compute,
+    Instruction,
+    MemLoad,
+    NetCollective,
+    NetForward,
+    ReadRef,
+    SlotRef,
+)
+from repro.isa.program import CoreProgram, Program
+from repro.isa.encoding import decode_program, encode_program
+
+__all__ = [
+    "Compute",
+    "CoreProgram",
+    "Instruction",
+    "MemLoad",
+    "NetCollective",
+    "NetForward",
+    "Program",
+    "ReadRef",
+    "SlotRef",
+    "decode_program",
+    "encode_program",
+]

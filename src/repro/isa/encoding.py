@@ -1,0 +1,186 @@
+"""Binary instruction encoding.
+
+Fixed 32-byte instruction words with a string table for slot keys and
+kernel labels, mirroring how the hardware's CISC instructions pack operand
+addresses, tensor dimensions and arbiter flags.  Exists so the toolchain
+is complete end-to-end (compile -> encode -> decode -> simulate) and is
+exercised by round-trip tests.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.isa.instructions import (
+    Compute,
+    MemLoad,
+    NetCollective,
+    NetForward,
+    ReadRef,
+    SlotRef,
+)
+from repro.isa.program import CoreProgram
+
+_OPCODES = {"memload": 1, "collective": 2, "forward": 3, "compute": 4}
+_BUFFERS = {"mem": 0, "net": 1, "acc": 2}
+_BUFFERS_INV = {v: k for k, v in _BUFFERS.items()}
+_COLLECTIVES = {"broadcast": 0, "reduce": 1, "gather": 2}
+_COLLECTIVES_INV = {v: k for k, v in _COLLECTIVES.items()}
+_ENGINES = {"tmac": 0, "vops": 1}
+_ENGINES_INV = {v: k for k, v in _ENGINES.items()}
+
+_WORD = struct.Struct("<BBHIddd")  # opcode, flags, a, b, x, y, z
+_HEADER = struct.Struct("<III")  # mem count, comp count, net count
+
+
+class _StringTable:
+    def __init__(self):
+        self.strings: list[str] = []
+        self._index: dict[str, int] = {}
+
+    def intern(self, value: str) -> int:
+        if value not in self._index:
+            self._index[value] = len(self.strings)
+            self.strings.append(value)
+        return self._index[value]
+
+    def encode(self) -> bytes:
+        blob = "\x00".join(self.strings).encode("utf-8")
+        return struct.pack("<I", len(blob)) + blob
+
+    @classmethod
+    def decode(cls, data: bytes, offset: int) -> tuple[list[str], int]:
+        (length,) = struct.unpack_from("<I", data, offset)
+        offset += 4
+        blob = data[offset : offset + length].decode("utf-8")
+        strings = blob.split("\x00") if blob else []
+        return strings, offset + length
+
+
+def encode_program(program: CoreProgram) -> bytes:
+    """Serialize a core program to bytes."""
+    table = _StringTable()
+    words: list[bytes] = []
+
+    def emit(
+        opcode: str, flags: int, a: int, b: int, x: float, y: float, z: float
+    ) -> None:
+        words.append(_WORD.pack(_OPCODES[opcode], flags, a, b, x, y, float(z)))
+
+    for instr in program.mem:
+        emit(
+            "memload",
+            _BUFFERS[instr.dst.buffer] | (0x10 if instr.traffic == "kv" else 0),
+            table.intern(instr.dst.key),
+            instr.valid_count,
+            instr.nbytes,
+            0.0,
+            table.intern(instr.kernel),
+        )
+    for instr in program.comp:
+        # Compute carries a variable read list; encode it as extra words.
+        emit(
+            "compute",
+            _ENGINES[instr.engine] | (len(instr.reads) << 4),
+            table.intern(instr.kernel),
+            0,
+            instr.flops,
+            instr.weight_bytes,
+            instr.out_bytes,
+        )
+        for read in instr.reads:
+            words.append(
+                _WORD.pack(
+                    0,
+                    _BUFFERS[read.slot.buffer] | (0x10 if read.consume else 0),
+                    table.intern(read.slot.key),
+                    0,
+                    0.0,
+                    0.0,
+                    0.0,
+                )
+            )
+    for instr in program.net:
+        if isinstance(instr, NetCollective):
+            emit(
+                "collective",
+                _BUFFERS[instr.dst.buffer] | (_COLLECTIVES[instr.op] << 4),
+                table.intern(instr.dst.key),
+                (instr.participants << 8) | instr.valid_count,
+                instr.payload_bytes,
+                instr.local_bytes,
+                table.intern(instr.kernel),
+            )
+        else:
+            emit("forward", 0, 0, 0, instr.nbytes, 0.0, table.intern(instr.kernel))
+
+    header = _HEADER.pack(len(program.mem), len(program.comp), len(program.net))
+    return header + table.encode() + b"".join(words)
+
+
+def decode_program(data: bytes) -> CoreProgram:
+    """Inverse of :func:`encode_program`."""
+    mem_count, comp_count, net_count = _HEADER.unpack_from(data, 0)
+    strings, offset = _StringTable.decode(data, _HEADER.size)
+
+    words: list[tuple] = []
+    while offset < len(data):
+        words.append(_WORD.unpack_from(data, offset))
+        offset += _WORD.size
+
+    program = CoreProgram()
+    index = 0
+    for _ in range(mem_count):
+        _, flags, a, b, x, _, z = words[index]
+        index += 1
+        program.mem.append(
+            MemLoad(
+                dst=SlotRef(_BUFFERS_INV[flags & 0x0F], strings[a]),
+                nbytes=x,
+                valid_count=b,
+                kernel=strings[int(z)],
+                traffic="kv" if flags & 0x10 else "weights",
+            )
+        )
+    for _ in range(comp_count):
+        _, flags, a, _, x, y, z = words[index]
+        index += 1
+        num_reads = flags >> 4
+        reads = []
+        for _ in range(num_reads):
+            _, rflags, ra, _, _, _, _ = words[index]
+            index += 1
+            reads.append(
+                ReadRef(
+                    slot=SlotRef(_BUFFERS_INV[rflags & 0x0F], strings[ra]),
+                    consume=bool(rflags & 0x10),
+                )
+            )
+        program.comp.append(
+            Compute(
+                reads=tuple(reads),
+                flops=x,
+                engine=_ENGINES_INV[flags & 0x0F],
+                weight_bytes=y,
+                out_bytes=z,
+                kernel=strings[a],
+            )
+        )
+    for _ in range(net_count):
+        opcode, flags, a, b, x, y, z = words[index]
+        index += 1
+        if opcode == _OPCODES["collective"]:
+            program.net.append(
+                NetCollective(
+                    dst=SlotRef(_BUFFERS_INV[flags & 0x0F], strings[a]),
+                    payload_bytes=x,
+                    local_bytes=y,
+                    participants=b >> 8,
+                    op=_COLLECTIVES_INV[flags >> 4],
+                    valid_count=b & 0xFF,
+                    kernel=strings[int(z)],
+                )
+            )
+        else:
+            program.net.append(NetForward(nbytes=x, kernel=strings[int(z)]))
+    return program

@@ -1,0 +1,117 @@
+"""Instruction definitions.
+
+Synchronization follows the paper's pipeline-arbiter protocol: writes
+carry a ``valid_count`` (how many consumers will read the entry before its
+bytes are released); reads name the slot they block on and whether they
+decrement the counter (``consume``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class SlotRef:
+    """A buffer entry: which per-core buffer, and the entry key."""
+
+    buffer: str  # "mem" | "net" | "acc"
+    key: str
+
+    def __post_init__(self) -> None:
+        if self.buffer not in ("mem", "net", "acc"):
+            raise ValueError(f"unknown buffer {self.buffer!r}")
+
+
+@dataclass(frozen=True)
+class ReadRef:
+    """A blocking read of a slot; ``consume`` decrements the valid count."""
+
+    slot: SlotRef
+    consume: bool = True
+
+
+@dataclass(frozen=True)
+class MemLoad:
+    """Memory DMA: stream ``nbytes`` from the core's HBM-CO pseudo-channel
+    into the memory buffer entry ``dst``."""
+
+    dst: SlotRef
+    nbytes: float
+    valid_count: int = 1
+    kernel: str = ""
+    traffic: str = "weights"  # "weights" | "kv"
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if self.valid_count < 1:
+            raise ValueError("valid_count must be >= 1")
+
+
+@dataclass(frozen=True)
+class NetCollective:
+    """Network DMA: participate in a ring collective; the received payload
+    lands in ``dst`` when the collective completes.
+
+    ``payload_bytes`` is the full collective payload (e.g. the whole
+    activation vector being broadcast); ``local_bytes`` is what lands in
+    this core's network buffer.
+    """
+
+    dst: SlotRef
+    payload_bytes: float
+    local_bytes: float
+    participants: int
+    op: str = "broadcast"  # "broadcast" | "reduce" | "gather"
+    valid_count: int = 1
+    kernel: str = ""
+
+    def __post_init__(self) -> None:
+        if self.op not in ("broadcast", "reduce", "gather"):
+            raise ValueError(f"unknown collective op {self.op!r}")
+        if self.payload_bytes < 0 or self.local_bytes < 0:
+            raise ValueError("payload sizes must be non-negative")
+        if self.participants < 1:
+            raise ValueError("participants must be >= 1")
+
+
+@dataclass(frozen=True)
+class NetForward:
+    """Network DMA: forward ``nbytes`` to the neighbouring core/CU
+    (fire-and-forget injection into the ring)."""
+
+    nbytes: float
+    kernel: str = ""
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+
+
+@dataclass(frozen=True)
+class Compute:
+    """Compute pipeline: a VMM/vector micro-kernel.
+
+    Blocks until every ``reads`` slot is valid, then occupies the engine
+    for the time its ``flops`` take (TMACs for VMM, HP-VOPs for vector
+    work).  ``weight_bytes`` is the compressed weight stream pulled
+    through the stream decoder (for energy and decoder-rate accounting).
+    """
+
+    reads: tuple[ReadRef, ...]
+    flops: float
+    engine: str = "tmac"  # "tmac" | "vops"
+    weight_bytes: float = 0.0
+    out_bytes: float = 0.0
+    kernel: str = ""
+
+    def __post_init__(self) -> None:
+        if self.engine not in ("tmac", "vops"):
+            raise ValueError(f"unknown compute engine {self.engine!r}")
+        if self.flops < 0 or self.weight_bytes < 0 or self.out_bytes < 0:
+            raise ValueError("flops/bytes must be non-negative")
+
+
+#: Any ISA instruction.
+Instruction = MemLoad | NetCollective | NetForward | Compute

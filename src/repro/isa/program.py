@@ -1,0 +1,85 @@
+"""Programs: per-core instruction streams.
+
+Column-sharded tensor parallelism makes every core's program identical up
+to shard indices (SPMD), so a :class:`Program` stores one
+:class:`CoreProgram` plus the system geometry it was compiled for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.instructions import Compute, Instruction, MemLoad, NetCollective, NetForward
+
+
+@dataclass
+class CoreProgram:
+    """The three decoupled instruction streams of one reasoning core."""
+
+    mem: list[MemLoad] = field(default_factory=list)
+    comp: list[Compute] = field(default_factory=list)
+    net: list[NetCollective | NetForward] = field(default_factory=list)
+
+    @property
+    def num_instructions(self) -> int:
+        return len(self.mem) + len(self.comp) + len(self.net)
+
+    def kernels(self) -> list[str]:
+        """Distinct kernel labels in compute-stream order."""
+        seen: list[str] = []
+        for instr in self.comp:
+            if instr.kernel and (not seen or seen[-1] != instr.kernel):
+                seen.append(instr.kernel)
+        return seen
+
+
+@dataclass
+class Program:
+    """A compiled decode step for a full RPU system."""
+
+    core: CoreProgram
+    num_cus: int
+    cores_per_cu: int
+    label: str = ""
+
+    @property
+    def num_cores(self) -> int:
+        return self.num_cus * self.cores_per_cu
+
+    def validate(self) -> None:
+        """Static checks the compiler guarantees; used by tests.
+
+        Every slot consumed by the compute stream must be produced by
+        exactly one memory or network instruction, and the total number of
+        consuming reads of a slot must equal its valid count.
+        """
+        produced: dict[tuple[str, str], int] = {}
+        for instr in self.core.mem:
+            key = (instr.dst.buffer, instr.dst.key)
+            if key in produced:
+                raise ValueError(f"slot {key} written twice")
+            produced[key] = instr.valid_count
+        for instr in self.core.net:
+            if isinstance(instr, NetCollective):
+                key = (instr.dst.buffer, instr.dst.key)
+                if key in produced:
+                    raise ValueError(f"slot {key} written twice")
+                produced[key] = instr.valid_count
+
+        consumed: dict[tuple[str, str], int] = {}
+        for instr in self.core.comp:
+            for read in instr.reads:
+                key = (read.slot.buffer, read.slot.key)
+                if key not in produced:
+                    raise ValueError(f"compute reads unproduced slot {key}")
+                if read.consume:
+                    consumed[key] = consumed.get(key, 0) + 1
+        for key, count in consumed.items():
+            if count != produced[key]:
+                raise ValueError(
+                    f"slot {key}: {count} consuming reads != valid count "
+                    f"{produced[key]}"
+                )
+        leaked = [k for k, v in produced.items() if k not in consumed]
+        if leaked:
+            raise ValueError(f"slots never consumed (buffer leak): {leaked[:5]}")

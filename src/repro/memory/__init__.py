@@ -1,0 +1,57 @@
+"""HBM-CO: Capacity-Optimized High-Bandwidth Memory (paper Section III).
+
+This package implements the paper's analytical memory model:
+
+- :mod:`repro.memory.hbmco` -- the parametric stacked-DRAM device
+  (ranks, layers, channels/layer, banks/group, sub-array scale) with its
+  bandwidth/capacity arithmetic;
+- :mod:`repro.memory.floorplan` -- the core-die floorplan that drives
+  wire-length (and therefore data-movement energy) scaling;
+- :mod:`repro.memory.energy` -- energy-per-bit broken into row activation,
+  in-die data movement, TSV traversal and IO interface components;
+- :mod:`repro.memory.cost` -- module cost normalized against HBM3e;
+- :mod:`repro.memory.design_space` -- exhaustive enumeration + Pareto
+  frontier (Figs 5 and 9);
+- :mod:`repro.memory.landscape` -- the memory-technology landscape of Fig 4;
+- :mod:`repro.memory.sku` -- SKU selection for a capacity requirement
+  (Figs 9 and 10).
+"""
+
+from repro.memory.hbmco import (
+    HBM3E,
+    HbmCoConfig,
+    candidate_hbmco,
+    hbm3e_like_sku,
+)
+from repro.memory.energy import EnergyBreakdown, energy_per_bit
+from repro.memory.cost import module_cost, cost_per_gb
+from repro.memory.design_space import (
+    DesignPoint,
+    design_point,
+    enumerate_design_space,
+    enumerate_rpu_skus,
+    pareto_points,
+    sku_family,
+)
+from repro.memory.landscape import MEMORY_TECHNOLOGIES, MemoryTechnology
+from repro.memory.sku import select_sku
+
+__all__ = [
+    "HBM3E",
+    "MEMORY_TECHNOLOGIES",
+    "DesignPoint",
+    "EnergyBreakdown",
+    "HbmCoConfig",
+    "MemoryTechnology",
+    "candidate_hbmco",
+    "cost_per_gb",
+    "design_point",
+    "energy_per_bit",
+    "enumerate_design_space",
+    "enumerate_rpu_skus",
+    "hbm3e_like_sku",
+    "module_cost",
+    "pareto_points",
+    "select_sku",
+    "sku_family",
+]

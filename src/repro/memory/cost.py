@@ -1,0 +1,57 @@
+"""HBM-CO cost model, normalized against HBM3e (paper Section III).
+
+Cost scales with capacity-bearing silicon (the DRAM array region across all
+layers) plus a fixed per-module component covering base-die logic, the TSV
+footprint and assembly, which do not amortize at low capacities -- this is
+why cost *per GB* rises as capacity shrinks even as *module* cost falls.
+
+Calibration anchors (paper):
+
+- candidate HBM-CO (768 MiB) costs ~1.81x more per GB than HBM3e,
+- but ~35x less per module,
+- yielding ~5-7x more bandwidth per dollar.
+"""
+
+from __future__ import annotations
+
+from repro.memory import floorplan
+from repro.memory.hbmco import HBM3E, HbmCoConfig
+from repro.util.units import GIB
+
+#: Fixed module cost expressed in mm^2-equivalents of array silicon
+#: (base-die logic + TSV field + assembly).  Calibrated so the candidate
+#: HBM-CO lands on the paper's 1.81x cost/GB anchor.
+FIXED_COST_MM2_EQUIV = 15.3
+
+#: Total cost of the HBM3e baseline module in arbitrary units; every cost
+#: this module reports is normalized so HBM3E == 1.0.
+_HBM3E_RAW_COST = (
+    floorplan.array_area_mm2(HBM3E) * HBM3E.stack_height + FIXED_COST_MM2_EQUIV
+)
+
+
+def module_cost(config: HbmCoConfig) -> float:
+    """Module cost, normalized to the HBM3e baseline module (== 1.0)."""
+    raw = (
+        floorplan.array_area_mm2(config) * config.stack_height
+        + FIXED_COST_MM2_EQUIV
+    )
+    return raw / _HBM3E_RAW_COST
+
+
+def cost_per_gb(config: HbmCoConfig) -> float:
+    """Cost per GiB, normalized so HBM3e == 1.0 per GiB."""
+    per_gib = module_cost(config) / (config.capacity_bytes / GIB)
+    hbm3e_per_gib = 1.0 / (HBM3E.capacity_bytes / GIB)
+    return per_gib / hbm3e_per_gib
+
+
+def bandwidth_per_cost(config: HbmCoConfig) -> float:
+    """Bandwidth per unit cost, normalized so HBM3e == 1.0.
+
+    The paper's headline: trading capacity for cost yields ~5-7x more
+    bandwidth per dollar for the candidate HBM-CO.
+    """
+    own = config.bandwidth_bytes_per_s / module_cost(config)
+    base = HBM3E.bandwidth_bytes_per_s / 1.0
+    return own / base

@@ -1,0 +1,153 @@
+"""HBM-CO design-space enumeration and Pareto analysis (Figs 5 and 9).
+
+A :class:`DesignPoint` bundles a stack configuration with its derived
+metrics (capacity, bandwidth, BW/Cap, energy/bit, module cost, cost/GB).
+Two enumerations are provided:
+
+- :func:`enumerate_design_space` -- the full sweep of Fig 5 (all ranks,
+  channels/layer, banks/group and sub-array scales);
+- :func:`enumerate_rpu_skus` -- the RPU chiplet family: one channel per
+  layer (fixing the 256 GiB/s, 8-pseudo-channel shoreline every compute
+  unit expects) with capacity structures swept.  These are the SKUs of
+  Figs 9 and 10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.memory import cost as cost_model
+from repro.memory.energy import EnergyBreakdown, energy_per_bit
+from repro.memory.hbmco import (
+    BANKS_PER_GROUP_CHOICES,
+    CHANNELS_PER_LAYER_CHOICES,
+    RANK_CHOICES,
+    SUBARRAY_SCALE_CHOICES,
+    HbmCoConfig,
+)
+from repro.util.pareto import pareto_front
+from repro.util.units import GIB
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One HBM-CO configuration with all derived metrics."""
+
+    config: HbmCoConfig
+    capacity_bytes: float
+    bandwidth_bytes_per_s: float
+    bw_per_cap: float
+    energy: EnergyBreakdown
+    module_cost: float
+    cost_per_gb: float
+
+    @property
+    def energy_pj_per_bit(self) -> float:
+        return self.energy.total
+
+    @property
+    def capacity_gib(self) -> float:
+        return self.capacity_bytes / GIB
+
+    def __str__(self) -> str:
+        return (
+            f"{self.config.label()}: {self.capacity_gib:.3g} GiB, "
+            f"{self.bandwidth_bytes_per_s / GIB:.0f} GiB/s, "
+            f"BW/Cap={self.bw_per_cap:.0f}/s, "
+            f"{self.energy_pj_per_bit:.2f} pJ/b, cost {self.module_cost:.3f}x"
+        )
+
+
+def design_point(config: HbmCoConfig) -> DesignPoint:
+    """Evaluate all derived metrics for ``config``."""
+    return DesignPoint(
+        config=config,
+        capacity_bytes=config.capacity_bytes,
+        bandwidth_bytes_per_s=config.bandwidth_bytes_per_s,
+        bw_per_cap=config.bw_per_cap,
+        energy=energy_per_bit(config),
+        module_cost=cost_model.module_cost(config),
+        cost_per_gb=cost_model.cost_per_gb(config),
+    )
+
+
+def enumerate_design_space() -> list[DesignPoint]:
+    """The full HBM-CO sweep of Fig 5 (144 configurations)."""
+    points = []
+    for ranks in RANK_CHOICES:
+        for channels in CHANNELS_PER_LAYER_CHOICES:
+            for banks in BANKS_PER_GROUP_CHOICES:
+                for subarray in SUBARRAY_SCALE_CHOICES:
+                    config = HbmCoConfig(
+                        ranks=ranks,
+                        channels_per_layer=channels,
+                        banks_per_group=banks,
+                        subarray_scale=subarray,
+                    )
+                    points.append(design_point(config))
+    return points
+
+
+def enumerate_rpu_skus() -> list[DesignPoint]:
+    """The RPU memory-chiplet family: 1 channel/layer, capacity swept.
+
+    Every SKU delivers 256 GiB/s over 8 pseudo-channels (one per reasoning
+    core), with capacities from 384 MiB (BW/Cap ~683) to 12 GiB
+    (the 'HBM3e config' of Fig 9, 1.5 GiB per core).
+    """
+    points = []
+    for ranks in RANK_CHOICES:
+        for banks in BANKS_PER_GROUP_CHOICES:
+            for subarray in SUBARRAY_SCALE_CHOICES:
+                config = HbmCoConfig(
+                    ranks=ranks,
+                    channels_per_layer=1,
+                    banks_per_group=banks,
+                    subarray_scale=subarray,
+                )
+                points.append(design_point(config))
+    return points
+
+
+def sku_family(points: list[DesignPoint] | None = None) -> list[DesignPoint]:
+    """The useful memory-chiplet family: min-energy config per capacity.
+
+    For every distinct capacity in the RPU SKU space, keep only the
+    lowest-energy configuration.  This is the set Fig 9 plots ("non-optimal
+    points are omitted for clarity") and the catalogue Fig 10 selects from.
+    """
+    if points is None:
+        points = enumerate_rpu_skus()
+    best: dict[float, DesignPoint] = {}
+    for point in points:
+        key = round(point.capacity_bytes)
+        incumbent = best.get(key)
+        if incumbent is None or point.energy_pj_per_bit < incumbent.energy_pj_per_bit:
+            best[key] = point
+    return sorted(best.values(), key=lambda p: p.capacity_bytes)
+
+
+def pareto_points(
+    points: list[DesignPoint] | None = None,
+    *,
+    objectives: str = "energy-capacity",
+) -> list[DesignPoint]:
+    """Pareto-optimal subset of ``points`` (RPU SKUs by default).
+
+    ``objectives`` selects the tradeoff:
+
+    - ``"energy-capacity"`` (Fig 9): minimize energy/bit and *maximize*
+      capacity -- the useful chiplet family trades energy against how much
+      model each stack can hold;
+    - ``"energy-cost"`` (Fig 5): minimize energy/bit and module cost.
+    """
+    if points is None:
+        points = enumerate_rpu_skus()
+    if objectives == "energy-capacity":
+        key = lambda p: (p.energy_pj_per_bit, -p.capacity_bytes)
+    elif objectives == "energy-cost":
+        key = lambda p: (p.energy_pj_per_bit, p.module_cost)
+    else:
+        raise ValueError(f"unknown objectives {objectives!r}")
+    front = pareto_front(points, key)
+    return sorted(front, key=lambda p: p.capacity_bytes)

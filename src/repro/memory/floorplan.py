@@ -1,0 +1,55 @@
+"""HBM core-die floorplan model driving wire-length scaling.
+
+The paper estimates in-die data-movement energy from routing distances
+derived from published HBM core-die floorplans (ISSCC'23/24 HBM3/3e parts).
+We reproduce that with a two-component distance model:
+
+- a *fixed* component for the unscaled periphery (TSV field, command and
+  peripheral logic occupy roughly one third of the die and do not shrink
+  with capacity), and
+- an *array* component that shrinks with the square root of the DRAM array
+  area (halving array area shortens average Manhattan routes by sqrt(2)).
+
+The two constants are calibrated so that the model lands exactly on the
+paper's two anchors: HBM3e at 3.44 pJ/bit total and the candidate HBM-CO at
+1.45 pJ/bit (see :mod:`repro.memory.energy`).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.memory.hbmco import HbmCoConfig
+
+#: Full HBM3-class core-die area (mm^2), from published floorplans (~11x10mm).
+FULL_DIE_AREA_MM2 = 110.0
+
+#: Fraction of the die occupied by the DRAM array region (rest is TSV field,
+#: command and peripheral logic, which do not scale with capacity).
+ARRAY_FRACTION = 2.0 / 3.0
+
+#: Average routing distance contributed by the unscaled periphery (mm).
+FIXED_ROUTE_MM = 1.783
+
+#: Average routing distance across the full-size DRAM array (mm).
+ARRAY_ROUTE_MM = 7.347
+
+
+def array_area_mm2(config: HbmCoConfig) -> float:
+    """DRAM array area of one layer (mm^2)."""
+    return FULL_DIE_AREA_MM2 * ARRAY_FRACTION * config.array_scale
+
+
+def periphery_area_mm2() -> float:
+    """Unscaled periphery area of one layer (mm^2)."""
+    return FULL_DIE_AREA_MM2 * (1.0 - ARRAY_FRACTION)
+
+
+def die_area_mm2(config: HbmCoConfig) -> float:
+    """Total core-die area of one layer (mm^2)."""
+    return array_area_mm2(config) + periphery_area_mm2()
+
+
+def average_route_mm(config: HbmCoConfig) -> float:
+    """Average in-die routing distance from a DRAM cell to the TSV field."""
+    return FIXED_ROUTE_MM + ARRAY_ROUTE_MM * math.sqrt(config.array_scale)

@@ -1,0 +1,207 @@
+"""Parametric HBM-CO stack model (paper Section III).
+
+The paper's key insight: HBM reaches peak bandwidth per shoreline with just
+one active bank per bank group per pseudo-channel, so the capacity-bearing
+structures -- ranks, banks per group, and sub-arrays per bank -- can be
+parameterized without changing bandwidth.  Only the number of channels per
+layer changes bandwidth (each channel carries two pseudo-channels).
+
+Conventions (following the paper's own arithmetic):
+
+- Capacities and bandwidths use binary units: the baseline HBM3e stack is
+  48 GiB at 1280 GiB/s, which yields the paper's BW/Cap of ~27/s, and the
+  candidate HBM-CO (1 rank, 1 channel/layer, 1 bank/group, 1.0x sub-array)
+  is 768 MiB at 256 GiB/s -> BW/Cap ~341/s.
+- HBM-CO variants conservatively run channels at HBM3 data rate
+  (1024 GiB/s for a fully-channeled stack); the HBM3e baseline device runs
+  at HBM3e rate (1280 GiB/s).  This matches the paper's "we conservatively
+  model HBM-CO with HBM3 timing".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.util.units import GIB
+
+#: Layers (DRAM dies) per rank is fixed by the HBM architecture.
+LAYERS_PER_RANK = 4
+
+#: Channels per layer in a full HBM stack.
+FULL_CHANNELS_PER_LAYER = 4
+
+#: Pseudo-channels per channel.
+PSEUDO_CHANNELS_PER_CHANNEL = 2
+
+#: Bank groups per pseudo-channel (fixed; only banks *per group* scale).
+BANK_GROUPS_PER_PSEUDO_CHANNEL = 4
+
+#: Banks per bank group in a full HBM stack.
+FULL_BANKS_PER_GROUP = 4
+
+#: Baseline (HBM3e-class, 16-high) stack capacity.
+BASE_STACK_CAPACITY_BYTES = 48 * GIB
+
+#: Full-stack bandwidth at HBM3 timing (what HBM-CO channels run at).
+HBM3_FULL_BANDWIDTH_BYTES = 1024 * GIB
+
+#: Full-stack bandwidth at HBM3e timing (the baseline comparison device).
+HBM3E_FULL_BANDWIDTH_BYTES = 1280 * GIB
+
+#: Allowed parameter values, from the paper's design-space sweep (Fig 5).
+RANK_CHOICES = (1, 2, 3, 4)
+CHANNELS_PER_LAYER_CHOICES = (1, 2, 3, 4)
+BANKS_PER_GROUP_CHOICES = (1, 2, 4)
+SUBARRAY_SCALE_CHOICES = (0.5, 0.75, 1.0)
+
+
+@dataclass(frozen=True)
+class HbmCoConfig:
+    """One point in the HBM-CO design space.
+
+    Parameters
+    ----------
+    ranks:
+        Stacked ranks; adds capacity (and TSV height) but not bandwidth
+        because the IO interface is shared across ranks.
+    channels_per_layer:
+        DRAM channels per layer; the only parameter that scales bandwidth.
+    banks_per_group:
+        Banks per bank group; pure capacity (one active bank per group
+        already saturates the pseudo-channel).
+    subarray_scale:
+        Relative sub-arrays per bank ("Cap/B" in Fig 5); pure capacity.
+    hbm3e_timing:
+        True only for the HBM3e baseline device, which runs its channels at
+        HBM3e rather than HBM3 data rate.
+    """
+
+    ranks: int = 1
+    channels_per_layer: int = 1
+    banks_per_group: int = 1
+    subarray_scale: float = 1.0
+    hbm3e_timing: bool = False
+
+    def __post_init__(self) -> None:
+        if self.ranks not in RANK_CHOICES:
+            raise ValueError(f"ranks must be one of {RANK_CHOICES}, got {self.ranks}")
+        if self.channels_per_layer not in CHANNELS_PER_LAYER_CHOICES:
+            raise ValueError(
+                f"channels_per_layer must be one of {CHANNELS_PER_LAYER_CHOICES}, "
+                f"got {self.channels_per_layer}"
+            )
+        if self.banks_per_group not in BANKS_PER_GROUP_CHOICES:
+            raise ValueError(
+                f"banks_per_group must be one of {BANKS_PER_GROUP_CHOICES}, "
+                f"got {self.banks_per_group}"
+            )
+        if self.subarray_scale not in SUBARRAY_SCALE_CHOICES:
+            raise ValueError(
+                f"subarray_scale must be one of {SUBARRAY_SCALE_CHOICES}, "
+                f"got {self.subarray_scale}"
+            )
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    @property
+    def stack_height(self) -> int:
+        """Total DRAM layers in the stack (ranks x 4)."""
+        return self.ranks * LAYERS_PER_RANK
+
+    @property
+    def pseudo_channels(self) -> int:
+        """Independent pseudo-channels exposed at the interface.
+
+        Only one rank drives the interface at a time, so pseudo-channels
+        count layers of a single rank.
+        """
+        return (
+            LAYERS_PER_RANK
+            * self.channels_per_layer
+            * PSEUDO_CHANNELS_PER_CHANNEL
+        )
+
+    @property
+    def array_scale(self) -> float:
+        """Per-layer DRAM array area relative to a full HBM layer.
+
+        Capacity-per-layer scales with channels/layer, banks/group and
+        sub-array count; this drives both capacity and wire-length scaling.
+        """
+        return (
+            (self.channels_per_layer / FULL_CHANNELS_PER_LAYER)
+            * (self.banks_per_group / FULL_BANKS_PER_GROUP)
+            * self.subarray_scale
+        )
+
+    # ------------------------------------------------------------------
+    # Capacity and bandwidth
+    # ------------------------------------------------------------------
+    @property
+    def capacity_bytes(self) -> float:
+        """Stack capacity in bytes."""
+        rank_scale = self.ranks / len(RANK_CHOICES)
+        return BASE_STACK_CAPACITY_BYTES * rank_scale * self.array_scale
+
+    @property
+    def bandwidth_bytes_per_s(self) -> float:
+        """Stack bandwidth in bytes/s (scales only with channels/layer)."""
+        full = (
+            HBM3E_FULL_BANDWIDTH_BYTES if self.hbm3e_timing else HBM3_FULL_BANDWIDTH_BYTES
+        )
+        return full * self.channels_per_layer / FULL_CHANNELS_PER_LAYER
+
+    @property
+    def pseudo_channel_bandwidth_bytes_per_s(self) -> float:
+        """Bandwidth of a single pseudo-channel (one reasoning core's share)."""
+        return self.bandwidth_bytes_per_s / self.pseudo_channels
+
+    @property
+    def bw_per_cap(self) -> float:
+        """Bandwidth-to-capacity ratio in 1/s -- the paper's key metric."""
+        return self.bandwidth_bytes_per_s / self.capacity_bytes
+
+    @property
+    def ideal_token_latency_s(self) -> float:
+        """Minimum token latency at 100% capacity utilization (= Cap/BW)."""
+        return 1.0 / self.bw_per_cap
+
+    def label(self) -> str:
+        """Short human-readable configuration label used in Fig 9/10 text."""
+        return (
+            f"{self.ranks}R|{self.channels_per_layer}C/L|"
+            f"{self.banks_per_group}B/G|{self.subarray_scale:g}xSA"
+        )
+
+    def with_timing(self, hbm3e: bool) -> "HbmCoConfig":
+        """Return a copy with the channel data rate switched."""
+        return replace(self, hbm3e_timing=hbm3e)
+
+
+#: The HBM3e baseline device the paper normalizes against:
+#: 16-high (4 ranks), fully channeled, 48 GiB, 1280 GiB/s, BW/Cap ~ 27.
+HBM3E = HbmCoConfig(
+    ranks=4,
+    channels_per_layer=4,
+    banks_per_group=4,
+    subarray_scale=1.0,
+    hbm3e_timing=True,
+)
+
+
+def candidate_hbmco() -> HbmCoConfig:
+    """The paper's candidate Pareto-optimal HBM-CO.
+
+    1 rank x 4 layers, 1 channel/layer, 1 bank/group, full sub-arrays:
+    768 MiB, 256 GiB/s, BW/Cap ~341/s, ~1.45 pJ/bit.
+    """
+    return HbmCoConfig(ranks=1, channels_per_layer=1, banks_per_group=1, subarray_scale=1.0)
+
+
+def hbm3e_like_sku() -> HbmCoConfig:
+    """The 'HBM3e config' point of Fig 9: HBM3e capacity structures
+    (4 ranks, 4 banks/group, 1.0x SA) on the RPU's one-channel-per-layer
+    shoreline -- 12 GiB/stack, i.e. 1.5 GiB per reasoning core.
+    """
+    return HbmCoConfig(ranks=4, channels_per_layer=1, banks_per_group=4, subarray_scale=1.0)

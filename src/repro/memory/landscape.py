@@ -1,0 +1,74 @@
+"""Memory-technology landscape for low-latency inference (paper Fig 4).
+
+Each technology is plotted as bandwidth-per-capacity (BW/Cap, 1/s) versus
+the latency per token it implies at 100% capacity utilization for a dense
+LLM (latency = capacity / bandwidth = 1 / (BW/Cap)).  The figure's point:
+no commercial technology occupies the "Goldilocks" band around
+BW/Cap ~ 100-1000/s that low-latency token generation wants; HBM-CO fills
+that gap.
+
+Datapoints are per-device specs of representative commercial parts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.units import GB, GIB, MB
+
+#: The BW/Cap band (1/s) the paper calls the Goldilocks range for
+#: low-latency inference (roughly 1-10 ms/token at full utilization).
+GOLDILOCKS_BW_PER_CAP = (100.0, 1000.0)
+
+
+@dataclass(frozen=True)
+class MemoryTechnology:
+    """A commercial memory device family, as plotted in Fig 4."""
+
+    name: str
+    capacity_bytes: float
+    bandwidth_bytes_per_s: float
+    kind: str  # "dram", "sram", or "envm"
+
+    @property
+    def bw_per_cap(self) -> float:
+        return self.bandwidth_bytes_per_s / self.capacity_bytes
+
+    @property
+    def latency_per_token_s(self) -> float:
+        """Token latency at 100% capacity utilization (dense LLM)."""
+        return self.capacity_bytes / self.bandwidth_bytes_per_s
+
+    @property
+    def in_goldilocks(self) -> bool:
+        low, high = GOLDILOCKS_BW_PER_CAP
+        return low <= self.bw_per_cap <= high
+
+
+#: Representative commercial devices (per-module capacity and bandwidth).
+MEMORY_TECHNOLOGIES: tuple[MemoryTechnology, ...] = (
+    MemoryTechnology("HBM3", 16 * GIB, 1024 * GIB, "dram"),
+    MemoryTechnology("HBM3e", 48 * GIB, 1280 * GIB, "dram"),
+    MemoryTechnology("GDDR6", 2 * GB, 64 * GB, "dram"),
+    MemoryTechnology("GDDR7", 3 * GB, 128 * GB, "dram"),
+    MemoryTechnology("LPDDR4", 8 * GB, 34 * GB, "dram"),
+    MemoryTechnology("LPDDR5", 16 * GB, 68 * GB, "dram"),
+    # SRAM-as-main-memory accelerators: extreme BW/Cap, tiny capacity.
+    MemoryTechnology("SRAM (Groq LPU)", 230 * MB, 80_000 * GB, "sram"),
+    MemoryTechnology("SRAM (WSE-3)", 44 * GB, 21_000_000 * GB, "sram"),
+    # Embedded NVM: dense but slow -- the opposite corner.
+    MemoryTechnology("eNVM", 64 * GB, 10 * GB, "envm"),
+)
+
+
+def technology_gap(
+    technologies: tuple[MemoryTechnology, ...] = MEMORY_TECHNOLOGIES,
+) -> tuple[float, float]:
+    """Return the (low, high) BW/Cap edges of the commercial-technology gap.
+
+    The gap is the open interval between the fastest DRAM-class device and
+    the slowest SRAM-class device -- the band HBM-CO is designed to fill.
+    """
+    dram_top = max(t.bw_per_cap for t in technologies if t.kind != "sram")
+    sram_bottom = min(t.bw_per_cap for t in technologies if t.kind == "sram")
+    return (dram_top, sram_bottom)

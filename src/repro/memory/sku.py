@@ -1,0 +1,64 @@
+"""HBM-CO SKU selection (Figs 9, 10 and 12).
+
+Given a per-stack capacity requirement, pick the memory chiplet from the
+RPU SKU family (1 channel/layer, 256 GiB/s) with the *smallest capacity
+that still fits* -- equivalently, the highest BW/Cap on the Pareto
+frontier that satisfies the requirement.  Smaller capacity means shorter
+internal wires and fewer TSV layers, hence lower energy per bit and lower
+module cost.
+"""
+
+from __future__ import annotations
+
+from repro.memory.design_space import DesignPoint, sku_family
+
+
+class CapacityError(ValueError):
+    """Raised when no SKU in the design space satisfies a requirement."""
+
+
+def select_sku(
+    required_bytes_per_stack: float,
+    *,
+    skus: list[DesignPoint] | None = None,
+) -> DesignPoint:
+    """Smallest-capacity SKU holding ``required_bytes_per_stack``.
+
+    Ties on capacity are broken by energy per bit (lower is better).
+
+    Raises
+    ------
+    CapacityError
+        If the requirement exceeds the largest SKU (12 GiB/stack).
+    """
+    if required_bytes_per_stack < 0:
+        raise ValueError(
+            f"required capacity must be non-negative, got {required_bytes_per_stack}"
+        )
+    if skus is None:
+        skus = sku_family()
+    fitting = [p for p in skus if p.capacity_bytes >= required_bytes_per_stack]
+    if not fitting:
+        largest = max(skus, key=lambda p: p.capacity_bytes)
+        raise CapacityError(
+            f"requirement {required_bytes_per_stack:.3e} B/stack exceeds the "
+            f"largest SKU ({largest.capacity_bytes:.3e} B); add compute units "
+            f"to shrink the per-stack share"
+        )
+    return min(fitting, key=lambda p: (p.capacity_bytes, p.energy_pj_per_bit))
+
+
+def sku_for_system(
+    required_system_bytes: float,
+    num_stacks: int,
+    *,
+    skus: list[DesignPoint] | None = None,
+) -> DesignPoint:
+    """SKU choice when ``required_system_bytes`` is spread over ``num_stacks``.
+
+    This is the selection rule of Figs 9/10/12: the model (plus KV cache)
+    is sharded evenly across every stack in the system.
+    """
+    if num_stacks <= 0:
+        raise ValueError(f"num_stacks must be positive, got {num_stacks}")
+    return select_sku(required_system_bytes / num_stacks, skus=skus)

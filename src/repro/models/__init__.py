@@ -1,0 +1,45 @@
+"""LLM model zoo and workload characterization (paper Sections II, VII, VIII).
+
+Provides the dense Llama3 family, the MoE Llama4 family, KV-cache sizing,
+and per-kernel FLOPs/bytes/arithmetic-intensity profiles of decode and
+prefill steps.  Every performance model in the repository (GPU baseline,
+RPU analytical model, RPU event simulator, compiler) consumes workloads
+through this package.
+"""
+
+from repro.models.config import AttentionConfig, ModelConfig, MoeConfig
+from repro.models.dtypes import DType
+from repro.models.kv_cache import kv_bytes_per_token, kv_cache_bytes
+from repro.models.llama3 import LLAMA3_8B, LLAMA3_70B, LLAMA3_405B
+from repro.models.llama4 import LLAMA4_MAVERICK, LLAMA4_SCOUT
+from repro.models.registry import MODELS, get_model
+from repro.models.workload import Workload
+from repro.models.flops import (
+    KernelProfile,
+    decode_step_profile,
+    prefill_step_profile,
+    step_arithmetic_intensity,
+    step_totals,
+)
+
+__all__ = [
+    "LLAMA3_405B",
+    "LLAMA3_70B",
+    "LLAMA3_8B",
+    "LLAMA4_MAVERICK",
+    "LLAMA4_SCOUT",
+    "MODELS",
+    "AttentionConfig",
+    "DType",
+    "KernelProfile",
+    "ModelConfig",
+    "MoeConfig",
+    "Workload",
+    "decode_step_profile",
+    "get_model",
+    "kv_bytes_per_token",
+    "kv_cache_bytes",
+    "prefill_step_profile",
+    "step_arithmetic_intensity",
+    "step_totals",
+]

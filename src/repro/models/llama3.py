@@ -1,0 +1,32 @@
+"""Dense Llama3 family (8B / 70B / 405B), from the published configs."""
+
+from __future__ import annotations
+
+from repro.models.config import AttentionConfig, ModelConfig
+
+LLAMA3_8B = ModelConfig(
+    name="Llama3-8B",
+    num_layers=32,
+    hidden_size=4096,
+    attention=AttentionConfig(num_heads=32, num_kv_heads=8, head_dim=128),
+    intermediate_size=14336,
+    vocab_size=128256,
+)
+
+LLAMA3_70B = ModelConfig(
+    name="Llama3-70B",
+    num_layers=80,
+    hidden_size=8192,
+    attention=AttentionConfig(num_heads=64, num_kv_heads=8, head_dim=128),
+    intermediate_size=28672,
+    vocab_size=128256,
+)
+
+LLAMA3_405B = ModelConfig(
+    name="Llama3-405B",
+    num_layers=126,
+    hidden_size=16384,
+    attention=AttentionConfig(num_heads=128, num_kv_heads=8, head_dim=128),
+    intermediate_size=53248,
+    vocab_size=128256,
+)

@@ -1,0 +1,51 @@
+"""Llama4 MoE family (Scout / Maverick), from the published configs.
+
+Scout: 16 experts, MoE in every layer.  Maverick: 128 experts, alternating
+dense/MoE layers; both activate one routed expert plus a shared expert per
+token (~17B active parameters).  The paper uses the expert counts to
+explain Fig 11's throughput ordering: Maverick's 128 experts spread batched
+tokens across more experts, preserving memory-bandwidth-bound behaviour to
+much larger batch sizes than Scout's 16.
+"""
+
+from __future__ import annotations
+
+from repro.models.config import AttentionConfig, ModelConfig, MoeConfig
+
+LLAMA4_SCOUT = ModelConfig(
+    name="Llama4-Scout",
+    num_layers=48,
+    hidden_size=5120,
+    attention=AttentionConfig(
+        num_heads=40, num_kv_heads=8, head_dim=128, local_window=8192
+    ),
+    intermediate_size=16384,
+    vocab_size=202048,
+    moe=MoeConfig(
+        num_experts=16,
+        experts_per_token=1,
+        expert_intermediate_size=8192,
+        shared_expert_intermediate_size=8192,
+        interleave=1,
+    ),
+)
+
+LLAMA4_MAVERICK = ModelConfig(
+    name="Llama4-Maverick",
+    num_layers=48,
+    hidden_size=5120,
+    attention=AttentionConfig(
+        num_heads=40, num_kv_heads=8, head_dim=128, local_window=8192
+    ),
+    # Dense layers use the fused 5120 x (2 x 16384) gate/up projection the
+    # paper's Challenge 3 cites as a 168M-parameter example.
+    intermediate_size=16384,
+    vocab_size=202048,
+    moe=MoeConfig(
+        num_experts=128,
+        experts_per_token=1,
+        expert_intermediate_size=8192,
+        shared_expert_intermediate_size=8192,
+        interleave=2,
+    ),
+)

@@ -1,0 +1,21 @@
+"""Model lookup by name, for examples and benchmark harnesses."""
+
+from __future__ import annotations
+
+from repro.models.config import ModelConfig
+from repro.models.llama3 import LLAMA3_8B, LLAMA3_70B, LLAMA3_405B
+from repro.models.llama4 import LLAMA4_MAVERICK, LLAMA4_SCOUT
+
+MODELS: dict[str, ModelConfig] = {
+    model.name: model
+    for model in (LLAMA3_8B, LLAMA3_70B, LLAMA3_405B, LLAMA4_SCOUT, LLAMA4_MAVERICK)
+}
+
+
+def get_model(name: str) -> ModelConfig:
+    """Look up a model by its exact name (e.g. ``"Llama3-70B"``)."""
+    try:
+        return MODELS[name]
+    except KeyError:
+        known = ", ".join(sorted(MODELS))
+        raise KeyError(f"unknown model {name!r}; known models: {known}") from None

@@ -1,0 +1,73 @@
+"""Workload specification: what inference run is being measured.
+
+A workload binds a model to a serving configuration: batch size, sequence
+length (context at decode time), prefill/decode split and storage dtypes.
+The paper's default serving point is MXFP4 weights, FP8 KV cache and BF16
+activations (Figs 8-13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.models.config import ModelConfig
+from repro.models.dtypes import DType
+from repro.models.kv_cache import kv_cache_bytes
+
+
+@dataclass(frozen=True)
+class Workload:
+    """An inference serving point for one model."""
+
+    model: ModelConfig
+    batch_size: int = 1
+    seq_len: int = 8192
+    decode_len: int = 2048
+    weight_dtype: DType = DType.MXFP4
+    kv_dtype: DType = DType.FP8
+    act_dtype: DType = DType.BF16
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.seq_len < 1:
+            raise ValueError(f"seq_len must be >= 1, got {self.seq_len}")
+        if self.decode_len < 0:
+            raise ValueError(f"decode_len must be >= 0, got {self.decode_len}")
+
+    @property
+    def prefill_len(self) -> int:
+        """Prompt tokens (context minus generated tokens)."""
+        return max(self.seq_len - self.decode_len, 0)
+
+    def weight_footprint_bytes(self) -> float:
+        """Stored model weights at the workload's weight dtype."""
+        return self.model.weight_bytes(self.weight_dtype.nbytes)
+
+    def kv_footprint_bytes(self) -> float:
+        """KV cache at full context for the whole batch."""
+        return kv_cache_bytes(
+            self.model, self.seq_len, self.batch_size, self.kv_dtype
+        )
+
+    def memory_footprint_bytes(self) -> float:
+        """Total capacity the system must provision (weights + KV cache)."""
+        return self.weight_footprint_bytes() + self.kv_footprint_bytes()
+
+    def kv_capacity_fraction(self) -> float:
+        """Fraction of the footprint that is KV cache (Fig 10 sub-metric)."""
+        total = self.memory_footprint_bytes()
+        return self.kv_footprint_bytes() / total if total else 0.0
+
+    def with_batch(self, batch_size: int) -> "Workload":
+        return replace(self, batch_size=batch_size)
+
+    def with_seq_len(self, seq_len: int) -> "Workload":
+        return replace(self, seq_len=seq_len)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.model.name} BS={self.batch_size} seq={self.seq_len} "
+            f"[{self.weight_dtype.label} w / {self.kv_dtype.label} kv / "
+            f"{self.act_dtype.label} act]"
+        )

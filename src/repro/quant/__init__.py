@@ -1,0 +1,35 @@
+"""Block-quantized number formats and the on-the-fly stream decoder.
+
+The RPU stores weights off-chip in block-compressed formats and
+dequantizes them to BF16 on the way into the TMACs (paper Section V,
+"Stream Decoder").  This package provides working NumPy implementations of
+every format the stream decoder supports -- BFP, MXFP and NxFP at 4-8 bits
+-- plus the scalar BF16/FP8 codecs, and the throughput/energy model of the
+decoder itself.
+"""
+
+from repro.quant.bf16 import bf16_round
+from repro.quant.minifloat import MiniFloatSpec, quantize_minifloat
+from repro.quant.fp8 import FP8_E4M3, FP8_E5M2, quantize_fp8
+from repro.quant.bfp import BfpCodec
+from repro.quant.mxfp import MXFP4, MXFP6, MXFP8, MxfpCodec
+from repro.quant.nxfp import NxfpCodec
+from repro.quant.registry import codec_for
+from repro.quant.stream_decoder import StreamDecoder
+
+__all__ = [
+    "FP8_E4M3",
+    "FP8_E5M2",
+    "MXFP4",
+    "MXFP6",
+    "MXFP8",
+    "BfpCodec",
+    "MiniFloatSpec",
+    "MxfpCodec",
+    "NxfpCodec",
+    "StreamDecoder",
+    "bf16_round",
+    "codec_for",
+    "quantize_fp8",
+    "quantize_minifloat",
+]

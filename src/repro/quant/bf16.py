@@ -1,0 +1,27 @@
+"""BF16 rounding.
+
+The TMAC datapath multiplies in BF16 and accumulates in FP32 (Fig 6/7).
+``bf16_round`` is the reference rounding used by the functional VMM model
+to match what the RTL datapath would produce.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def bf16_round(values: np.ndarray) -> np.ndarray:
+    """Round float32 values to BF16 (round-to-nearest-even), kept as float32.
+
+    BF16 is the top 16 bits of an IEEE-754 float32; rounding adds half an
+    ULP with the tie broken toward the even mantissa.
+    """
+    array = np.asarray(values, dtype=np.float32)
+    bits = array.view(np.uint32)
+    # round-to-nearest-even on the low 16 bits
+    rounding = 0x7FFF + ((bits >> 16) & 1)
+    rounded = (bits + rounding) & np.uint32(0xFFFF0000)
+    result = rounded.view(np.float32).copy()
+    # NaN payloads can be corrupted by the addition; restore canonical NaN.
+    result[np.isnan(array)] = np.nan
+    return result

@@ -1,0 +1,20 @@
+"""FP8 scalar formats (E4M3 and E5M2), used for the KV cache."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.quant.minifloat import (
+    FP8_E4M3_SPEC,
+    FP8_E5M2_SPEC,
+    MiniFloatSpec,
+    quantize_minifloat,
+)
+
+FP8_E4M3 = FP8_E4M3_SPEC
+FP8_E5M2 = FP8_E5M2_SPEC
+
+
+def quantize_fp8(values: np.ndarray, spec: MiniFloatSpec = FP8_E4M3) -> np.ndarray:
+    """Quantize to FP8 (default E4M3, the KV-cache format)."""
+    return quantize_minifloat(values, spec)

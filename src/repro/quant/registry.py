@@ -1,0 +1,25 @@
+"""Codec lookup by dtype label, shared by the compiler and stream decoder."""
+
+from __future__ import annotations
+
+from repro.quant.bfp import BfpCodec
+from repro.quant.mxfp import MXFP4, MXFP6, MXFP8
+from repro.quant.nxfp import NxfpCodec
+
+_CODECS = {
+    "mxfp4": MXFP4,
+    "mxfp6": MXFP6,
+    "mxfp8": MXFP8,
+    "bfp4": BfpCodec(mantissa_bits=4),
+    "bfp8": BfpCodec(mantissa_bits=8),
+    "nxfp4": NxfpCodec(),
+}
+
+
+def codec_for(label: str):
+    """Return the block codec for a dtype label (e.g. ``"mxfp4"``)."""
+    try:
+        return _CODECS[label]
+    except KeyError:
+        known = ", ".join(sorted(_CODECS))
+        raise KeyError(f"no codec for {label!r}; known: {known}") from None

@@ -1,0 +1,70 @@
+"""Stream Decoder: on-the-fly dequantization model (paper Section V).
+
+The compute DMA streams compressed weight tiles from the memory buffer
+into the Stream Decoder, which reconstructs BF16 tiles and broadcasts them
+over the 1024-bit compute bus.  The decoder consumes 256 compressed bits
+per cycle at 1 GHz; a full 64-element BF16 tile (1024 bits out per cycle)
+therefore takes ``64 x element_bits / 256`` cycles to gather, which is
+what sets the compressed-weight streaming rate.
+
+Energy: moving 4-bit codes instead of BF16 through the SRAM interface is
+the paper's "1.7x at the SRAM interface" saving -- the decoder itself adds
+a small conversion cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.models.dtypes import DType
+from repro.quant.bf16 import bf16_round
+from repro.quant.registry import codec_for
+
+#: Compressed input bits accepted per cycle (paper: "8x32 b/8c").
+INPUT_BITS_PER_CYCLE = 256
+
+#: Decoded output bits per cycle (one 64-element BF16 tile row per cycle).
+OUTPUT_BITS_PER_CYCLE = 1024
+
+#: Elements per weight tile (8x8 TMAC tile).
+TILE_ELEMENTS = 64
+
+#: Energy to convert one compressed bit to BF16 (pJ/bit), small next to
+#: the SRAM and bus energies it replaces.
+DECODE_PJ_PER_BIT = 0.05
+
+
+@dataclass(frozen=True)
+class StreamDecoder:
+    """Throughput/energy model plus functional decode for one core's decoder."""
+
+    clock_hz: float = 1e9
+
+    def cycles_per_tile(self, weight_dtype: DType) -> float:
+        """Cycles to gather + decode one 64-element weight tile."""
+        compressed_bits = TILE_ELEMENTS * weight_dtype.bits()
+        return max(compressed_bits / INPUT_BITS_PER_CYCLE, 1.0)
+
+    def compressed_bandwidth_bytes_per_s(self, weight_dtype: DType) -> float:
+        """Compressed-side streaming rate the decoder sustains."""
+        tile_bytes = TILE_ELEMENTS * weight_dtype.bits() / 8
+        return tile_bytes * self.clock_hz / self.cycles_per_tile(weight_dtype)
+
+    def decode_energy_j(self, compressed_bytes: float) -> float:
+        """Energy to dequantize ``compressed_bytes`` of weight stream."""
+        if compressed_bytes < 0:
+            raise ValueError("compressed_bytes must be non-negative")
+        return compressed_bytes * 8 * DECODE_PJ_PER_BIT * 1e-12
+
+    def functional_decode(self, values: np.ndarray, weight_dtype: DType) -> np.ndarray:
+        """Reference dequantization: what the hardware emits for ``values``.
+
+        Encodes ``values`` in the block format named by ``weight_dtype``
+        and returns the BF16 tile stream the TMACs would receive.
+        """
+        if weight_dtype in (DType.BF16, DType.FP16, DType.FP32):
+            return bf16_round(values)
+        codec = codec_for(weight_dtype.label)
+        return bf16_round(codec.quantize(values))

@@ -1,0 +1,18 @@
+"""Disaggregated prefill/decode serving (paper Section I and VI).
+
+The paper's deployment model (following Splitwise and NVIDIA Dynamo):
+prefill runs on compute-dense GPUs, the KV cache is transferred to the
+RPU's memory, and the RPU decodes autonomously, interrupting the host
+once per generated token batch.  This package composes the repository's
+GPU and RPU models into that end-to-end query pipeline and reports the
+interactive-latency metrics the paper motivates (TTFT, TPOT, end-to-end
+response time against the ~10 s interaction threshold).
+"""
+
+from repro.serving.disaggregated import (
+    DisaggregatedSystem,
+    QueryResult,
+    INTERACTION_THRESHOLD_S,
+)
+
+__all__ = ["DisaggregatedSystem", "INTERACTION_THRESHOLD_S", "QueryResult"]

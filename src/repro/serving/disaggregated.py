@@ -1,0 +1,134 @@
+"""End-to-end disaggregated serving: GPU prefill -> KV transfer -> RPU decode.
+
+Pipeline stages for one query:
+
+1. **Prefill** on a GPU system (compute-bound; the regime GPUs are good at
+   -- paper Fig 2's 634 W / 70% utilization phase).
+2. **KV-cache transfer** from the prefill engine into RPU memory over the
+   Ring Station's external network (the paper provisions 100 Gb Ethernet).
+3. **Decode** on the RPU: autonomous execution; the host is interrupted
+   once per generated token to collect output (the paper's deployment
+   model), costing a fixed host-turnaround per token.
+
+The paper's application domain (Section IX) motivates the ~10 s
+interaction threshold: reasoning queries should complete before working
+memory decays.  :meth:`DisaggregatedSystem.query` reports TTFT, TPOT and
+whether the full response beats that threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.perf_model import decode_step_perf
+from repro.arch.system import RpuSystem
+from repro.gpu.inference import decode_step, prefill_time_and_power
+from repro.gpu.system import GpuSystem
+from repro.models.kv_cache import kv_cache_bytes
+from repro.models.workload import Workload
+
+#: Interaction-latency threshold (paper Section IX, HCI literature).
+INTERACTION_THRESHOLD_S = 10.0
+
+#: Ring-Station external network bandwidth (100 Gb Ethernet).
+KV_TRANSFER_BYTES_PER_S = 100e9 / 8
+
+#: Host interrupt + token collection overhead per decode step.
+HOST_TURNAROUND_S = 2e-6
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """End-to-end metrics for one query through the pipeline."""
+
+    prefill_s: float
+    kv_transfer_s: float
+    decode_s: float
+    decode_tokens: int
+    prefill_energy_j: float
+    decode_energy_j: float
+
+    @property
+    def ttft_s(self) -> float:
+        """Time to first token: prefill + KV handoff + one decode step."""
+        first_step = self.decode_s / self.decode_tokens if self.decode_tokens else 0.0
+        return self.prefill_s + self.kv_transfer_s + first_step
+
+    @property
+    def tpot_s(self) -> float:
+        """Time per output token during steady decode."""
+        return self.decode_s / self.decode_tokens if self.decode_tokens else 0.0
+
+    @property
+    def end_to_end_s(self) -> float:
+        return self.prefill_s + self.kv_transfer_s + self.decode_s
+
+    @property
+    def interactive(self) -> bool:
+        """Does the full response land within the ~10 s threshold?"""
+        return self.end_to_end_s <= INTERACTION_THRESHOLD_S
+
+    @property
+    def total_energy_j(self) -> float:
+        return self.prefill_energy_j + self.decode_energy_j
+
+
+@dataclass(frozen=True)
+class DisaggregatedSystem:
+    """A prefill GPU pool paired with an RPU decode engine."""
+
+    prefill_engine: GpuSystem
+    decode_engine: RpuSystem
+
+    def query(self, workload: Workload) -> QueryResult:
+        """Serve one query: ``workload.prefill_len`` prompt tokens per
+        sequence, ``workload.decode_len`` generated tokens.
+
+        The decode context grows over the run; the decode step is
+        evaluated at the mean context length (weights dominate traffic at
+        low batch, so this midpoint approximation is tight).
+        """
+        if workload.decode_len < 1:
+            raise ValueError("workload must generate at least one token")
+
+        prefill_s, prefill_w = prefill_time_and_power(self.prefill_engine, workload)
+
+        kv_bytes = kv_cache_bytes(
+            workload.model,
+            workload.prefill_len,
+            workload.batch_size,
+            workload.kv_dtype,
+        )
+        kv_transfer_s = kv_bytes / KV_TRANSFER_BYTES_PER_S
+
+        mid_context = workload.prefill_len + workload.decode_len // 2
+        decode_point = workload.with_seq_len(max(mid_context, 1))
+        step = decode_step_perf(self.decode_engine, decode_point)
+        step_s = step.latency_s + HOST_TURNAROUND_S
+        decode_s = step_s * workload.decode_len
+
+        return QueryResult(
+            prefill_s=prefill_s,
+            kv_transfer_s=kv_transfer_s,
+            decode_s=decode_s,
+            decode_tokens=workload.decode_len,
+            prefill_energy_j=prefill_s * prefill_w,
+            decode_energy_j=step.energy_per_step_j * workload.decode_len,
+        )
+
+    def gpu_only_query(self, workload: Workload) -> QueryResult:
+        """Baseline: the same query decoded on the prefill GPUs."""
+        if workload.decode_len < 1:
+            raise ValueError("workload must generate at least one token")
+        prefill_s, prefill_w = prefill_time_and_power(self.prefill_engine, workload)
+        mid_context = workload.prefill_len + workload.decode_len // 2
+        decode_point = workload.with_seq_len(max(mid_context, 1))
+        step = decode_step(self.prefill_engine, decode_point)
+        return QueryResult(
+            prefill_s=prefill_s,
+            kv_transfer_s=0.0,
+            decode_s=step.latency_s * workload.decode_len,
+            decode_tokens=workload.decode_len,
+            prefill_energy_j=prefill_s * prefill_w,
+            decode_energy_j=step.energy_j * workload.decode_len,
+        )

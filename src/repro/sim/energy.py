@@ -1,0 +1,78 @@
+"""Per-component energy metering and binned power traces (Fig 8's bottom
+panels).
+
+Components follow the Fig 8 legend:
+
+- memory: ``act``, ``mov-mem``, ``tsvs``, ``io`` (HBM-CO device),
+  ``mov-si`` (IO-to-buffer wires), ``sram-w`` (memory-buffer write);
+- compute: ``wei-sram_r``, ``wei-dc`` (stream decode), ``tmac``,
+  ``hp-op``, ``act-sram``;
+- network: ``io`` (UCIe), ``sram_w`` (network-buffer write).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.sim.kernel import Simulator
+
+
+class EnergyMeter:
+    """Accumulates joules by (group, component) and into time bins."""
+
+    def __init__(self, sim: Simulator, bin_s: float = 1e-6):
+        if bin_s <= 0:
+            raise ValueError("bin_s must be positive")
+        self.sim = sim
+        self.bin_s = bin_s
+        self.totals: dict[str, dict[str, float]] = defaultdict(lambda: defaultdict(float))
+        self._bins: dict[str, dict[int, float]] = defaultdict(lambda: defaultdict(float))
+
+    def add(
+        self,
+        group: str,
+        component: str,
+        joules: float,
+        start_s: float,
+        end_s: float,
+    ) -> None:
+        """Record ``joules`` spent by ``group/component`` over an interval.
+
+        The energy is spread uniformly across the interval's time bins so
+        power traces integrate back to total energy.
+        """
+        if joules < 0:
+            raise ValueError("joules must be non-negative")
+        if end_s < start_s:
+            raise ValueError("end must not precede start")
+        self.totals[group][component] += joules
+        if joules == 0:
+            return
+        if end_s == start_s:
+            self._bins[group][int(start_s / self.bin_s)] += joules
+            return
+        first = int(start_s / self.bin_s)
+        last = int(end_s / self.bin_s)
+        duration = end_s - start_s
+        for index in range(first, last + 1):
+            lo = max(start_s, index * self.bin_s)
+            hi = min(end_s, (index + 1) * self.bin_s)
+            if hi > lo:
+                self._bins[group][index] += joules * (hi - lo) / duration
+
+    # ------------------------------------------------------------------
+    def total_j(self, group: str | None = None) -> float:
+        if group is not None:
+            return sum(self.totals[group].values())
+        return sum(sum(components.values()) for components in self.totals.values())
+
+    def breakdown(self) -> dict[str, dict[str, float]]:
+        """Plain nested dict of joules by group/component."""
+        return {g: dict(c) for g, c in self.totals.items()}
+
+    def power_trace(self, group: str, until_s: float) -> tuple[list[float], list[float]]:
+        """(bin start times, watts) for one group up to ``until_s``."""
+        num_bins = max(1, int(until_s / self.bin_s) + 1)
+        times = [i * self.bin_s for i in range(num_bins)]
+        watts = [self._bins[group].get(i, 0.0) / self.bin_s for i in range(num_bins)]
+        return times, watts

@@ -1,0 +1,9 @@
+"""Speculative decoding model (paper Section X, Fig 14)."""
+
+from repro.specdec.speculative import (
+    SpeculativeConfig,
+    speculative_speedup,
+    speculative_tokens_per_s,
+)
+
+__all__ = ["SpeculativeConfig", "speculative_speedup", "speculative_tokens_per_s"]

@@ -1,0 +1,39 @@
+"""Shared utilities: units, formatting, tables, curves and Pareto helpers."""
+
+from repro.util.units import (
+    GB,
+    GHZ,
+    GIB,
+    KB,
+    KIB,
+    MB,
+    MIB,
+    MS,
+    PJ,
+    TB,
+    US,
+    fmt_bytes,
+    fmt_power,
+    fmt_time,
+)
+from repro.util.pareto import pareto_front
+from repro.util.tables import Table
+
+__all__ = [
+    "GB",
+    "GHZ",
+    "GIB",
+    "KB",
+    "KIB",
+    "MB",
+    "MIB",
+    "MS",
+    "PJ",
+    "TB",
+    "US",
+    "Table",
+    "fmt_bytes",
+    "fmt_power",
+    "fmt_time",
+    "pareto_front",
+]

@@ -1,0 +1,50 @@
+"""Generic Pareto-frontier extraction.
+
+Used by the HBM-CO design-space analysis (Fig 5, Fig 9) to keep only the
+configurations that are not dominated on the chosen objectives.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Sequence
+from typing import TypeVar
+
+T = TypeVar("T")
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """Return True if objective vector ``a`` Pareto-dominates ``b``.
+
+    All objectives are minimized.  ``a`` dominates ``b`` when it is no worse
+    in every objective and strictly better in at least one.
+    """
+    if len(a) != len(b):
+        raise ValueError(f"objective vectors differ in length: {len(a)} vs {len(b)}")
+    no_worse = all(x <= y for x, y in zip(a, b))
+    strictly_better = any(x < y for x, y in zip(a, b))
+    return no_worse and strictly_better
+
+
+def pareto_front(
+    items: Iterable[T],
+    objectives: Callable[[T], Sequence[float]],
+) -> list[T]:
+    """Return the subset of ``items`` on the Pareto front (all minimized).
+
+    Ties on every objective are kept once (first occurrence wins), so the
+    result has no duplicated objective vectors.
+    """
+    candidates = list(items)
+    vectors = [tuple(objectives(item)) for item in candidates]
+    front: list[T] = []
+    seen: set[tuple[float, ...]] = set()
+    for i, (item, vec) in enumerate(zip(candidates, vectors)):
+        if vec in seen:
+            continue
+        dominated = any(
+            dominates(other, vec) for j, other in enumerate(vectors) if j != i
+        )
+        if not dominated:
+            front.append(item)
+            seen.add(vec)
+    return front

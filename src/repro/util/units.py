@@ -1,0 +1,90 @@
+"""Unit constants and human-readable formatting.
+
+The codebase works in SI base units throughout: bytes, seconds, watts and
+joules.  These constants make call sites read like the paper's own numbers
+(``256 * GB`` is 256 gigabytes, ``1.45 * PJ`` is 1.45 picojoules) and the
+formatting helpers render results back in the units the paper reports.
+"""
+
+from __future__ import annotations
+
+# Decimal (SI) byte units -- memory bandwidth and capacity vendors use these.
+KB = 1e3
+MB = 1e6
+GB = 1e9
+TB = 1e12
+
+# Binary byte units -- SRAM buffer sizes in the paper are binary (512 KB etc).
+KIB = 1 << 10
+MIB = 1 << 20
+GIB = 1 << 30
+
+# Time.
+MS = 1e-3
+US = 1e-6
+NS = 1e-9
+
+# Energy.
+PJ = 1e-12
+NJ = 1e-9
+MJ = 1e-3  # millijoule
+
+# Frequency.
+MHZ = 1e6
+GHZ = 1e9
+
+
+def fmt_bytes(num_bytes: float) -> str:
+    """Format a byte count with a sensible decimal prefix.
+
+    >>> fmt_bytes(256e9)
+    '256.0 GB'
+    """
+    magnitude = abs(num_bytes)
+    for unit, name in ((TB, "TB"), (GB, "GB"), (MB, "MB"), (KB, "KB")):
+        if magnitude >= unit:
+            return f"{num_bytes / unit:.1f} {name}"
+    return f"{num_bytes:.0f} B"
+
+
+def fmt_time(seconds: float) -> str:
+    """Format a duration using the unit the paper would use.
+
+    >>> fmt_time(1.4e-3)
+    '1.40 ms'
+    """
+    magnitude = abs(seconds)
+    if magnitude >= 1.0:
+        return f"{seconds:.2f} s"
+    if magnitude >= MS:
+        return f"{seconds / MS:.2f} ms"
+    if magnitude >= US:
+        return f"{seconds / US:.2f} us"
+    return f"{seconds / NS:.1f} ns"
+
+
+def fmt_power(watts: float) -> str:
+    """Format a power figure.
+
+    >>> fmt_power(2800)
+    '2.80 kW'
+    """
+    if abs(watts) >= 1e3:
+        return f"{watts / 1e3:.2f} kW"
+    if abs(watts) >= 1.0:
+        return f"{watts:.1f} W"
+    return f"{watts * 1e3:.1f} mW"
+
+
+def fmt_energy(joules: float) -> str:
+    """Format an energy figure (J down to pJ)."""
+    magnitude = abs(joules)
+    if magnitude >= 1.0:
+        return f"{joules:.2f} J"
+    if magnitude >= 1e-3:
+        return f"{joules * 1e3:.2f} mJ"
+    if magnitude >= 1e-6:
+        return f"{joules * 1e6:.2f} uJ"
+    if magnitude >= 1e-9:
+        return f"{joules * 1e9:.2f} nJ"
+    return f"{joules * 1e12:.2f} pJ"

@@ -1,0 +1,13 @@
+"""Functional VMM: the stripe-based weight-streaming dataflow of Fig 7.
+
+Bit-level model of the TMAC datapath: BF16 multiplies, FP32 accumulation,
+stripe-ordered tile traversal with 3-stage tree sums -- verified against a
+NumPy reference.  This is the functional-correctness layer standing in for
+the paper's RTL simulation of the VMM micro-kernels.
+"""
+
+from repro.vmm.tmac import tmac_multiply, tree_sum
+from repro.vmm.stripes import stripe_vmm, stripe_schedule
+from repro.vmm.reference import reference_vmm
+
+__all__ = ["reference_vmm", "stripe_schedule", "stripe_vmm", "tmac_multiply", "tree_sum"]

@@ -1,0 +1,21 @@
+"""NumPy reference for the VMM datapath."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.quant.bf16 import bf16_round
+
+
+def reference_vmm(vector: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """``(K,) @ (K, N)`` with BF16 inputs and FP64 accumulation.
+
+    FP64 accumulation makes this the "infinitely precise" reference the
+    stripe dataflow is compared against; agreement tolerances in the tests
+    bound the FP32 accumulation error of the hardware ordering.
+    """
+    v = bf16_round(np.asarray(vector, dtype=np.float32)).astype(np.float64)
+    w = bf16_round(np.asarray(weights, dtype=np.float32)).astype(np.float64)
+    if v.ndim != 1 or w.ndim != 2 or w.shape[0] != v.shape[0]:
+        raise ValueError(f"shape mismatch: {v.shape} @ {w.shape}")
+    return (v @ w).astype(np.float32)

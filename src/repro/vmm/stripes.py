@@ -1,0 +1,79 @@
+"""Stripe-based VMM execution (paper Fig 7).
+
+A stripe is 8 vertically-stacked weight tiles (64 rows of W) spanning all
+columns of the shard.  Execution order:
+
+1. load the stripe's 64-element activation shard into the register file;
+2. walk tile *columns*; within a column, walk the 8 tile rows, each TMAC
+   accumulating one face;
+3. tree-sum the 8 faces of the column and accumulate into the output
+   register file;
+4. move to the next stripe and repeat, reusing the output accumulators.
+
+This traversal minimizes activation storage (one stripe shard at a time,
+enabling broadcast overlap) and write-back bandwidth (one FP32 add per
+output element per stripe) -- the paper's three reasons for striping.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.quant.bf16 import bf16_round
+from repro.vmm.tmac import TILE, tmac_multiply, tree_sum
+
+#: Rows of one stripe (8 tile-rows of 8).
+STRIPE_ROWS = TILE * TILE
+
+
+def stripe_schedule(k: int, n: int) -> list[tuple[int, int, int]]:
+    """The (stripe, column, tile_row) visit order of the dataflow.
+
+    Useful for tests that pin the traversal order of Fig 7's "VMM
+    procedure" arrows: column-wise within a stripe, stripes outermost.
+    """
+    if k % STRIPE_ROWS or n % TILE:
+        raise ValueError(
+            f"K must be a multiple of {STRIPE_ROWS} and N of {TILE}; got {k}x{n}"
+        )
+    order = []
+    for stripe in range(k // STRIPE_ROWS):
+        for column in range(n // TILE):
+            for tile_row in range(TILE):
+                order.append((stripe, column, tile_row))
+    return order
+
+
+def stripe_vmm(vector: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """Execute ``(K,) @ (K, N)`` in exact stripe order; returns FP32 ``(N,)``.
+
+    Inputs are BF16-rounded (as delivered by the stream decoder and the
+    activation register file); accumulation is FP32 throughout, matching
+    the TMAC datapath.
+    """
+    v = bf16_round(np.asarray(vector, dtype=np.float32))
+    w = bf16_round(np.asarray(weights, dtype=np.float32))
+    if v.ndim != 1 or w.ndim != 2 or w.shape[0] != v.shape[0]:
+        raise ValueError(f"shape mismatch: {v.shape} @ {w.shape}")
+    k, n = w.shape
+    if k % STRIPE_ROWS or n % TILE:
+        raise ValueError(
+            f"K must be a multiple of {STRIPE_ROWS} and N of {TILE}; got {k}x{n}"
+        )
+
+    output = np.zeros(n, dtype=np.float32)  # output-stationary register file
+    for stripe in range(k // STRIPE_ROWS):
+        row0 = stripe * STRIPE_ROWS
+        act_shard = v[row0 : row0 + STRIPE_ROWS]  # 64 values, high reuse
+        for column in range(n // TILE):
+            col0 = column * TILE
+            faces = np.zeros((TILE, TILE), dtype=np.float32)
+            for tile_row in range(TILE):
+                r0 = row0 + tile_row * TILE
+                faces[tile_row] = tmac_multiply(
+                    act_shard[tile_row * TILE : (tile_row + 1) * TILE],
+                    w[r0 : r0 + TILE, col0 : col0 + TILE],
+                )
+            # FP32 add into the output register file (one write per stripe).
+            output[col0 : col0 + TILE] += tree_sum(faces)
+    return output

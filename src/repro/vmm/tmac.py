@@ -1,0 +1,52 @@
+"""TMAC tile arithmetic: 8x8 BF16 multiply, FP32 accumulate.
+
+One TMAC broadcasts an 8-element activation segment across the 8 columns
+of a weight tile: 64 MACs per cycle.  Products are formed in BF16 inputs
+with FP32 accumulation, and column faces are reduced with a 3-stage
+pairwise tree sum -- the exact accumulation order the tests pin down.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.quant.bf16 import bf16_round
+
+#: TMAC tile edge (8x8 MACs).
+TILE = 8
+
+
+def tmac_multiply(act_segment: np.ndarray, weight_tile: np.ndarray) -> np.ndarray:
+    """One TMAC operation: ``(8,) x (8, 8) -> (8,)`` partial outputs.
+
+    Inputs are rounded to BF16 (what the stream decoder / activation
+    register file deliver); each product is an exact BF16xBF16 multiply
+    accumulated into FP32 in row order.
+    """
+    act = bf16_round(np.asarray(act_segment, dtype=np.float32))
+    tile = bf16_round(np.asarray(weight_tile, dtype=np.float32))
+    if act.shape != (TILE,) or tile.shape != (TILE, TILE):
+        raise ValueError(
+            f"expected shapes ({TILE},) and ({TILE},{TILE}); "
+            f"got {act.shape} and {tile.shape}"
+        )
+    acc = np.zeros(TILE, dtype=np.float32)
+    for row in range(TILE):
+        # BF16 x BF16 is exact in FP32; accumulation happens in FP32.
+        acc += act[row].astype(np.float32) * tile[row].astype(np.float32)
+    return acc
+
+
+def tree_sum(faces: np.ndarray) -> np.ndarray:
+    """3-stage pairwise tree reduction of 8 accumulator faces.
+
+    ``faces`` is ``(8, width)``: the per-tile-row partials of one column
+    of tiles within a stripe.  Pairwise FP32 adds, three stages.
+    """
+    faces = np.asarray(faces, dtype=np.float32)
+    if faces.shape[0] != TILE:
+        raise ValueError(f"tree_sum expects {TILE} faces, got {faces.shape[0]}")
+    level = faces
+    while level.shape[0] > 1:
+        level = level[0::2] + level[1::2]
+    return level[0]

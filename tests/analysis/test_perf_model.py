@@ -1,0 +1,113 @@
+"""Analytical RPU model: paper headline anchors."""
+
+import pytest
+
+from repro.analysis.perf_model import (
+    decode_step_perf,
+    iso_tdp_system,
+    min_cus_for,
+    system_for,
+)
+from repro.gpu.inference import decode_step
+from repro.gpu.system import GpuSystem
+from repro.models.llama3 import LLAMA3_8B, LLAMA3_70B, LLAMA3_405B
+from repro.models.llama4 import LLAMA4_MAVERICK
+from repro.models.workload import Workload
+
+
+class TestHeadlineLatencies:
+    """Paper Section VIII: the fastest reported token latencies."""
+
+    def test_70b_at_204_cus(self):
+        workload = Workload(LLAMA3_70B, batch_size=1, seq_len=8192)
+        result = decode_step_perf(system_for(204, workload), workload)
+        assert result.latency_s * 1e3 == pytest.approx(0.4, rel=0.15)
+
+    def test_405b_at_428_cus(self):
+        workload = Workload(LLAMA3_405B, batch_size=1, seq_len=8192)
+        result = decode_step_perf(system_for(428, workload), workload)
+        assert result.latency_s * 1e3 == pytest.approx(1.0, rel=0.25)
+
+    def test_maverick_at_128_cus(self):
+        workload = Workload(LLAMA4_MAVERICK, batch_size=1, seq_len=8192)
+        result = decode_step_perf(system_for(128, workload), workload)
+        assert result.latency_s * 1e3 == pytest.approx(0.2, abs=0.06)
+
+    def test_8b_sub_100us_possible(self):
+        workload = Workload(LLAMA3_8B, batch_size=1, seq_len=8192)
+        result = decode_step_perf(system_for(108, workload), workload)
+        assert result.latency_s < 0.12e-3
+
+
+class TestIsoTdpSpeedups:
+    """Paper: 35-45x lower latency than H100 systems at ISO-TDP."""
+
+    @pytest.mark.parametrize(
+        "model, gpus, low, high",
+        [
+            (LLAMA3_405B, 4, 25, 55),
+            (LLAMA3_70B, 2, 30, 55),
+            (LLAMA3_8B, 1, 25, 55),
+        ],
+    )
+    def test_speedup_band(self, model, gpus, low, high):
+        workload = Workload(model, batch_size=1, seq_len=8192)
+        gpu = GpuSystem(count=gpus)
+        rpu = iso_tdp_system(gpu, workload)
+        speedup = (
+            decode_step(gpu, workload).latency_s
+            / decode_step_perf(rpu, workload).latency_s
+        )
+        assert low <= speedup <= high
+
+    def test_iso_tdp_cu_count_for_4xh100(self):
+        workload = Workload(LLAMA3_405B, batch_size=1, seq_len=8192)
+        rpu = iso_tdp_system(GpuSystem(count=4), workload)
+        assert 280 <= rpu.num_cus <= 340  # paper: 308
+
+
+class TestModelStructure:
+    def test_memory_bound_at_small_scale(self):
+        workload = Workload(LLAMA3_70B, batch_size=1, seq_len=8192)
+        result = decode_step_perf(system_for(32, workload), workload)
+        assert result.bound in ("memory", "compute")
+        assert result.mem_bw_utilization > 0.8
+
+    def test_network_bound_at_plateau(self):
+        """Beyond the optimal scale, broadcasting dominates (Sec VIII)."""
+        workload = Workload(LLAMA3_70B, batch_size=1, seq_len=8192)
+        result = decode_step_perf(system_for(500, workload), workload)
+        assert result.bound == "network"
+
+    def test_latency_monotone_then_plateau(self):
+        workload = Workload(LLAMA3_405B, batch_size=1, seq_len=8192)
+        lat = [
+            decode_step_perf(system_for(n, workload), workload).latency_s
+            for n in (64, 128, 256, 428)
+        ]
+        assert lat[0] > lat[1] > lat[2] > lat[3]
+
+    def test_coupled_slower_than_decoupled(self):
+        workload = Workload(LLAMA3_70B, batch_size=1, seq_len=8192)
+        system = system_for(204, workload)
+        coupled = decode_step_perf(system, workload, decoupled=False)
+        decoupled = decode_step_perf(system, workload, decoupled=True)
+        assert coupled.latency_s > decoupled.latency_s
+
+    def test_energy_memory_dominated(self):
+        workload = Workload(LLAMA3_405B, batch_size=1, seq_len=8192)
+        result = decode_step_perf(system_for(64, workload), workload)
+        assert result.energy_mem_j > result.energy_comp_j + result.energy_net_j
+
+    def test_capacity_check(self):
+        workload = Workload(LLAMA3_405B, batch_size=1, seq_len=8192)
+        from repro.arch.system import RpuSystem
+
+        with pytest.raises(ValueError, match="cannot hold"):
+            decode_step_perf(RpuSystem(16), workload)
+
+    def test_min_cus_positive_and_sufficient(self):
+        workload = Workload(LLAMA3_405B, batch_size=1, seq_len=8192)
+        floor = min_cus_for(workload)
+        system = system_for(floor, workload)
+        assert system.fits(workload.memory_footprint_bytes())

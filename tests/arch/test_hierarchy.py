@@ -1,0 +1,141 @@
+"""RPU hierarchy: Fig 6 metrics, power provisioning, shoreline, ring."""
+
+import pytest
+
+from repro.arch.area import cu_shoreline, h100_shoreline, rpu_shoreline_at_iso_area
+from repro.arch.compute_unit import ComputeUnit
+from repro.arch.core import ReasoningCore
+from repro.arch.package import Package
+from repro.arch.power import (
+    cu_power,
+    decode_tdp_per_cu,
+    iso_tdp_cus,
+    memory_path_pj_per_bit,
+)
+from repro.arch.specs import CORE_SPEC
+from repro.arch.system import RpuSystem
+from repro.memory.design_space import design_point
+from repro.memory.hbmco import HBM3E, HbmCoConfig, hbm3e_like_sku
+from repro.util.units import GIB, TB
+
+
+class TestFig6Metrics:
+    def test_core_is_1_tflop(self):
+        assert CORE_SPEC.peak_flops / 1e12 == pytest.approx(1.0, rel=0.05)
+
+    def test_cu_is_16_tflops(self):
+        assert ComputeUnit().peak_flops / 1e12 == pytest.approx(16.4, rel=0.01)
+
+    def test_package_is_64_tflops(self):
+        assert Package().peak_flops / 1e12 == pytest.approx(65.5, rel=0.01)
+
+    def test_cu_bandwidth_512_gib(self):
+        assert ComputeUnit().mem_bandwidth_bytes_per_s == 512 * GIB
+
+    def test_package_bandwidth_2_tb(self):
+        assert Package().mem_bandwidth_bytes_per_s / TB == pytest.approx(2.2, rel=0.01)
+
+    def test_compute_to_bandwidth_32_ops_per_byte(self):
+        assert CORE_SPEC.compute_to_bandwidth == pytest.approx(30, rel=0.1)
+
+    def test_cu_sram_near_16_mib(self):
+        assert ComputeUnit().sram_bytes / (1 << 20) == pytest.approx(15, rel=0.1)
+
+    def test_cu_rejects_wrong_pseudo_channel_sku(self):
+        full = design_point(HbmCoConfig(channels_per_layer=4))
+        with pytest.raises(ValueError, match="pseudo-channels"):
+            ComputeUnit(memory=full)
+
+    def test_core_capacity_with_hbm3e_like(self):
+        cu = ComputeUnit(memory=design_point(hbm3e_like_sku()))
+        assert cu.core.mem_capacity_bytes == pytest.approx(1.5 * GIB)
+
+    def test_core_roofline(self):
+        core = ComputeUnit().core
+        low = core.roofline_flops(1.0)
+        assert low == pytest.approx(core.mem_bandwidth_bytes_per_s)
+        assert core.roofline_flops(1000.0) == core.peak_flops
+
+    def test_roofline_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ComputeUnit().core.roofline_flops(-1)
+
+
+class TestPower:
+    def test_decode_power_in_paper_range(self):
+        """CU at 8-18 W (Fig 6); BS=1 decode near 9 W."""
+        assert 8.0 <= decode_tdp_per_cu(ComputeUnit()) <= 10.0
+
+    def test_full_power_in_paper_range(self):
+        assert 8.0 <= cu_power(ComputeUnit()).total <= 18.0
+
+    def test_memory_dominates_decode_power(self):
+        """Paper: 70-80%+ of power to memory interfaces during decode."""
+        p = cu_power(ComputeUnit(), mem_util=1.0, comp_util=0.13, net_util=0.2)
+        assert p.memory_fraction > 0.7
+
+    def test_iso_tdp_4xh100_near_308_cus(self):
+        cus = iso_tdp_cus(2800.0, ComputeUnit())
+        assert 280 <= cus <= 340  # paper: 308
+
+    def test_memory_path_energy_near_17_pj(self):
+        assert memory_path_pj_per_bit(ComputeUnit()) == pytest.approx(1.72, abs=0.1)
+
+    def test_bad_utilization_rejected(self):
+        with pytest.raises(ValueError):
+            cu_power(ComputeUnit(), mem_util=1.5)
+
+    def test_iso_tdp_rejects_zero_budget(self):
+        with pytest.raises(ValueError):
+            iso_tdp_cus(0.0, ComputeUnit())
+
+    def test_hbm3e_memory_raises_cu_power(self):
+        """Higher energy/bit memory -> higher memory-path power."""
+        opt = decode_tdp_per_cu(ComputeUnit())
+        fat = decode_tdp_per_cu(ComputeUnit(memory=design_point(hbm3e_like_sku())))
+        assert fat > opt
+
+
+class TestShoreline:
+    def test_rpu_10x_h100_shoreline(self):
+        """Paper: ~600 mm vs 60 mm at equal compute die area."""
+        assert rpu_shoreline_at_iso_area() == pytest.approx(592, rel=0.02)
+        assert rpu_shoreline_at_iso_area() / h100_shoreline().shoreline_mm > 9
+
+    def test_cu_shoreline_both_edges(self):
+        assert cu_shoreline().shoreline_mm == 32.0
+
+
+class TestSystem:
+    def test_aggregates(self):
+        system = RpuSystem(64)
+        assert system.num_cores == 1024
+        assert system.num_stacks == 128
+        assert system.num_packages == 16
+
+    def test_428_cu_bandwidth_214_tib(self):
+        """The paper's '214 TB/s' headline (binary TiB/s)."""
+        system = RpuSystem(428)
+        assert system.mem_bandwidth_bytes_per_s / (1 << 40) == pytest.approx(214)
+
+    def test_fits(self):
+        system = RpuSystem(64)
+        assert system.fits(system.mem_capacity_bytes)
+        assert not system.fits(system.mem_capacity_bytes * 1.01)
+
+    def test_ring_collective_hops(self):
+        system = RpuSystem(64)
+        small = system.ring_collective_latency_s(0.0, participants=2)
+        large = system.ring_collective_latency_s(0.0, participants=64)
+        assert large == pytest.approx(63 * small)
+
+    def test_ring_collective_validates_participants(self):
+        with pytest.raises(ValueError):
+            RpuSystem(8).ring_collective_latency_s(100, participants=9)
+
+    def test_invalid_cu_count(self):
+        with pytest.raises(ValueError):
+            RpuSystem(0)
+
+    def test_str_mentions_scale(self):
+        assert "RPU-64CU" in str(RpuSystem(64))

@@ -1,0 +1,139 @@
+"""Compiler: tracing, sharding plans, lowering discipline."""
+
+import math
+
+import pytest
+
+from repro.arch.system import RpuSystem
+from repro.compiler.graph import trace
+from repro.compiler.lowering import compile_decode_step
+from repro.compiler.sharding import MIN_COLUMNS_PER_CORE, plan_linear
+from repro.isa.instructions import MemLoad, NetCollective
+from repro.models.flops import KernelKind
+from repro.models.llama3 import LLAMA3_8B, LLAMA3_70B
+from repro.models.workload import Workload
+from repro.util.units import KIB
+
+
+class TestTrace:
+    def test_op_count_matches_profile(self):
+        workload = Workload(LLAMA3_8B, seq_len=2048)
+        ops = trace(workload)
+        # 11 kernels per dense layer + lm_head.
+        assert len(ops) == 32 * 11 + 1
+
+    def test_ops_ordered_by_layer(self):
+        ops = trace(Workload(LLAMA3_8B, seq_len=2048))
+        layers = [op.layer for op in ops if op.layer is not None]
+        assert layers == sorted(layers)
+
+    def test_uids_unique(self):
+        ops = trace(Workload(LLAMA3_8B, seq_len=2048))
+        uids = [op.uid for op in ops]
+        assert len(uids) == len(set(uids))
+
+    def test_network_input_flags(self):
+        ops = trace(Workload(LLAMA3_8B, seq_len=2048))
+        names_with_net = {op.name for op in ops if op.needs_network_input}
+        assert "wQKV" in names_with_net
+        assert "wO" not in names_with_net
+
+
+class TestSharding:
+    def test_no_groups_when_columns_suffice(self):
+        plan = plan_linear(4096, 4096, 64)
+        assert plan.group_size == 1
+        assert not plan.needs_reduction
+
+    def test_groups_when_columns_run_out(self):
+        plan = plan_linear(16384, 4096, 4096)
+        assert plan.group_size > 1
+        assert plan.needs_reduction
+        assert plan.columns_per_core >= MIN_COLUMNS_PER_CORE
+
+    def test_shard_covers_matrix(self):
+        plan = plan_linear(8192, 1024, 2048)
+        covered = (
+            plan.columns_per_core
+            * plan.cores_per_group_dim
+            * plan.rows_per_core
+            * plan.group_size
+        )
+        assert covered >= plan.in_dim * plan.out_dim / 1  # elements covered
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            plan_linear(0, 10, 4)
+
+
+class TestLowering:
+    def test_program_validates(self):
+        workload = Workload(LLAMA3_8B, seq_len=2048)
+        program = compile_decode_step(workload, RpuSystem(16))
+        program.validate()
+
+    def test_chunk_sizing(self):
+        workload = Workload(LLAMA3_8B, seq_len=2048)
+        system = RpuSystem(16)
+        program = compile_decode_step(workload, system, chunk_bytes=64 * KIB)
+        for instr in program.core.mem:
+            assert instr.nbytes <= 64 * KIB + 1
+
+    def test_total_weight_bytes_preserved(self):
+        """Lowered memory traffic equals the profile's per-core share."""
+        from repro.models.flops import decode_step_profile, step_totals
+
+        workload = Workload(LLAMA3_8B, seq_len=2048)
+        system = RpuSystem(16)
+        program = compile_decode_step(workload, system)
+        lowered = sum(i.nbytes for i in program.core.mem)
+        expected = step_totals(decode_step_profile(workload))["hbm_bytes"]
+        assert lowered * system.num_cores == pytest.approx(expected, rel=1e-6)
+
+    def test_total_flops_preserved(self):
+        from repro.models.flops import decode_step_profile, step_totals
+
+        workload = Workload(LLAMA3_8B, seq_len=2048)
+        system = RpuSystem(16)
+        program = compile_decode_step(workload, system)
+        lowered = sum(i.flops for i in program.core.comp)
+        expected = step_totals(decode_step_profile(workload))["flops"]
+        # Group reductions add a small number of extra vops.
+        assert lowered * system.num_cores >= expected * 0.999
+        assert lowered * system.num_cores <= expected * 1.05
+
+    def test_kv_traffic_tagged(self):
+        program = compile_decode_step(Workload(LLAMA3_8B, seq_len=2048), RpuSystem(16))
+        kv_loads = [i for i in program.core.mem if i.traffic == "kv"]
+        assert kv_loads, "attention must stream the KV cache"
+
+    def test_collectives_for_broadcast_kernels(self):
+        program = compile_decode_step(Workload(LLAMA3_8B, seq_len=2048), RpuSystem(16))
+        kernels = {
+            i.kernel for i in program.core.net if isinstance(i, NetCollective)
+            and i.op == "broadcast"
+        }
+        assert "wQKV" in kernels and "wUp/wGate" in kernels
+
+    def test_net_window_bounded(self):
+        program = compile_decode_step(
+            Workload(LLAMA3_70B, batch_size=32, seq_len=2048), RpuSystem(64)
+        )
+        window = RpuSystem(64).cu.core.spec.net_buffer_bytes * 0.5
+        for instr in program.core.net:
+            if isinstance(instr, NetCollective):
+                assert instr.local_bytes <= window
+
+    def test_more_cus_less_per_core_traffic(self):
+        workload = Workload(LLAMA3_8B, seq_len=2048)
+        small = compile_decode_step(workload, RpuSystem(16))
+        large = compile_decode_step(workload, RpuSystem(64))
+        assert sum(i.nbytes for i in large.core.mem) == pytest.approx(
+            sum(i.nbytes for i in small.core.mem) / 4, rel=1e-6
+        )
+
+    def test_rejects_bad_chunk(self):
+        with pytest.raises(ValueError):
+            compile_decode_step(
+                Workload(LLAMA3_8B, seq_len=2048), RpuSystem(16), chunk_bytes=0
+            )

@@ -1,0 +1,143 @@
+"""H100/H200 baseline: efficiency curves, kernels, inference model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.gpu.collectives import allreduce_latency_s
+from repro.gpu.efficiency import bandwidth_utilization, compute_utilization, gpu_power_w
+from repro.gpu.inference import decode_step, prefill_time_and_power
+from repro.gpu.kernels import profile_dense_kernel
+from repro.gpu.specs import H100, H200
+from repro.gpu.system import GpuSystem
+from repro.models.dtypes import DType
+from repro.models.llama3 import LLAMA3_8B, LLAMA3_70B, LLAMA3_405B
+from repro.models.workload import Workload
+
+
+class TestEfficiencyCurves:
+    def test_bw_util_saturates_near_1gb(self):
+        """Fig 2 right: full bandwidth needs ~1 GB working sets."""
+        assert bandwidth_utilization(1e9) > 0.75
+        assert bandwidth_utilization(1e5) < 0.1
+
+    @given(st.floats(min_value=1.0, max_value=1e10))
+    def test_bw_util_monotone_and_bounded(self, ws):
+        u = bandwidth_utilization(ws)
+        assert 0 < u < 1
+        assert bandwidth_utilization(ws * 2) >= u
+
+    def test_distributed_penalty(self):
+        assert bandwidth_utilization(1e8, distributed=True) < bandwidth_utilization(1e8)
+
+    def test_negative_ws_rejected(self):
+        with pytest.raises(ValueError):
+            bandwidth_utilization(-1)
+
+    def test_compute_util_saturates(self):
+        assert compute_utilization(1) < 0.4
+        assert compute_utilization(4096) == 1.0
+
+    def test_power_caps_at_tdp(self):
+        assert gpu_power_w(H100, 1.0, 1.0) == H100.tdp_w
+
+    def test_power_idle_floor(self):
+        assert gpu_power_w(H100, 0.0, 0.0) == H100.idle_w
+
+    def test_power_rejects_bad_util(self):
+        with pytest.raises(ValueError):
+            gpu_power_w(H100, 2.0, 0.0)
+
+
+class TestDenseKernels:
+    def test_low_batch_below_30pct_tdp(self):
+        """Fig 3 left: batch <= 64 stays under ~30% TDP."""
+        for batch in (4, 16, 64):
+            result = profile_dense_kernel(H100, batch, 4096)
+            assert result.power_w < 0.45 * H100.tdp_w
+
+    def test_compute_bound_near_1pj_per_flop(self):
+        """Fig 3 right: ~1 pJ/FLOP when compute-bound."""
+        result = profile_dense_kernel(H100, 16384, 4096)
+        assert 0.3 < result.pj_per_flop < 1.5
+
+    def test_low_batch_energy_penalty(self):
+        """Fig 3 right: 10-1000x worse at low batch."""
+        low = profile_dense_kernel(H100, 4, 1024)
+        high = profile_dense_kernel(H100, 16384, 4096)
+        assert low.pj_per_flop / high.pj_per_flop > 50
+
+    def test_memory_bound_flag(self):
+        assert profile_dense_kernel(H100, 1, 4096).mem_bound
+        assert not profile_dense_kernel(H100, 16384, 4096).mem_bound
+
+    def test_rejects_zero_batch(self):
+        with pytest.raises(ValueError):
+            profile_dense_kernel(H100, 0, 1024)
+
+
+class TestCollectives:
+    def test_single_device_free(self):
+        assert allreduce_latency_s(1e6, 1) == 0.0
+
+    def test_latency_floor_microseconds(self):
+        assert allreduce_latency_s(1024, 4) > 2e-6
+
+    def test_scales_with_payload(self):
+        small = allreduce_latency_s(1e6, 8)
+        large = allreduce_latency_s(1e9, 8)
+        assert large > 100 * small
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            allreduce_latency_s(-1, 4)
+        with pytest.raises(ValueError):
+            allreduce_latency_s(1, 0)
+
+
+class TestInference:
+    def test_405b_on_4xh100_latency_band(self):
+        """Paper implies ~45-65 ms/token (45.3x over 1.4 ms)."""
+        result = decode_step(GpuSystem(H100, 4), Workload(LLAMA3_405B))
+        assert 0.035 <= result.latency_s <= 0.075
+
+    def test_decode_bw_util_near_32pct(self):
+        """Paper: distributed decode uses ~32% of peak bandwidth."""
+        result = decode_step(GpuSystem(H100, 4), Workload(LLAMA3_70B, batch_size=32))
+        assert 0.2 <= result.mem_bw_utilization <= 0.45
+
+    def test_decode_power_fraction_of_tdp(self):
+        """Fig 2: decode burns ~34% of TDP."""
+        result = decode_step(GpuSystem(H100, 4), Workload(LLAMA3_70B, batch_size=32))
+        per_gpu = result.avg_power_w / 4
+        assert 0.25 * H100.tdp_w < per_gpu < 0.5 * H100.tdp_w
+
+    def test_prefill_near_90pct_tdp(self):
+        """Fig 2: prefill averages ~634 W per GPU."""
+        workload = Workload(
+            LLAMA3_70B, batch_size=32, seq_len=18432, decode_len=2048,
+            weight_dtype=DType.FP8,
+        )
+        _, power = prefill_time_and_power(GpuSystem(H100, 4), workload)
+        assert 0.85 * H100.tdp_w < power / 4 <= H100.tdp_w
+
+    def test_capacity_check(self):
+        with pytest.raises(ValueError, match="cannot hold"):
+            decode_step(GpuSystem(H100, 1), Workload(LLAMA3_405B))
+
+    def test_h200_faster_than_h100(self):
+        w = Workload(LLAMA3_70B)
+        h100 = decode_step(GpuSystem(H100, 2), w)
+        h200 = decode_step(GpuSystem(H200, 2), w)
+        assert h200.latency_s < h100.latency_s
+
+    def test_batching_improves_throughput(self):
+        w1 = Workload(LLAMA3_8B, batch_size=1)
+        w32 = w1.with_batch(32)
+        r1 = decode_step(GpuSystem(H100, 1), w1)
+        r32 = decode_step(GpuSystem(H100, 1), w32)
+        assert r32.tokens_per_s(32) > 4 * r1.tokens_per_s(1)
+        assert r32.otps_per_query < r1.otps_per_query
+
+    def test_system_validation(self):
+        with pytest.raises(ValueError):
+            GpuSystem(H100, 0)

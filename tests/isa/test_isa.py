@@ -1,0 +1,174 @@
+"""ISA: instruction validation, program checks, encoding round-trips."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.encoding import decode_program, encode_program
+from repro.isa.instructions import (
+    Compute,
+    MemLoad,
+    NetCollective,
+    NetForward,
+    ReadRef,
+    SlotRef,
+)
+from repro.isa.program import CoreProgram, Program
+
+
+def make_program():
+    """A tiny valid program: one load, one collective, one compute."""
+    program = CoreProgram()
+    w = SlotRef("mem", "L0.w0")
+    a = SlotRef("net", "L0.act")
+    program.mem.append(MemLoad(dst=w, nbytes=1024.0, kernel="wQKV"))
+    program.net.append(
+        NetCollective(
+            dst=a, payload_bytes=256.0, local_bytes=256.0, participants=4,
+            kernel="wQKV",
+        )
+    )
+    program.comp.append(
+        Compute(
+            reads=(ReadRef(w), ReadRef(a)),
+            flops=2048.0,
+            weight_bytes=1024.0,
+            out_bytes=64.0,
+            kernel="wQKV",
+        )
+    )
+    return Program(core=program, num_cus=4, cores_per_cu=16)
+
+
+class TestInstructions:
+    def test_slotref_buffer_validated(self):
+        with pytest.raises(ValueError):
+            SlotRef("cache", "x")
+
+    def test_memload_validation(self):
+        with pytest.raises(ValueError):
+            MemLoad(dst=SlotRef("mem", "x"), nbytes=-1)
+        with pytest.raises(ValueError):
+            MemLoad(dst=SlotRef("mem", "x"), nbytes=1, valid_count=0)
+
+    def test_collective_validation(self):
+        with pytest.raises(ValueError):
+            NetCollective(
+                dst=SlotRef("net", "x"), payload_bytes=1, local_bytes=1,
+                participants=1, op="scatter",
+            )
+
+    def test_compute_validation(self):
+        with pytest.raises(ValueError):
+            Compute(reads=(), flops=1.0, engine="gpu")
+
+    def test_forward_validation(self):
+        with pytest.raises(ValueError):
+            NetForward(nbytes=-5)
+
+
+class TestProgramValidation:
+    def test_valid_program_passes(self):
+        make_program().validate()
+
+    def test_unproduced_read_caught(self):
+        program = make_program()
+        program.core.comp.append(
+            Compute(reads=(ReadRef(SlotRef("mem", "ghost")),), flops=1.0)
+        )
+        with pytest.raises(ValueError, match="unproduced"):
+            program.validate()
+
+    def test_valid_count_mismatch_caught(self):
+        program = make_program()
+        program.core.mem[0] = MemLoad(
+            dst=SlotRef("mem", "L0.w0"), nbytes=1024.0, valid_count=2, kernel="wQKV"
+        )
+        with pytest.raises(ValueError, match="valid count"):
+            program.validate()
+
+    def test_leaked_slot_caught(self):
+        program = make_program()
+        program.core.mem.append(MemLoad(dst=SlotRef("mem", "leak"), nbytes=8.0))
+        with pytest.raises(ValueError, match="never consumed"):
+            program.validate()
+
+    def test_double_write_caught(self):
+        program = make_program()
+        program.core.mem.append(
+            MemLoad(dst=SlotRef("mem", "L0.w0"), nbytes=8.0)
+        )
+        with pytest.raises(ValueError, match="written twice"):
+            program.validate()
+
+    def test_kernels_listing(self):
+        assert make_program().core.kernels() == ["wQKV"]
+
+    def test_num_cores(self):
+        assert make_program().num_cores == 64
+
+
+class TestEncoding:
+    def test_round_trip_small_program(self):
+        program = make_program().core
+        decoded = decode_program(encode_program(program))
+        assert decoded.mem == program.mem
+        assert decoded.comp == program.comp
+        assert decoded.net == program.net
+
+    def test_round_trip_forward(self):
+        program = CoreProgram()
+        program.net.append(NetForward(nbytes=512.0, kernel="fwd"))
+        decoded = decode_program(encode_program(program))
+        assert decoded.net == program.net
+
+    def test_round_trip_kv_traffic_flag(self):
+        program = CoreProgram()
+        program.mem.append(
+            MemLoad(dst=SlotRef("mem", "k"), nbytes=64.0, traffic="kv", kernel="QK^T")
+        )
+        program.comp.append(
+            Compute(reads=(ReadRef(SlotRef("mem", "k")),), flops=1.0, kernel="QK^T")
+        )
+        decoded = decode_program(encode_program(program))
+        assert decoded.mem[0].traffic == "kv"
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=1e9),
+                st.integers(min_value=1, max_value=3),
+                st.booleans(),
+            ),
+            min_size=0,
+            max_size=12,
+        )
+    )
+    def test_round_trip_property(self, loads):
+        program = CoreProgram()
+        for i, (nbytes, count, is_kv) in enumerate(loads):
+            program.mem.append(
+                MemLoad(
+                    dst=SlotRef("mem", f"s{i}"),
+                    nbytes=nbytes,
+                    valid_count=count,
+                    traffic="kv" if is_kv else "weights",
+                    kernel=f"k{i % 3}",
+                )
+            )
+        decoded = decode_program(encode_program(program))
+        assert decoded.mem == program.mem
+
+    def test_compiled_program_round_trips(self):
+        """End-to-end: compiler output survives encode/decode."""
+        from repro.arch.system import RpuSystem
+        from repro.compiler.lowering import compile_decode_step
+        from repro.models.llama3 import LLAMA3_8B
+        from repro.models.workload import Workload
+
+        program = compile_decode_step(
+            Workload(LLAMA3_8B, seq_len=2048), RpuSystem(16)
+        )
+        decoded = decode_program(encode_program(program.core))
+        assert decoded.mem == program.core.mem
+        assert decoded.comp == program.core.comp
+        assert decoded.net == program.core.net

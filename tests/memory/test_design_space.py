@@ -1,0 +1,120 @@
+"""Design-space enumeration, SKU family, Pareto frontier, SKU selection."""
+
+import pytest
+
+from repro.memory.design_space import (
+    design_point,
+    enumerate_design_space,
+    enumerate_rpu_skus,
+    pareto_points,
+    sku_family,
+)
+from repro.memory.hbmco import candidate_hbmco
+from repro.memory.sku import CapacityError, select_sku, sku_for_system
+from repro.util.units import GIB
+
+
+class TestEnumeration:
+    def test_full_space_is_144_points(self):
+        assert len(enumerate_design_space()) == 4 * 4 * 3 * 3
+
+    def test_rpu_sku_space_is_36_points(self):
+        assert len(enumerate_rpu_skus()) == 4 * 3 * 3
+
+    def test_all_rpu_skus_have_256_gib_shoreline(self):
+        for point in enumerate_rpu_skus():
+            assert point.bandwidth_bytes_per_s == 256 * GIB
+            assert point.config.pseudo_channels == 8
+
+    def test_max_bw_per_cap_is_683(self):
+        # Paper: 682 is "the highest in our design space".
+        best = max(p.bw_per_cap for p in enumerate_rpu_skus())
+        assert best == pytest.approx(682.7, rel=0.01)
+
+    def test_design_point_metrics_consistent(self):
+        point = design_point(candidate_hbmco())
+        assert point.bw_per_cap == pytest.approx(
+            point.bandwidth_bytes_per_s / point.capacity_bytes
+        )
+        assert point.energy_pj_per_bit == point.energy.total
+
+    def test_str_mentions_label(self):
+        point = design_point(candidate_hbmco())
+        assert "1R|1C/L|1B/G|1xSA" in str(point)
+
+
+class TestSkuFamily:
+    def test_family_has_distinct_capacities(self):
+        family = sku_family()
+        caps = [round(p.capacity_bytes) for p in family]
+        assert len(caps) == len(set(caps))
+
+    def test_family_sorted_by_capacity(self):
+        family = sku_family()
+        caps = [p.capacity_bytes for p in family]
+        assert caps == sorted(caps)
+
+    def test_family_includes_fig10_skus(self):
+        """The SKUs Fig 10 selects: BW/Cap ~683, 341, 171, 152, 114, 85."""
+        ratios = {round(p.bw_per_cap) for p in sku_family()}
+        for expected in (683, 341, 171, 152, 114, 85):
+            assert expected in ratios
+
+    def test_family_min_energy_per_capacity(self):
+        family = {round(p.capacity_bytes): p for p in sku_family()}
+        for point in enumerate_rpu_skus():
+            best = family[round(point.capacity_bytes)]
+            assert best.energy_pj_per_bit <= point.energy_pj_per_bit + 1e-12
+
+
+class TestParetoPoints:
+    def test_energy_capacity_front_monotone(self):
+        front = pareto_points(objectives="energy-capacity")
+        energies = [p.energy_pj_per_bit for p in front]
+        assert energies == sorted(energies)
+
+    def test_energy_cost_objective(self):
+        front = pareto_points(objectives="energy-cost")
+        assert front
+
+    def test_unknown_objective_raises(self):
+        with pytest.raises(ValueError):
+            pareto_points(objectives="bogus")
+
+
+class TestSkuSelection:
+    def test_selects_smallest_fitting(self):
+        sku = select_sku(1.0 * GIB)
+        assert sku.capacity_bytes >= 1.0 * GIB
+        smaller = [
+            p
+            for p in sku_family()
+            if p.capacity_bytes < sku.capacity_bytes and p.capacity_bytes >= 1.0 * GIB
+        ]
+        assert not smaller
+
+    def test_exact_boundary_inclusive(self):
+        sku = select_sku(0.75 * GIB)
+        assert sku.capacity_bytes == pytest.approx(0.75 * GIB)
+
+    def test_fig9_optimal_for_405b_scale(self):
+        # ~1.58 GiB/stack requirement -> the 1.6875 GiB SKU (BW/Cap 152).
+        sku = select_sku(1.58 * GIB)
+        assert round(sku.bw_per_cap) == 152
+
+    def test_too_large_requirement_raises(self):
+        with pytest.raises(CapacityError):
+            select_sku(13 * GIB)
+
+    def test_negative_requirement_raises(self):
+        with pytest.raises(ValueError):
+            select_sku(-1.0)
+
+    def test_sku_for_system_divides_evenly(self):
+        whole = select_sku(1.0 * GIB)
+        split = sku_for_system(128 * GIB, 128)
+        assert split.capacity_bytes == whole.capacity_bytes
+
+    def test_sku_for_system_rejects_zero_stacks(self):
+        with pytest.raises(ValueError):
+            sku_for_system(1.0 * GIB, 0)

@@ -1,0 +1,103 @@
+"""HBM-CO device geometry and bandwidth/capacity arithmetic."""
+
+import pytest
+
+from repro.memory.hbmco import (
+    HBM3E,
+    HbmCoConfig,
+    candidate_hbmco,
+    hbm3e_like_sku,
+)
+from repro.util.units import GIB
+
+
+class TestGeometry:
+    def test_stack_height(self):
+        assert HBM3E.stack_height == 16
+        assert candidate_hbmco().stack_height == 4
+
+    def test_pseudo_channels_full_stack(self):
+        # 4 layers x 4 channels x 2 pseudo-channels = 32 (one rank).
+        assert HBM3E.pseudo_channels == 32
+
+    def test_pseudo_channels_rpu_sku(self):
+        # 1 channel/layer -> 8 pseudo-channels: one per reasoning core.
+        assert candidate_hbmco().pseudo_channels == 8
+
+    def test_array_scale_baseline_is_one(self):
+        assert HBM3E.array_scale == 1.0
+
+    def test_invalid_ranks_rejected(self):
+        with pytest.raises(ValueError):
+            HbmCoConfig(ranks=5)
+
+    def test_invalid_banks_rejected(self):
+        with pytest.raises(ValueError):
+            HbmCoConfig(banks_per_group=3)
+
+    def test_invalid_subarray_rejected(self):
+        with pytest.raises(ValueError):
+            HbmCoConfig(subarray_scale=0.9)
+
+
+class TestCapacityBandwidth:
+    def test_hbm3e_anchor(self):
+        assert HBM3E.capacity_bytes == 48 * GIB
+        assert HBM3E.bandwidth_bytes_per_s == 1280 * GIB
+
+    def test_hbm3e_bw_per_cap(self):
+        assert HBM3E.bw_per_cap == pytest.approx(26.67, rel=0.01)
+
+    def test_candidate_anchor(self):
+        cand = candidate_hbmco()
+        assert cand.capacity_bytes == pytest.approx(0.75 * GIB)
+        assert cand.bandwidth_bytes_per_s == 256 * GIB
+
+    def test_candidate_bw_per_cap_341(self):
+        assert candidate_hbmco().bw_per_cap == pytest.approx(341.3, rel=0.01)
+
+    def test_candidate_ideal_token_latency(self):
+        # Paper: 2.9 ms ideal token latency at 100% utilization.
+        assert candidate_hbmco().ideal_token_latency_s == pytest.approx(
+            2.9e-3, rel=0.02
+        )
+
+    def test_ranks_add_capacity_not_bandwidth(self):
+        one = HbmCoConfig(ranks=1)
+        four = HbmCoConfig(ranks=4)
+        assert four.capacity_bytes == 4 * one.capacity_bytes
+        assert four.bandwidth_bytes_per_s == one.bandwidth_bytes_per_s
+
+    def test_banks_add_capacity_not_bandwidth(self):
+        one = HbmCoConfig(banks_per_group=1)
+        four = HbmCoConfig(banks_per_group=4)
+        assert four.capacity_bytes == 4 * one.capacity_bytes
+        assert four.bandwidth_bytes_per_s == one.bandwidth_bytes_per_s
+
+    def test_channels_scale_bandwidth_and_capacity(self):
+        one = HbmCoConfig(channels_per_layer=1)
+        four = HbmCoConfig(channels_per_layer=4)
+        assert four.bandwidth_bytes_per_s == 4 * one.bandwidth_bytes_per_s
+        assert four.capacity_bytes == 4 * one.capacity_bytes
+
+    def test_subarrays_scale_capacity_only(self):
+        full = HbmCoConfig(subarray_scale=1.0)
+        half = HbmCoConfig(subarray_scale=0.5)
+        assert half.capacity_bytes == 0.5 * full.capacity_bytes
+        assert half.bandwidth_bytes_per_s == full.bandwidth_bytes_per_s
+
+    def test_pseudo_channel_bandwidth_is_32_gib(self):
+        cand = candidate_hbmco()
+        assert cand.pseudo_channel_bandwidth_bytes_per_s == 32 * GIB
+
+    def test_hbm3e_like_sku_per_core_capacity(self):
+        # Fig 9's 'HBM3e config': 1.5 GiB per reasoning core.
+        sku = hbm3e_like_sku()
+        assert sku.capacity_bytes / sku.pseudo_channels == pytest.approx(1.5 * GIB)
+
+    def test_label_roundtrippable(self):
+        assert candidate_hbmco().label() == "1R|1C/L|1B/G|1xSA"
+
+    def test_with_timing(self):
+        slow = HBM3E.with_timing(False)
+        assert slow.bandwidth_bytes_per_s == 1024 * GIB

@@ -1,0 +1,37 @@
+"""Fig 4 landscape: the Goldilocks gap and the technologies around it."""
+
+import pytest
+
+from repro.memory.landscape import (
+    GOLDILOCKS_BW_PER_CAP,
+    MEMORY_TECHNOLOGIES,
+    technology_gap,
+)
+
+
+class TestLandscape:
+    def test_no_commercial_tech_in_goldilocks(self):
+        """The paper's central claim: the Goldilocks band is empty."""
+        for tech in MEMORY_TECHNOLOGIES:
+            assert not tech.in_goldilocks, f"{tech.name} unexpectedly in band"
+
+    def test_dram_below_sram_above(self):
+        low, high = GOLDILOCKS_BW_PER_CAP
+        for tech in MEMORY_TECHNOLOGIES:
+            if tech.kind == "sram":
+                assert tech.bw_per_cap > high
+            else:
+                assert tech.bw_per_cap < low
+
+    def test_latency_inverse_of_bw_per_cap(self):
+        for tech in MEMORY_TECHNOLOGIES:
+            assert tech.latency_per_token_s == pytest.approx(1.0 / tech.bw_per_cap)
+
+    def test_gap_spans_goldilocks(self):
+        low, high = technology_gap()
+        assert low < GOLDILOCKS_BW_PER_CAP[0]
+        assert high > GOLDILOCKS_BW_PER_CAP[1]
+
+    def test_hbm3e_bw_per_cap_near_27(self):
+        hbm3e = next(t for t in MEMORY_TECHNOLOGIES if t.name == "HBM3e")
+        assert hbm3e.bw_per_cap == pytest.approx(26.7, rel=0.01)

@@ -1,0 +1,113 @@
+"""Minifloat and BF16 quantization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.quant.bf16 import bf16_round
+from repro.quant.fp8 import FP8_E4M3, FP8_E5M2, quantize_fp8
+from repro.quant.minifloat import FP4_E2M1, MiniFloatSpec, quantize_minifloat
+
+floats = hnp.arrays(
+    np.float32,
+    st.integers(min_value=1, max_value=64),
+    elements=st.floats(-100, 100, width=32),
+)
+
+
+class TestBf16:
+    def test_idempotent(self):
+        x = np.array([1.00390625, -3.14159, 0.1], dtype=np.float32)
+        once = bf16_round(x)
+        assert np.array_equal(bf16_round(once), once)
+
+    def test_exact_on_powers_of_two(self):
+        x = np.array([1.0, 2.0, 0.5, -4.0], dtype=np.float32)
+        assert np.array_equal(bf16_round(x), x)
+
+    def test_round_to_nearest_even(self):
+        # 1 + 2^-9 is exactly halfway between 1.0 and 1 + 2^-8 in BF16;
+        # ties go to the even mantissa (1.0).
+        x = np.array([1.0 + 2.0**-9], dtype=np.float32)
+        assert bf16_round(x)[0] == 1.0
+
+    def test_relative_error_bound(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=1000).astype(np.float32)
+        err = np.abs(bf16_round(x) - x)
+        assert np.all(err <= np.abs(x) * 2.0**-8 + 1e-30)
+
+    def test_nan_preserved(self):
+        x = np.array([np.nan, 1.0], dtype=np.float32)
+        out = bf16_round(x)
+        assert np.isnan(out[0]) and out[1] == 1.0
+
+    @given(floats)
+    def test_idempotent_property(self, x):
+        once = bf16_round(x)
+        assert np.array_equal(bf16_round(once), once)
+
+
+class TestMiniFloatSpec:
+    def test_fp4_range(self):
+        # E2M1 with extended range: max magnitude 6.0.
+        assert FP4_E2M1.max_value == 6.0
+
+    def test_e4m3_max_448(self):
+        assert FP8_E4M3.max_value == 448.0
+
+    def test_e5m2_max_57344(self):
+        assert FP8_E5M2.max_value == 57344.0
+
+    def test_bits(self):
+        assert FP4_E2M1.bits == 4
+        assert FP8_E4M3.bits == 8
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ValueError):
+            MiniFloatSpec("bad", exponent_bits=0, mantissa_bits=1)
+
+
+class TestQuantizeMinifloat:
+    def test_fp4_grid(self):
+        """E2M1 values: 0, 0.5, 1, 1.5, 2, 3, 4, 6 (and negatives)."""
+        grid = np.array([0, 0.5, 1, 1.5, 2, 3, 4, 6], dtype=np.float32)
+        assert np.array_equal(quantize_minifloat(grid, FP4_E2M1), grid)
+
+    def test_fp4_saturates(self):
+        out = quantize_minifloat(np.array([100.0, -100.0], np.float32), FP4_E2M1)
+        assert np.array_equal(out, [6.0, -6.0])
+
+    def test_fp4_rounds_between_points(self):
+        out = quantize_minifloat(np.array([2.4, 2.6], np.float32), FP4_E2M1)
+        assert np.array_equal(out, [2.0, 3.0])
+
+    def test_zero_exact(self):
+        assert quantize_minifloat(np.zeros(3, np.float32), FP4_E2M1).sum() == 0
+
+    def test_sign_symmetry(self):
+        x = np.linspace(-5, 5, 101).astype(np.float32)
+        pos = quantize_minifloat(x, FP8_E4M3)
+        neg = quantize_minifloat(-x, FP8_E4M3)
+        assert np.array_equal(pos, -neg)
+
+    @given(floats)
+    def test_idempotent(self, x):
+        once = quantize_fp8(x)
+        assert np.array_equal(quantize_fp8(once), once)
+
+    @given(floats)
+    def test_error_bounded_by_half_ulp(self, x):
+        out = quantize_fp8(x, FP8_E4M3)
+        clamped = np.clip(x, -448, 448)
+        # relative error <= 2^-4 for normals plus subnormal floor
+        err = np.abs(out - clamped)
+        bound = np.abs(clamped) * 2.0**-3 + FP8_E4M3.min_subnormal
+        assert np.all(err <= bound)
+
+    @given(floats)
+    def test_monotone_nondecreasing(self, x):
+        ordered = np.sort(x)
+        out = quantize_fp8(ordered)
+        assert np.all(np.diff(out) >= 0)

@@ -1,0 +1,56 @@
+"""Stream decoder throughput/energy model and functional decode."""
+
+import numpy as np
+import pytest
+
+from repro.models.dtypes import DType
+from repro.quant.mxfp import MXFP4
+from repro.quant.stream_decoder import StreamDecoder
+
+
+class TestThroughput:
+    def test_mxfp4_matches_channel_rate(self):
+        """256 b/cycle at 1 GHz sustains 32 GB/s of compressed MXFP4 --
+        exactly one core's HBM-CO pseudo-channel rate."""
+        decoder = StreamDecoder()
+        assert decoder.compressed_bandwidth_bytes_per_s(DType.MXFP4) == pytest.approx(
+            32e9
+        )
+
+    def test_wider_formats_not_faster(self):
+        decoder = StreamDecoder()
+        assert decoder.compressed_bandwidth_bytes_per_s(
+            DType.MXFP8
+        ) <= decoder.compressed_bandwidth_bytes_per_s(DType.MXFP4) * 1.01
+
+    def test_cycles_per_tile_scale_with_bits(self):
+        decoder = StreamDecoder()
+        assert decoder.cycles_per_tile(DType.MXFP8) == pytest.approx(
+            2 * decoder.cycles_per_tile(DType.MXFP4), rel=0.1
+        )
+
+    def test_decode_energy_linear(self):
+        decoder = StreamDecoder()
+        assert decoder.decode_energy_j(2048) == pytest.approx(
+            2 * decoder.decode_energy_j(1024)
+        )
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            StreamDecoder().decode_energy_j(-1)
+
+
+class TestFunctionalDecode:
+    def test_matches_codec_plus_bf16(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(64, 64)).astype(np.float32)
+        decoder = StreamDecoder()
+        out = decoder.functional_decode(x, DType.MXFP4)
+        from repro.quant.bf16 import bf16_round
+
+        assert np.array_equal(out, bf16_round(MXFP4.quantize(x)))
+
+    def test_bf16_passthrough(self):
+        x = np.array([1.0, 2.0], np.float32)
+        out = StreamDecoder().functional_decode(x, DType.BF16)
+        assert np.array_equal(out, x)

@@ -1,0 +1,92 @@
+"""Disaggregated prefill/decode serving pipeline."""
+
+import pytest
+
+from repro.analysis.perf_model import system_for
+from repro.gpu.system import GpuSystem
+from repro.models.llama3 import LLAMA3_8B, LLAMA3_70B
+from repro.models.workload import Workload
+from repro.serving.disaggregated import (
+    INTERACTION_THRESHOLD_S,
+    DisaggregatedSystem,
+    QueryResult,
+)
+
+
+@pytest.fixture(scope="module")
+def system_70b():
+    workload = Workload(LLAMA3_70B, batch_size=1, seq_len=16384)
+    return DisaggregatedSystem(
+        prefill_engine=GpuSystem(count=2),
+        decode_engine=system_for(128, workload),
+    )
+
+
+@pytest.fixture(scope="module")
+def reasoning_query():
+    """A reasoning workload: 2k prompt, 4k of chain-of-thought decode."""
+    return Workload(LLAMA3_70B, batch_size=1, seq_len=6144, decode_len=4096)
+
+
+class TestQueryPipeline:
+    def test_stage_composition(self, system_70b, reasoning_query):
+        result = system_70b.query(reasoning_query)
+        assert result.end_to_end_s == pytest.approx(
+            result.prefill_s + result.kv_transfer_s + result.decode_s
+        )
+
+    def test_ttft_includes_handoff(self, system_70b, reasoning_query):
+        result = system_70b.query(reasoning_query)
+        assert result.ttft_s > result.prefill_s
+        assert result.ttft_s < result.end_to_end_s
+
+    def test_tpot_matches_decode_rate(self, system_70b, reasoning_query):
+        result = system_70b.query(reasoning_query)
+        assert result.tpot_s == pytest.approx(result.decode_s / 4096)
+        # 70B on 128 CUs decodes well under a millisecond per token.
+        assert result.tpot_s < 1e-3
+
+    def test_reasoning_query_is_interactive(self, system_70b, reasoning_query):
+        """The paper's point: 4k reasoning tokens within the ~10 s
+        interaction threshold needs RPU-class decode."""
+        result = system_70b.query(reasoning_query)
+        assert result.interactive
+        assert result.end_to_end_s < INTERACTION_THRESHOLD_S / 2
+
+    def test_gpu_only_baseline_misses_threshold(self, system_70b, reasoning_query):
+        baseline = system_70b.gpu_only_query(reasoning_query)
+        assert not baseline.interactive
+        rpu = system_70b.query(reasoning_query)
+        assert baseline.decode_s / rpu.decode_s > 10
+
+    def test_kv_transfer_scales_with_prompt(self, system_70b):
+        short = system_70b.query(
+            Workload(LLAMA3_70B, seq_len=3072, decode_len=1024)
+        )
+        long = system_70b.query(
+            Workload(LLAMA3_70B, seq_len=9216, decode_len=1024)
+        )
+        assert long.kv_transfer_s == pytest.approx(4 * short.kv_transfer_s)
+
+    def test_energy_split_reported(self, system_70b, reasoning_query):
+        result = system_70b.query(reasoning_query)
+        assert result.total_energy_j == pytest.approx(
+            result.prefill_energy_j + result.decode_energy_j
+        )
+        assert result.prefill_energy_j > 0 and result.decode_energy_j > 0
+
+    def test_rejects_zero_decode(self, system_70b):
+        with pytest.raises(ValueError):
+            system_70b.query(Workload(LLAMA3_70B, seq_len=2048, decode_len=0))
+
+
+class TestSmallModel:
+    def test_8b_fastest_thinking_speed(self):
+        """8B on a decode-sized RPU: >10k tokens/s of thinking speed."""
+        workload = Workload(LLAMA3_8B, batch_size=1, seq_len=4096, decode_len=2048)
+        system = DisaggregatedSystem(
+            prefill_engine=GpuSystem(count=1),
+            decode_engine=system_for(108, workload),
+        )
+        result = system.query(workload)
+        assert 1.0 / result.tpot_s > 8000

@@ -1,0 +1,128 @@
+"""End-to-end event simulation: decoupling behaviour, energy, agreement
+with the analytical model."""
+
+import pytest
+
+from repro.analysis.perf_model import decode_step_perf
+from repro.arch.system import RpuSystem
+from repro.memory.sku import sku_for_system
+from repro.models.llama3 import LLAMA3_8B
+from repro.models.workload import Workload
+from repro.sim.system_sim import simulate_decode_step
+
+
+@pytest.fixture(scope="module")
+def bs1_result():
+    workload = Workload(LLAMA3_8B, batch_size=1, seq_len=16384)
+    return simulate_decode_step(RpuSystem(64), workload)
+
+
+@pytest.fixture(scope="module")
+def bs32_result():
+    workload = Workload(LLAMA3_8B, batch_size=32, seq_len=8192)
+    sku = sku_for_system(workload.memory_footprint_bytes(), 128)
+    system = RpuSystem.with_memory(64, sku)
+    return simulate_decode_step(system, workload)
+
+
+class TestBs1:
+    def test_memory_bandwidth_saturated(self, bs1_result):
+        """Paper: at BS=1 the RPU saturates memory bandwidth."""
+        assert bs1_result.mem_utilization > 0.9
+
+    def test_compute_utilization_low(self, bs1_result):
+        """AI ~4 against a 30 Ops/Byte design -> low TMAC utilization."""
+        assert bs1_result.comp_utilization < 0.3
+
+    def test_decoder_occupancy_high(self, bs1_result):
+        """...but the stream-decoder front-end stays busy."""
+        assert bs1_result.decoder_occupancy > 0.85
+
+    def test_network_utilization_low(self, bs1_result):
+        assert bs1_result.net_utilization < 0.2
+
+    def test_per_layer_latency_matches_fig8(self, bs1_result):
+        """Fig 8 top: one layer spans ~4.5 us on a 64-CU system."""
+        per_layer = bs1_result.latency_s / 32
+        assert per_layer == pytest.approx(4.5e-6, rel=0.15)
+
+    def test_power_in_paper_band(self, bs1_result):
+        """Decode power ~8-11 W/CU, memory-dominated."""
+        assert 7.0 < bs1_result.avg_power_per_cu_w() < 12.0
+
+    def test_memory_energy_dominates(self, bs1_result):
+        energy = bs1_result.energy_per_cu_j()
+        assert energy["mem"] > 2 * (energy["comp"] + energy["net"])
+
+    def test_no_arbitration_deadlock(self, bs1_result):
+        assert bs1_result.arbitration["grants"] > 0
+
+
+class TestBs32:
+    def test_buffer_fills_to_capacity(self, bs32_result):
+        """Fig 8 bottom: deep prefetch fills the 512 KiB memory buffer."""
+        peak = max(b for _, b in bs32_result.mem_buffer_trace)
+        assert peak == pytest.approx(512 * 1024, rel=0.01)
+
+    def test_compute_utilization_rises(self, bs32_result):
+        """Batching pushes weight kernels toward compute-bound."""
+        assert bs32_result.comp_utilization > 0.5
+
+    def test_step_slower_than_bs1(self, bs32_result, bs1_result):
+        assert bs32_result.latency_s > 3 * bs1_result.latency_s
+
+    def test_energy_per_token_amortized(self, bs32_result, bs1_result):
+        assert bs32_result.energy_per_token_j(32) < 0.5 * bs1_result.energy_per_token_j(1)
+
+    def test_kernel_table_covers_fig8_labels(self, bs32_result):
+        kernels = {name for name, _, _ in bs32_result.kernel_table()}
+        for expected in ("wQKV", "QK^T", "wUp/wGate", "wDown"):
+            assert expected in kernels
+
+
+class TestAgreementWithPerfModel:
+    @pytest.mark.parametrize(
+        "batch, seq, num_cus", [(1, 16384, 64), (1, 8192, 32), (8, 8192, 64)]
+    )
+    def test_latency_within_10pct(self, batch, seq, num_cus):
+        workload = Workload(LLAMA3_8B, batch_size=batch, seq_len=seq)
+        sku = sku_for_system(workload.memory_footprint_bytes(), num_cus * 2)
+        system = RpuSystem.with_memory(num_cus, sku)
+        simulated = simulate_decode_step(system, workload).latency_s
+        modeled = decode_step_perf(system, workload).latency_s
+        assert modeled == pytest.approx(simulated, rel=0.12)
+
+    def test_energy_within_10pct(self):
+        workload = Workload(LLAMA3_8B, batch_size=1, seq_len=8192)
+        system = RpuSystem(64)
+        simulated = simulate_decode_step(system, workload)
+        modeled = decode_step_perf(system, workload)
+        sim_j = sum(simulated.energy_per_cu_j().values()) * system.num_cus
+        model_j = modeled.energy_per_step_j - modeled.energy_static_j
+        assert model_j == pytest.approx(sim_j, rel=0.10)
+
+
+class TestValidation:
+    def test_capacity_check(self):
+        workload = Workload(LLAMA3_8B, batch_size=1, seq_len=16384)
+        with pytest.raises(ValueError, match="cannot hold"):
+            simulate_decode_step(RpuSystem(2), workload)
+
+    def test_detail_cores_bounds(self):
+        workload = Workload(LLAMA3_8B, batch_size=1, seq_len=8192)
+        with pytest.raises(ValueError):
+            simulate_decode_step(RpuSystem(64), workload, detail_cores=0)
+
+    def test_multi_core_detail_consistent(self):
+        """Simulating 2 symmetric cores should match 1 core's timing."""
+        workload = Workload(LLAMA3_8B, batch_size=1, seq_len=4096)
+        one = simulate_decode_step(RpuSystem(64), workload, detail_cores=1)
+        two = simulate_decode_step(RpuSystem(64), workload, detail_cores=2)
+        assert two.latency_s == pytest.approx(one.latency_s, rel=0.05)
+
+    def test_energy_meter_power_trace_integrates(self):
+        workload = Workload(LLAMA3_8B, batch_size=1, seq_len=4096)
+        result = simulate_decode_step(RpuSystem(64), workload)
+        times, watts = result.meter.power_trace("mem", result.latency_s)
+        integrated = sum(watts) * result.meter.bin_s
+        assert integrated == pytest.approx(result.meter.total_j("mem"), rel=0.02)

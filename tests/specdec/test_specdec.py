@@ -1,0 +1,57 @@
+"""Speculative decoding arithmetic."""
+
+import pytest
+
+from repro.specdec.speculative import (
+    SpeculativeConfig,
+    speculative_speedup,
+    speculative_tokens_per_s,
+)
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        config = SpeculativeConfig()
+        assert config.lookahead == 8
+        assert config.accepted_per_window == 4.6
+
+    def test_rejects_bad_acceptance(self):
+        with pytest.raises(ValueError):
+            SpeculativeConfig(lookahead=4, accepted_per_window=6.0)
+
+    def test_rejects_zero_lookahead(self):
+        with pytest.raises(ValueError):
+            SpeculativeConfig(lookahead=0)
+
+
+class TestSpeedup:
+    def test_paper_18x_with_fast_draft(self):
+        """8B draft ~5x faster than 70B target -> ~1.8x end-to-end.
+
+        4.6 / (8 x 0.194 + 1) = 1.80: the paper's acceleration factor.
+        """
+        target = 1.0
+        draft = 0.194 * target
+        speedup = speculative_speedup(draft, target)
+        assert speedup == pytest.approx(1.8, rel=0.02)
+
+    def test_free_draft_upper_bound(self):
+        assert speculative_speedup(0.0, 1.0) == pytest.approx(4.6)
+
+    def test_slow_draft_hurts(self):
+        assert speculative_speedup(1.0, 1.0) < 1.0
+
+    def test_tokens_per_s(self):
+        rate = speculative_tokens_per_s(0.1, 1.0)
+        assert rate == pytest.approx(4.6 / 1.8)
+
+    def test_custom_verify_latency(self):
+        faster = speculative_speedup(0.1, 1.0, target_verify_s=0.5)
+        slower = speculative_speedup(0.1, 1.0, target_verify_s=1.5)
+        assert faster > slower
+
+    def test_rejects_bad_latencies(self):
+        with pytest.raises(ValueError):
+            speculative_tokens_per_s(-0.1, 1.0)
+        with pytest.raises(ValueError):
+            speculative_tokens_per_s(0.1, 0.0)

@@ -1,0 +1,92 @@
+"""Cross-module integration: the full toolchain end to end."""
+
+import pytest
+
+from repro.analysis.perf_model import decode_step_perf, system_for
+from repro.arch.system import RpuSystem
+from repro.compiler.lowering import compile_decode_step
+from repro.isa.encoding import decode_program, encode_program
+from repro.models.llama3 import LLAMA3_8B, LLAMA3_70B
+from repro.models.workload import Workload
+from repro.sim.system_sim import simulate_decode_step
+
+
+class TestToolchain:
+    """compile -> validate -> encode -> decode -> simulate."""
+
+    def test_full_pipeline(self):
+        workload = Workload(LLAMA3_8B, batch_size=1, seq_len=4096)
+        system = RpuSystem(32)
+        program = compile_decode_step(workload, system)
+        program.validate()
+
+        binary = encode_program(program.core)
+        assert len(binary) > 1000
+        program.core = decode_program(binary)
+
+        result = simulate_decode_step(system, workload, program=program)
+        assert result.latency_s > 0
+        assert result.mem_utilization > 0.5
+
+    def test_simulated_tokens_per_s_reasonable(self):
+        """8B on 32 CUs should decode in the few-hundred-us regime."""
+        workload = Workload(LLAMA3_8B, batch_size=1, seq_len=4096)
+        result = simulate_decode_step(RpuSystem(32), workload)
+        assert 1000 < result.tokens_per_s(1) < 20000
+
+
+class TestScalingConsistency:
+    def test_doubling_cus_near_halves_memory_time(self):
+        workload = Workload(LLAMA3_70B, batch_size=1, seq_len=8192)
+        r32 = decode_step_perf(system_for(32, workload), workload)
+        r64 = decode_step_perf(system_for(64, workload), workload)
+        assert r64.t_mem_s == pytest.approx(r32.t_mem_s / 2, rel=0.01)
+
+    def test_sku_shrinks_with_scale(self):
+        workload = Workload(LLAMA3_70B, batch_size=1, seq_len=8192)
+        small = system_for(32, workload).cu.memory.capacity_bytes
+        large = system_for(256, workload).cu.memory.capacity_bytes
+        assert large < small
+
+    def test_sim_and_model_track_scaling(self):
+        workload = Workload(LLAMA3_8B, batch_size=1, seq_len=4096)
+        for num_cus in (16, 64):
+            system = RpuSystem(num_cus)
+            sim = simulate_decode_step(system, workload).latency_s
+            model = decode_step_perf(system, workload).latency_s
+            assert model == pytest.approx(sim, rel=0.12)
+
+
+class TestEndToEndStory:
+    def test_rpu_beats_gpu_at_iso_tdp_whole_stack(self):
+        """The paper's headline through the full stack: simulate the RPU
+        with the event simulator, model the GPU, compare at ISO-TDP."""
+        from repro.analysis.perf_model import iso_tdp_system
+        from repro.gpu.inference import decode_step
+        from repro.gpu.system import GpuSystem
+
+        workload = Workload(LLAMA3_8B, batch_size=1, seq_len=8192)
+        gpu = GpuSystem(count=1)
+        rpu = iso_tdp_system(gpu, workload)
+        rpu_result = simulate_decode_step(rpu, workload)
+        gpu_result = decode_step(gpu, workload)
+        speedup = gpu_result.latency_s / rpu_result.latency_s
+        assert speedup > 20
+
+    def test_quantized_weights_flow_through_vmm(self):
+        """Functional check: MXFP4 weights decoded on the fly produce the
+        same result through the stripe dataflow as through NumPy."""
+        import numpy as np
+
+        from repro.models.dtypes import DType
+        from repro.quant.stream_decoder import StreamDecoder
+        from repro.vmm.reference import reference_vmm
+        from repro.vmm.stripes import stripe_vmm
+
+        rng = np.random.default_rng(7)
+        v = rng.normal(size=64).astype(np.float32)
+        w = rng.normal(size=(64, 16)).astype(np.float32)
+        decoded = StreamDecoder().functional_decode(w, DType.MXFP4)
+        np.testing.assert_allclose(
+            stripe_vmm(v, decoded), reference_vmm(v, decoded), rtol=5e-5, atol=5e-4
+        )

@@ -1,0 +1,110 @@
+"""Tests for repro.util: units, tables, Pareto helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.pareto import dominates, pareto_front
+from repro.util.tables import Table, format_cell
+from repro.util.units import fmt_bytes, fmt_energy, fmt_power, fmt_time
+
+
+class TestUnits:
+    def test_fmt_bytes_gb(self):
+        assert fmt_bytes(256e9) == "256.0 GB"
+
+    def test_fmt_bytes_small(self):
+        assert fmt_bytes(512) == "512 B"
+
+    def test_fmt_time_ms(self):
+        assert fmt_time(1.4e-3) == "1.40 ms"
+
+    def test_fmt_time_us(self):
+        assert fmt_time(42e-6) == "42.00 us"
+
+    def test_fmt_time_ns(self):
+        assert fmt_time(8e-9) == "8.0 ns"
+
+    def test_fmt_power_kw(self):
+        assert fmt_power(2800) == "2.80 kW"
+
+    def test_fmt_energy_pj(self):
+        assert fmt_energy(3.44e-12) == "3.44 pJ"
+
+    def test_fmt_energy_j(self):
+        assert fmt_energy(4.2) == "4.20 J"
+
+
+class TestTable:
+    def test_render_contains_headers_and_rows(self):
+        table = Table("T", ["a", "b"])
+        table.add_row(["x", 1.5])
+        out = table.render()
+        assert "T" in out and "a" in out and "1.5" in out
+
+    def test_row_width_mismatch_raises(self):
+        table = Table("T", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(["only-one"])
+
+    def test_format_cell_float_precision(self):
+        assert format_cell(0.123456) == "0.1235"
+
+    def test_format_cell_bool(self):
+        assert format_cell(True) == "yes"
+
+    def test_format_cell_scientific(self):
+        assert "e" in format_cell(1.5e-7)
+
+
+class TestPareto:
+    def test_dominates_strict(self):
+        assert dominates((1, 1), (2, 2))
+        assert not dominates((2, 2), (1, 1))
+
+    def test_dominates_requires_strict_improvement(self):
+        assert not dominates((1, 1), (1, 1))
+
+    def test_dominates_length_mismatch(self):
+        with pytest.raises(ValueError):
+            dominates((1,), (1, 2))
+
+    def test_front_simple(self):
+        items = [(1, 3), (2, 2), (3, 1), (3, 3)]
+        front = pareto_front(items, lambda x: x)
+        assert (3, 3) not in front
+        assert len(front) == 3
+
+    def test_front_dedupes_ties(self):
+        items = [(1, 1), (1, 1)]
+        assert len(pareto_front(items, lambda x: x)) == 1
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=20),
+                st.integers(min_value=0, max_value=20),
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_front_members_are_undominated(self, items):
+        front = pareto_front(items, lambda x: x)
+        assert front, "front is never empty for non-empty input"
+        for member in front:
+            assert not any(dominates(other, member) for other in items)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 10), st.integers(0, 10)),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_every_item_dominated_by_or_on_front(self, items):
+        front = pareto_front(items, lambda x: x)
+        for item in items:
+            covered = item in front or any(
+                dominates(f, item) or tuple(f) == tuple(item) for f in front
+            )
+            assert covered

@@ -1,0 +1,124 @@
+"""Functional VMM: TMAC arithmetic, tree sums, stripe dataflow vs NumPy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.vmm.reference import reference_vmm
+from repro.vmm.stripes import STRIPE_ROWS, stripe_schedule, stripe_vmm
+from repro.vmm.tmac import TILE, tmac_multiply, tree_sum
+
+
+class TestTmac:
+    def test_identity_tile(self):
+        act = np.arange(8, dtype=np.float32)
+        assert np.array_equal(tmac_multiply(act, np.eye(8, dtype=np.float32)), act)
+
+    def test_ones(self):
+        act = np.ones(8, np.float32)
+        out = tmac_multiply(act, np.ones((8, 8), np.float32))
+        assert np.array_equal(out, np.full(8, 8.0, np.float32))
+
+    def test_exact_small_integers(self):
+        rng = np.random.default_rng(0)
+        act = rng.integers(-8, 8, 8).astype(np.float32)
+        tile = rng.integers(-8, 8, (8, 8)).astype(np.float32)
+        assert np.array_equal(tmac_multiply(act, tile), act @ tile)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            tmac_multiply(np.ones(4, np.float32), np.ones((8, 8), np.float32))
+
+    def test_bf16_rounding_applied(self):
+        # 1 + 2^-10 is not representable in BF16; rounds to 1.0.
+        act = np.full(8, 1.0 + 2.0**-10, np.float32)
+        out = tmac_multiply(act, np.eye(8, dtype=np.float32))
+        assert np.array_equal(out, np.ones(8, np.float32))
+
+
+class TestTreeSum:
+    def test_sums_faces(self):
+        faces = np.arange(64, dtype=np.float32).reshape(8, 8)
+        assert np.array_equal(tree_sum(faces), faces.sum(axis=0))
+
+    def test_requires_8_faces(self):
+        with pytest.raises(ValueError):
+            tree_sum(np.ones((4, 8), np.float32))
+
+
+class TestStripeSchedule:
+    def test_order_is_column_major_within_stripe(self):
+        order = stripe_schedule(128, 16)
+        # First 8 visits: stripe 0, column 0, rows 0..7 (Fig 7 arrows).
+        assert order[:8] == [(0, 0, r) for r in range(8)]
+        # Then stripe 0, column 1.
+        assert order[8:16] == [(0, 1, r) for r in range(8)]
+
+    def test_all_tiles_visited_once(self):
+        k, n = 128, 64
+        order = stripe_schedule(k, n)
+        assert len(order) == (k // STRIPE_ROWS) * (n // TILE) * TILE
+        assert len(set(order)) == len(order)
+
+    def test_rejects_unaligned(self):
+        with pytest.raises(ValueError):
+            stripe_schedule(100, 16)
+
+
+class TestStripeVmm:
+    def test_exact_on_integers(self):
+        """Bitwise agreement with NumPy on exactly-representable values."""
+        rng = np.random.default_rng(1)
+        v = rng.integers(-4, 5, 128).astype(np.float32)
+        w = rng.integers(-4, 5, (128, 64)).astype(np.float32)
+        assert np.array_equal(stripe_vmm(v, w), (v @ w).astype(np.float32))
+
+    def test_close_on_gaussian(self):
+        rng = np.random.default_rng(2)
+        v = rng.normal(size=256).astype(np.float32)
+        w = rng.normal(size=(256, 64)).astype(np.float32)
+        out = stripe_vmm(v, w)
+        ref = reference_vmm(v, w)
+        np.testing.assert_allclose(out, ref, rtol=2e-5, atol=1e-4)
+
+    def test_paper_example_shape(self):
+        """Fig 7 walks a (1x128) x (128x64) VMM."""
+        v = np.ones(128, np.float32)
+        w = np.ones((128, 64), np.float32)
+        assert np.array_equal(stripe_vmm(v, w), np.full(64, 128.0, np.float32))
+
+    def test_zero_vector(self):
+        out = stripe_vmm(np.zeros(64, np.float32), np.ones((64, 8), np.float32))
+        assert np.array_equal(out, np.zeros(8, np.float32))
+
+    def test_rejects_unaligned(self):
+        with pytest.raises(ValueError):
+            stripe_vmm(np.ones(100, np.float32), np.ones((100, 8), np.float32))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            stripe_vmm(np.ones(64, np.float32), np.ones((128, 8), np.float32))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(1, 3), st.integers(1, 4), st.integers(0, 2**31 - 1))
+    def test_matches_reference_property(self, k_stripes, n_tiles, seed):
+        rng = np.random.default_rng(seed)
+        k, n = k_stripes * STRIPE_ROWS, n_tiles * TILE
+        v = rng.normal(size=k).astype(np.float32)
+        w = rng.normal(size=(k, n)).astype(np.float32)
+        np.testing.assert_allclose(
+            stripe_vmm(v, w), reference_vmm(v, w), rtol=5e-5, atol=5e-4
+        )
+
+    def test_quantized_weights_path(self):
+        """Stream-decoded MXFP4 weights flow through the same datapath."""
+        from repro.models.dtypes import DType
+        from repro.quant.stream_decoder import StreamDecoder
+
+        rng = np.random.default_rng(3)
+        v = rng.normal(size=128).astype(np.float32)
+        w = rng.normal(size=(128, 32)).astype(np.float32)
+        decoded = StreamDecoder().functional_decode(w, DType.MXFP4)
+        out = stripe_vmm(v, decoded)
+        ref = reference_vmm(v, decoded)
+        np.testing.assert_allclose(out, ref, rtol=5e-5, atol=5e-4)
