@@ -1,0 +1,76 @@
+"""Fleet-scale serving: cluster throughput/latency curves and the
+GPU-vs-RPU goodput comparison at equal decode power (extends the paper's
+Section I deployment argument to request-level traffic)."""
+
+from conftest import emit
+
+from repro.analysis.cluster_sweep import (
+    gpu_vs_disaggregated,
+    pod_scaling_curve,
+    throughput_latency_curve,
+)
+from repro.models.llama3 import LLAMA3_70B
+from repro.util.tables import Table
+
+
+def build():
+    return (
+        throughput_latency_curve(
+            LLAMA3_70B, rates_rps=(0.25, 0.5, 1.0, 2.0, 4.0), duration_s=20.0
+        ),
+        pod_scaling_curve(
+            LLAMA3_70B, pod_counts=(1, 2, 4), rate_rps=4.0, duration_s=15.0
+        ),
+        gpu_vs_disaggregated(LLAMA3_70B, rate_rps=1.0, duration_s=20.0),
+    )
+
+
+def test_sec10_cluster(benchmark):
+    curve, scaling, versus = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    load = Table(
+        "Throughput-latency: Llama3-70B reasoning traffic, 2 RPU decode pods",
+        ["RPS", "tok/s", "goodput", "TTFT p50 (s)", "TTFT p99 (s)", "queue (s)"],
+    )
+    for p in curve:
+        load.add_row([
+            p.rate_rps, f"{p.tokens_per_s:,.0f}", f"{p.goodput:.0%}",
+            f"{p.ttft_p50_s:.2f}", f"{p.ttft_p99_s:.2f}",
+            f"{p.mean_queueing_delay_s:.3f}",
+        ])
+
+    pods = Table(
+        "Fleet sizing: decode pods at 4 RPS offered load",
+        ["decode pods", "tok/s", "goodput", "decode util"],
+    )
+    for p in scaling:
+        pods.add_row([
+            p.num_decode_pods, f"{p.tokens_per_s:,.0f}",
+            f"{p.goodput:.0%}", f"{p.mean_decode_utilization:.0%}",
+        ])
+
+    iso = Table(
+        f"ISO-power decode pools ({versus.decode_pod_tdp_w:.0f} W/pod): "
+        f"2xH100 vs RPU-{versus.rpu_cus_per_pod}CU",
+        ["fleet", "goodput", "tok/s", "TTFT p50 (s)", "energy/token (J)"],
+    )
+    for name, report in (
+        ("GPU-only", versus.gpu_only),
+        ("disaggregated", versus.disaggregated),
+    ):
+        iso.add_row([
+            name, f"{report.goodput:.0%}", f"{report.tokens_per_s:,.0f}",
+            f"{report.ttft_percentile(50):.2f}",
+            f"{report.energy_per_token_j:.2f}",
+        ])
+    emit(load, pods, iso)
+
+    # Delivered throughput grows with offered load and with pool size.
+    assert all(b.tokens_per_s >= a.tokens_per_s * 0.99
+               for a, b in zip(curve, curve[1:]) if a.goodput == 1.0)
+    assert all(b.tokens_per_s >= a.tokens_per_s * 0.99
+               for a, b in zip(scaling, scaling[1:]))
+    # The Section I claim at fleet scale: at equal decode power the
+    # disaggregated fleet answers reasoning queries interactively.
+    assert versus.disaggregated.goodput >= versus.gpu_only.goodput
+    assert versus.disaggregated.goodput > 0.9

@@ -8,7 +8,7 @@ renders ASCII pipeline timelines with buffer and power summaries.
 Run:  python examples/trace_a_layer.py
 """
 
-from repro.analysis.timeline_fig import fig8_reports, simulate_fig8_case
+from repro.analysis.timeline_fig import fig8_reports
 from repro.arch.system import RpuSystem
 from repro.compiler.lowering import compile_decode_step
 from repro.isa.encoding import encode_program

@@ -1,0 +1,218 @@
+"""Fleet-scale sweeps: throughput-latency curves and the GPU-vs-RPU
+serving comparison at equal decode power.
+
+Three experiments over :mod:`repro.serving.cluster`:
+
+- **throughput_latency_curve**: sweep offered load (RPS) on a fixed
+  fleet and watch TTFT tails and goodput degrade as the decode pool
+  saturates -- the standard serving-capacity plot;
+- **pod_scaling_curve**: sweep the decode-pod count at fixed offered
+  load; delivered tokens/s must grow monotonically until it absorbs the
+  offered load (the fleet-sizing knob);
+- **gpu_vs_disaggregated**: the paper's Section I claim at fleet scale.
+  Both fleets get identical prefill pods; the decode pool is either GPU
+  groups or RPU boards sized to the *same TDP* via
+  :func:`repro.analysis.perf_model.iso_tdp_system` (ISO-power), and the
+  workload is reasoning traffic (short prompt, long chain of thought).
+  The RPU pool's higher decode throughput per watt shows up directly as
+  goodput at equal power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.perf_model import iso_tdp_system
+from repro.gpu.system import GpuSystem
+from repro.models.config import ModelConfig
+from repro.models.workload import Workload
+from repro.serving.cluster import (
+    ClusterConfig,
+    ClusterReport,
+    DecodePodSpec,
+    disaggregated_cluster,
+    gpu_only_cluster,
+    simulate,
+)
+from repro.serving.requests import (
+    ArrivalProcess,
+    RequestGenerator,
+    reasoning_traffic,
+)
+from repro.serving.scheduler import Policy
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One offered-load point on the throughput-latency curve."""
+
+    rate_rps: float
+    tokens_per_s: float
+    goodput: float
+    ttft_p50_s: float
+    ttft_p99_s: float
+    tpot_p50_s: float
+    mean_queueing_delay_s: float
+
+
+def _traffic(
+    model: ModelConfig,
+    rate_rps: float,
+    seed: int,
+    process: ArrivalProcess,
+    duration_s: float,
+):
+    generator = RequestGenerator(
+        classes=(reasoning_traffic(model),),
+        rate_rps=rate_rps,
+        process=process,
+        seed=seed,
+    )
+    return generator.generate(duration_s)
+
+
+def throughput_latency_curve(
+    model: ModelConfig,
+    *,
+    rates_rps: tuple[float, ...] = (0.25, 0.5, 1.0, 2.0, 4.0),
+    num_prefill_pods: int = 2,
+    num_decode_pods: int = 2,
+    cus_per_pod: int = 128,
+    duration_s: float = 30.0,
+    seed: int = 0,
+    policy: Policy = Policy.FIFO,
+    process: ArrivalProcess = ArrivalProcess.POISSON,
+) -> list[SweepPoint]:
+    """Delivered throughput and latency tails as offered load rises."""
+    config = disaggregated_cluster(
+        model,
+        num_prefill_pods=num_prefill_pods,
+        num_decode_pods=num_decode_pods,
+        cus_per_pod=cus_per_pod,
+        policy=policy,
+    )
+    points = []
+    for rate in rates_rps:
+        report = simulate(config, _traffic(model, rate, seed, process, duration_s))
+        points.append(
+            SweepPoint(
+                rate_rps=rate,
+                tokens_per_s=report.tokens_per_s,
+                goodput=report.goodput,
+                ttft_p50_s=report.ttft_percentile(50),
+                ttft_p99_s=report.ttft_percentile(99),
+                tpot_p50_s=report.tpot_percentile(50),
+                mean_queueing_delay_s=report.mean_queueing_delay_s,
+            )
+        )
+    return points
+
+
+@dataclass(frozen=True)
+class PodScalingPoint:
+    """Delivered throughput at one decode-pool size."""
+
+    num_decode_pods: int
+    tokens_per_s: float
+    goodput: float
+    mean_decode_utilization: float
+
+
+def pod_scaling_curve(
+    model: ModelConfig,
+    *,
+    pod_counts: tuple[int, ...] = (1, 2, 4),
+    rate_rps: float = 4.0,
+    num_prefill_pods: int = 4,
+    cus_per_pod: int = 128,
+    duration_s: float = 20.0,
+    seed: int = 0,
+) -> list[PodScalingPoint]:
+    """Fleet sizing: tokens/s vs decode pods at fixed offered load.
+
+    Delivered throughput is monotone non-decreasing in the pod count and
+    plateaus once the pool absorbs the offered load.
+    """
+    requests = _traffic(model, rate_rps, seed, ArrivalProcess.POISSON, duration_s)
+    points = []
+    for count in pod_counts:
+        config = disaggregated_cluster(
+            model,
+            num_prefill_pods=num_prefill_pods,
+            num_decode_pods=count,
+            cus_per_pod=cus_per_pod,
+        )
+        report = simulate(config, requests)
+        decode = [p for p in report.pod_stats if p.kind == "decode"]
+        points.append(
+            PodScalingPoint(
+                num_decode_pods=count,
+                tokens_per_s=report.tokens_per_s,
+                goodput=report.goodput,
+                mean_decode_utilization=sum(
+                    p.utilization(report.duration_s) for p in decode
+                )
+                / len(decode),
+            )
+        )
+    return points
+
+
+@dataclass(frozen=True)
+class FleetComparison:
+    """GPU-only vs disaggregated serving at equal decode TDP."""
+
+    gpu_only: ClusterReport
+    disaggregated: ClusterReport
+    decode_pod_tdp_w: float
+    rpu_cus_per_pod: int
+
+    @property
+    def goodput_advantage(self) -> float:
+        """Disaggregated goodput minus GPU-only goodput (fractions)."""
+        return self.disaggregated.goodput - self.gpu_only.goodput
+
+    @property
+    def throughput_ratio(self) -> float:
+        if self.gpu_only.tokens_per_s == 0:
+            return float("inf")
+        return self.disaggregated.tokens_per_s / self.gpu_only.tokens_per_s
+
+
+def gpu_vs_disaggregated(
+    model: ModelConfig,
+    *,
+    rate_rps: float = 1.0,
+    num_prefill_pods: int = 2,
+    num_decode_pods: int = 2,
+    gpus_per_decode: int = 2,
+    duration_s: float = 30.0,
+    seed: int = 0,
+) -> FleetComparison:
+    """Reasoning traffic on two fleets with identical prefill pods and
+    equal-TDP decode pools (RPU pods sized by the paper's ISO-TDP rule).
+    """
+    sizing = Workload(model, batch_size=32, seq_len=8192)
+    gpu_pod = GpuSystem(count=gpus_per_decode)
+    rpu_pod = iso_tdp_system(gpu_pod, sizing)
+
+    requests = _traffic(model, rate_rps, seed, ArrivalProcess.POISSON, duration_s)
+
+    gpu_config = gpu_only_cluster(
+        model,
+        num_prefill_pods=num_prefill_pods,
+        num_decode_pods=num_decode_pods,
+        gpus_per_decode=gpus_per_decode,
+    )
+    disagg_config = ClusterConfig(
+        prefill_engines=gpu_config.prefill_engines,
+        decode_pods=tuple(
+            DecodePodSpec(rpu_pod, model) for _ in range(num_decode_pods)
+        ),
+    )
+    return FleetComparison(
+        gpu_only=simulate(gpu_config, requests),
+        disaggregated=simulate(disagg_config, requests),
+        decode_pod_tdp_w=gpu_pod.tdp_w,
+        rpu_cus_per_pod=rpu_pod.num_cus,
+    )

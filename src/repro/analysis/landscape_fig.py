@@ -8,7 +8,6 @@ from repro.memory.design_space import enumerate_rpu_skus
 from repro.memory.landscape import (
     GOLDILOCKS_BW_PER_CAP,
     MEMORY_TECHNOLOGIES,
-    MemoryTechnology,
     technology_gap,
 )
 

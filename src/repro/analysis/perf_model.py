@@ -25,7 +25,6 @@ from dataclasses import dataclass
 
 from repro.arch.power import decode_tdp_per_cu, memory_path_pj_per_bit
 from repro.arch.specs import (
-    CORES_PER_CU,
     CU_HOP_LATENCY_S,
     CU_STATIC_POWER_W,
     ENERGY,
@@ -34,7 +33,6 @@ from repro.arch.specs import (
 )
 from repro.arch.system import RpuSystem
 from repro.gpu.system import GpuSystem
-from repro.memory.design_space import DesignPoint
 from repro.memory.sku import sku_for_system
 from repro.models.flops import KernelKind, decode_step_profile, step_arithmetic_intensity
 from repro.models.workload import Workload

@@ -15,7 +15,6 @@ from repro.analysis.perf_model import decode_step_perf, system_for
 from repro.models.llama3 import LLAMA3_8B, LLAMA3_70B
 from repro.models.workload import Workload
 from repro.specdec.speculative import SpeculativeConfig, speculative_tokens_per_s
-from repro.util.units import GB, GIB, MB
 
 
 @dataclass(frozen=True)

@@ -11,7 +11,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.analysis.perf_model import (
-    RpuPerfResult,
     decode_step_perf,
     iso_tdp_system,
     min_cus_for,

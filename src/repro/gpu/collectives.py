@@ -10,7 +10,6 @@ similar magnitude to the kernels themselves.
 
 from __future__ import annotations
 
-import math
 
 from repro.util.units import GB, US
 

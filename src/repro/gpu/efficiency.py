@@ -15,7 +15,6 @@ Two effects dominate low-batch GPU inference (paper Section II):
 
 from __future__ import annotations
 
-import math
 
 from repro.gpu.specs import GpuSpec
 

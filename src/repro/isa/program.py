@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.isa.instructions import Compute, Instruction, MemLoad, NetCollective, NetForward
+from repro.isa.instructions import Compute, MemLoad, NetCollective, NetForward
 
 
 @dataclass

@@ -9,8 +9,7 @@ traffic scales with batch size -- Fig 1's dense-vs-MoE comparison).
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass(frozen=True)

@@ -22,7 +22,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from enum import Enum
 
-from repro.models.config import ModelConfig
 from repro.models.workload import Workload
 
 

@@ -4,15 +4,52 @@ The paper's deployment model (following Splitwise and NVIDIA Dynamo):
 prefill runs on compute-dense GPUs, the KV cache is transferred to the
 RPU's memory, and the RPU decodes autonomously, interrupting the host
 once per generated token batch.  This package composes the repository's
-GPU and RPU models into that end-to-end query pipeline and reports the
-interactive-latency metrics the paper motivates (TTFT, TPOT, end-to-end
-response time against the ~10 s interaction threshold).
+GPU and RPU models into that end-to-end query pipeline -- one query at a
+time in :mod:`repro.serving.disaggregated`, and full fleet traffic with
+continuous batching in :mod:`repro.serving.cluster` -- and reports the
+interactive-latency metrics the paper motivates (TTFT, TPOT, goodput
+against the ~10 s interaction threshold).
 """
 
+from repro.serving.cluster import (
+    ClusterConfig,
+    ClusterReport,
+    ClusterSim,
+    DecodePodSpec,
+    disaggregated_cluster,
+    gpu_only_cluster,
+    simulate,
+)
 from repro.serving.disaggregated import (
+    INTERACTION_THRESHOLD_S,
     DisaggregatedSystem,
     QueryResult,
-    INTERACTION_THRESHOLD_S,
 )
+from repro.serving.requests import (
+    ArrivalProcess,
+    Request,
+    RequestGenerator,
+    TrafficClass,
+    reasoning_traffic,
+)
+from repro.serving.scheduler import ContinuousBatchScheduler, Policy
 
-__all__ = ["DisaggregatedSystem", "INTERACTION_THRESHOLD_S", "QueryResult"]
+__all__ = [
+    "ArrivalProcess",
+    "ClusterConfig",
+    "ClusterReport",
+    "ClusterSim",
+    "ContinuousBatchScheduler",
+    "DecodePodSpec",
+    "DisaggregatedSystem",
+    "INTERACTION_THRESHOLD_S",
+    "Policy",
+    "QueryResult",
+    "Request",
+    "RequestGenerator",
+    "TrafficClass",
+    "disaggregated_cluster",
+    "gpu_only_cluster",
+    "reasoning_traffic",
+    "simulate",
+]

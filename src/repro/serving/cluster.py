@@ -1,0 +1,558 @@
+"""Event-driven fleet simulator: many queries, many pods, one clock.
+
+:mod:`repro.serving.disaggregated` models *one* query end-to-end; this
+module scales that pipeline to datacenter traffic (the paper's Section I
+deployment: disaggregated prefill/decode at fleet scale, following
+Splitwise/Dynamo).  A cluster is
+
+- **N prefill pods** -- tensor-parallel GPU groups, each serving one
+  prompt at a time in FIFO order (prefill is compute-bound, so batching
+  prompts buys little);
+- **M decode pods** -- RPU boards (or GPU groups for the baseline), each
+  hosting one model's weights and running continuous batching under a
+  KV-capacity budget (:mod:`repro.serving.scheduler`);
+- a **KV hand-off** between them over the Ring Station's external
+  network, at the same 100 GbE cost the single-query model charges.
+
+The simulation is a classic discrete-event loop: request arrivals,
+prefill completions, KV arrivals and per-token decode steps interleave
+on one heap.  Decode step latency/energy comes from the same analytical
+models as everywhere else in the repo (``decode_step_perf`` for RPUs,
+``gpu.inference.decode_step`` for GPUs), evaluated at the running
+batch's mean context and memoized on (batch, context-bucket) so fleet
+runs stay fast.
+
+The report answers the serving questions the paper motivates: TTFT/TPOT
+tail percentiles, goodput against the ~10 s interaction threshold,
+queueing delay, and per-pod utilization and energy.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.analysis.perf_model import decode_step_perf, system_for
+from repro.arch.system import RpuSystem
+from repro.gpu.inference import decode_step, prefill_time_and_power
+from repro.gpu.system import GpuSystem
+from repro.models.config import ModelConfig
+from repro.models.dtypes import DType
+from repro.models.kv_cache import kv_cache_bytes
+from repro.models.workload import Workload
+from repro.serving.disaggregated import (
+    HOST_TURNAROUND_S,
+    INTERACTION_THRESHOLD_S,
+    KV_TRANSFER_BYTES_PER_S,
+)
+from repro.serving.requests import Request
+from repro.serving.scheduler import ContinuousBatchScheduler, Policy
+from repro.util.stats import mean, percentile
+from repro.util.tables import Table
+
+#: Decode-step latency is memoized on context quantized (floored) to this
+#: many tokens; floor-bucketing keeps the evaluated footprint within the
+#: scheduler's reservation.
+STEP_CONTEXT_BUCKET = 512
+
+
+# ----------------------------------------------------------------------
+# Pods
+# ----------------------------------------------------------------------
+@dataclass
+class PrefillPod:
+    """One tensor-parallel GPU group running prompts FIFO."""
+
+    pod_id: str
+    engine: GpuSystem
+    busy_until_s: float = 0.0
+    busy_s: float = 0.0
+    energy_j: float = 0.0
+
+    def serve(self, request: Request, now: float) -> tuple[float, float]:
+        """Queue ``request``; returns (start, end) of its prefill."""
+        start = max(now, self.busy_until_s)
+        duration, power = prefill_time_and_power(self.engine, request.workload())
+        self.busy_until_s = start + duration
+        self.busy_s += duration
+        self.energy_j += duration * power
+        return start, start + duration
+
+
+@dataclass
+class DecodePod:
+    """One decode engine (RPU board or GPU group) hosting one model."""
+
+    pod_id: str
+    model: ModelConfig
+    engine: RpuSystem | GpuSystem
+    scheduler: ContinuousBatchScheduler
+    weight_dtype: DType
+    kv_dtype: DType
+    busy_s: float = 0.0
+    energy_j: float = 0.0
+    stepping: bool = False
+    #: Decode tokens owed by requests routed here whose KV is still in
+    #: flight; without it, near-simultaneous prefill completions would
+    #: all herd onto one pod during the transfer window.
+    in_transfer_tokens: int = 0
+    _step_cache: dict[tuple[int, int], tuple[float, float]] = field(
+        default_factory=dict, repr=False
+    )
+
+    @property
+    def is_rpu(self) -> bool:
+        return isinstance(self.engine, RpuSystem)
+
+    def _step_point(self, batch_size: int, context_len: int) -> Workload:
+        return Workload(
+            self.model,
+            batch_size=batch_size,
+            seq_len=context_len,
+            decode_len=1,
+            weight_dtype=self.weight_dtype,
+            kv_dtype=self.kv_dtype,
+        )
+
+    def step_cost(self, batch_size: int, context_len: int) -> tuple[float, float]:
+        """(latency, energy) of one decode step for the current batch."""
+        if context_len > STEP_CONTEXT_BUCKET:
+            context_len = context_len // STEP_CONTEXT_BUCKET * STEP_CONTEXT_BUCKET
+        key = (batch_size, context_len)
+        cached = self._step_cache.get(key)
+        if cached is not None:
+            return cached
+        point = self._step_point(batch_size, context_len)
+        if self.is_rpu:
+            result = decode_step_perf(self.engine, point, check_capacity=False)
+            cost = (result.latency_s + HOST_TURNAROUND_S, result.energy_per_step_j)
+        else:
+            # batch x kv(mean context) can overshoot the sum of per-request
+            # reservations (kv() is concave for local-attention models), so
+            # shrink the evaluation context until the capacity check holds.
+            # Terminates feasibly: batch x kv(1) is under the admitted
+            # reservations, which fit by construction.
+            while context_len > 1 and not self.engine.fits(
+                point.memory_footprint_bytes()
+            ):
+                context_len = max(context_len // 2, 1)
+                point = self._step_point(batch_size, context_len)
+            gpu_result = decode_step(self.engine, point)
+            cost = (gpu_result.latency_s, gpu_result.energy_j)
+        self._step_cache[key] = cost
+        return cost
+
+    def outstanding_tokens(self) -> int:
+        """Decode tokens still owed to admitted, queued and in-transfer
+        requests (the load metric the router balances on)."""
+        owed = sum(entry.remaining_tokens for entry in self.scheduler.active)
+        owed += sum(request.decode_len for _, request in self.scheduler.queue)
+        return owed + self.in_transfer_tokens
+
+
+def decode_pod_kv_budget(
+    engine: RpuSystem | GpuSystem, model: ModelConfig, weight_dtype: DType
+) -> float:
+    """Pod memory left for KV after the hosted model's weights."""
+    budget = engine.mem_capacity_bytes - model.weight_bytes(weight_dtype.nbytes)
+    if budget <= 0:
+        raise ValueError(
+            f"{model.name} weights do not fit in decode pod "
+            f"({engine.mem_capacity_bytes / 1e9:.0f} GB)"
+        )
+    return budget
+
+
+# ----------------------------------------------------------------------
+# Cluster configuration
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DecodePodSpec:
+    """Engine + hosted model for one decode pod."""
+
+    engine: RpuSystem | GpuSystem
+    model: ModelConfig
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """A serving fleet: prefill pods, decode pods, policies."""
+
+    prefill_engines: tuple[GpuSystem, ...]
+    decode_pods: tuple[DecodePodSpec, ...]
+    policy: Policy = Policy.FIFO
+    max_batch: int = 128
+    weight_dtype: DType = DType.MXFP4
+    kv_dtype: DType = DType.FP8
+    #: KV hand-off bandwidth; ``float("inf")`` models colocated decode
+    #: (the GPU-only baseline pays no transfer).
+    kv_transfer_bytes_per_s: float = KV_TRANSFER_BYTES_PER_S
+
+    def __post_init__(self) -> None:
+        if not self.prefill_engines:
+            raise ValueError("cluster needs at least one prefill pod")
+        if not self.decode_pods:
+            raise ValueError("cluster needs at least one decode pod")
+
+
+def disaggregated_cluster(
+    model: ModelConfig,
+    *,
+    num_prefill_pods: int = 2,
+    num_decode_pods: int = 2,
+    gpus_per_prefill: int = 2,
+    cus_per_pod: int = 128,
+    sizing_batch: int = 32,
+    policy: Policy = Policy.FIFO,
+    max_batch: int = 128,
+) -> ClusterConfig:
+    """GPU prefill + RPU decode fleet for one model (the paper's
+    deployment)."""
+    sizing = Workload(model, batch_size=sizing_batch, seq_len=8192)
+    pod_engine = system_for(cus_per_pod, sizing)
+    return ClusterConfig(
+        prefill_engines=tuple(
+            GpuSystem(count=gpus_per_prefill) for _ in range(num_prefill_pods)
+        ),
+        decode_pods=tuple(
+            DecodePodSpec(pod_engine, model) for _ in range(num_decode_pods)
+        ),
+        policy=policy,
+        max_batch=max_batch,
+    )
+
+
+def gpu_only_cluster(
+    model: ModelConfig,
+    *,
+    num_prefill_pods: int = 2,
+    num_decode_pods: int = 2,
+    gpus_per_prefill: int = 2,
+    gpus_per_decode: int = 2,
+    policy: Policy = Policy.FIFO,
+    max_batch: int = 128,
+) -> ClusterConfig:
+    """All-GPU baseline: decode pods are GPU groups and the KV hand-off
+    is free (colocated serving -- generous to the baseline)."""
+    return ClusterConfig(
+        prefill_engines=tuple(
+            GpuSystem(count=gpus_per_prefill) for _ in range(num_prefill_pods)
+        ),
+        decode_pods=tuple(
+            DecodePodSpec(GpuSystem(count=gpus_per_decode), model)
+            for _ in range(num_decode_pods)
+        ),
+        policy=policy,
+        max_batch=max_batch,
+        kv_transfer_bytes_per_s=float("inf"),
+    )
+
+
+# ----------------------------------------------------------------------
+# Per-request bookkeeping
+# ----------------------------------------------------------------------
+@dataclass
+class RequestRecord:
+    """Lifecycle timestamps of one request through the fleet."""
+
+    request: Request
+    rejected: bool = False
+    prefill_pod: str = ""
+    decode_pod: str = ""
+    prefill_start_s: float = 0.0
+    prefill_end_s: float = 0.0
+    transfer_end_s: float = 0.0
+    admitted_s: float = 0.0
+    first_token_s: float | None = None
+    completed_s: float | None = None
+
+    @property
+    def done(self) -> bool:
+        return self.completed_s is not None
+
+    @property
+    def ttft_s(self) -> float:
+        """Arrival to first generated token (includes all queueing)."""
+        assert self.first_token_s is not None
+        return self.first_token_s - self.request.arrival_s
+
+    @property
+    def tpot_s(self) -> float:
+        """Steady decode pace after the first token."""
+        assert self.completed_s is not None and self.first_token_s is not None
+        remaining = self.request.decode_len - 1
+        if remaining == 0:
+            return 0.0
+        return (self.completed_s - self.first_token_s) / remaining
+
+    @property
+    def end_to_end_s(self) -> float:
+        assert self.completed_s is not None
+        return self.completed_s - self.request.arrival_s
+
+    @property
+    def queueing_delay_s(self) -> float:
+        """Time spent waiting (prefill queue + decode admission queue)."""
+        return (self.prefill_start_s - self.request.arrival_s) + (
+            self.admitted_s - self.transfer_end_s
+        )
+
+    @property
+    def interactive(self) -> bool:
+        return self.done and self.end_to_end_s <= INTERACTION_THRESHOLD_S
+
+
+@dataclass(frozen=True)
+class PodStats:
+    """Activity summary of one pod over the run."""
+
+    pod_id: str
+    kind: str  # "prefill" | "decode"
+    busy_s: float
+    energy_j: float
+
+    def utilization(self, elapsed_s: float) -> float:
+        return min(self.busy_s / elapsed_s, 1.0) if elapsed_s > 0 else 0.0
+
+
+@dataclass(frozen=True)
+class ClusterReport:
+    """SLO metrics for one simulated run."""
+
+    completed: tuple[RequestRecord, ...]
+    rejected: tuple[RequestRecord, ...]
+    duration_s: float
+    pod_stats: tuple[PodStats, ...]
+
+    @property
+    def num_submitted(self) -> int:
+        return len(self.completed) + len(self.rejected)
+
+    # -- latency -------------------------------------------------------
+    def ttft_percentile(self, q: float) -> float:
+        return percentile([r.ttft_s for r in self.completed], q)
+
+    def tpot_percentile(self, q: float) -> float:
+        return percentile([r.tpot_s for r in self.completed], q)
+
+    def e2e_percentile(self, q: float) -> float:
+        return percentile([r.end_to_end_s for r in self.completed], q)
+
+    @property
+    def mean_queueing_delay_s(self) -> float:
+        return mean([r.queueing_delay_s for r in self.completed])
+
+    # -- throughput ----------------------------------------------------
+    @property
+    def goodput(self) -> float:
+        """Fraction of submitted queries answered within the interaction
+        threshold (rejected queries count against it)."""
+        if not self.num_submitted:
+            return 0.0
+        good = sum(1 for r in self.completed if r.interactive)
+        return good / self.num_submitted
+
+    @property
+    def decode_tokens(self) -> int:
+        return sum(r.request.decode_len for r in self.completed)
+
+    @property
+    def tokens_per_s(self) -> float:
+        return self.decode_tokens / self.duration_s if self.duration_s else 0.0
+
+    @property
+    def completed_rps(self) -> float:
+        return len(self.completed) / self.duration_s if self.duration_s else 0.0
+
+    # -- energy --------------------------------------------------------
+    @property
+    def total_energy_j(self) -> float:
+        return sum(p.energy_j for p in self.pod_stats)
+
+    @property
+    def energy_per_token_j(self) -> float:
+        return self.total_energy_j / self.decode_tokens if self.decode_tokens else 0.0
+
+    def summary_table(self, title: str = "Cluster SLO report") -> Table:
+        table = Table(title, ["metric", "value"])
+        table.add_row(["queries completed / submitted",
+                       f"{len(self.completed)} / {self.num_submitted}"])
+        table.add_row(["goodput (<= 10 s)", f"{self.goodput:.1%}"])
+        table.add_row(["TTFT p50 / p95 / p99 (s)",
+                       f"{self.ttft_percentile(50):.2f} / "
+                       f"{self.ttft_percentile(95):.2f} / "
+                       f"{self.ttft_percentile(99):.2f}"])
+        table.add_row(["TPOT p50 / p99 (ms)",
+                       f"{self.tpot_percentile(50) * 1e3:.2f} / "
+                       f"{self.tpot_percentile(99) * 1e3:.2f}"])
+        table.add_row(["mean queueing delay (s)",
+                       f"{self.mean_queueing_delay_s:.2f}"])
+        table.add_row(["decode throughput (tok/s)", f"{self.tokens_per_s:,.0f}"])
+        table.add_row(["fleet energy (kJ)", f"{self.total_energy_j / 1e3:.1f}"])
+        for pod in self.pod_stats:
+            table.add_row([f"{pod.pod_id} utilization",
+                           f"{pod.utilization(self.duration_s):.0%}"])
+        return table
+
+
+# ----------------------------------------------------------------------
+# The simulator
+# ----------------------------------------------------------------------
+_ARRIVAL, _PREFILL_DONE, _KV_ARRIVE, _STEP = range(4)
+
+
+class ClusterSim:
+    """Discrete-event simulation of a :class:`ClusterConfig`."""
+
+    def __init__(self, config: ClusterConfig):
+        self.config = config
+        self._build_pods()
+
+    def _build_pods(self) -> None:
+        """Fresh pod state; called per run so a sim instance is reusable."""
+        config = self.config
+        self.prefill_pods = [
+            PrefillPod(pod_id=f"prefill{i}", engine=engine)
+            for i, engine in enumerate(config.prefill_engines)
+        ]
+        self.decode_pods = []
+        for i, spec in enumerate(config.decode_pods):
+            budget = decode_pod_kv_budget(spec.engine, spec.model, config.weight_dtype)
+            self.decode_pods.append(
+                DecodePod(
+                    pod_id=f"decode{i}",
+                    model=spec.model,
+                    engine=spec.engine,
+                    scheduler=ContinuousBatchScheduler(
+                        kv_budget_bytes=budget,
+                        max_batch=config.max_batch,
+                        policy=config.policy,
+                        kv_dtype=config.kv_dtype,
+                    ),
+                    weight_dtype=config.weight_dtype,
+                    kv_dtype=config.kv_dtype,
+                )
+            )
+
+    # -- event plumbing ------------------------------------------------
+    def _push(self, when: float, kind: int, payload: object) -> None:
+        self._seq += 1
+        heapq.heappush(self._events, (when, self._seq, kind, payload))
+
+    def _route_decode(self, request: Request) -> DecodePod | None:
+        """Least-loaded decode pod hosting the request's model, or None
+        if no pod could ever hold its KV."""
+        hosts = [
+            pod
+            for pod in self.decode_pods
+            if pod.model.name == request.model.name
+            and pod.scheduler.fits_ever(request)
+        ]
+        if not hosts:
+            return None
+        return min(hosts, key=lambda pod: (pod.outstanding_tokens(), pod.pod_id))
+
+    # -- event handlers ------------------------------------------------
+    def _on_arrival(self, now: float, record: RequestRecord) -> None:
+        request = record.request
+        if self._route_decode(request) is None:
+            record.rejected = True
+            return
+        pod = min(self.prefill_pods, key=lambda p: (p.busy_until_s, p.pod_id))
+        start, end = pod.serve(request, now)
+        record.prefill_pod = pod.pod_id
+        record.prefill_start_s = start
+        record.prefill_end_s = end
+        self._push(end, _PREFILL_DONE, record)
+
+    def _on_prefill_done(self, now: float, record: RequestRecord) -> None:
+        request = record.request
+        pod = self._route_decode(request)
+        assert pod is not None  # feasibility was checked at arrival
+        prompt_kv = kv_cache_bytes(
+            request.model, request.prompt_len, 1, self.config.kv_dtype
+        )
+        transfer_s = prompt_kv / self.config.kv_transfer_bytes_per_s
+        record.decode_pod = pod.pod_id
+        pod.in_transfer_tokens += request.decode_len
+        self._push(now + transfer_s, _KV_ARRIVE, (pod, record))
+
+    def _on_kv_arrive(self, now: float, pod: DecodePod, record: RequestRecord) -> None:
+        record.transfer_end_s = now
+        pod.in_transfer_tokens -= record.request.decode_len
+        pod.scheduler.enqueue(record.request, now)
+        if not pod.stepping:
+            pod.stepping = True
+            self._push(now, _STEP, pod)
+
+    def _on_step(self, now: float, pod: DecodePod) -> None:
+        for entry in pod.scheduler.admit(now):
+            self._records_by_id[entry.request.request_id].admitted_s = now
+        if pod.scheduler.batch_size == 0:
+            pod.stepping = False
+            return
+        batch = pod.scheduler.batch_size
+        context = pod.scheduler.mean_context_len()
+        step_s, step_j = pod.step_cost(batch, context)
+        end = now + step_s
+        newly_running = [e for e in pod.scheduler.active if e.first_token_s is None]
+        finished = pod.scheduler.advance(end)
+        for entry in newly_running:
+            self._records_by_id[entry.request.request_id].first_token_s = (
+                entry.first_token_s
+            )
+        for entry in finished:
+            self._records_by_id[entry.request.request_id].completed_s = end
+        pod.busy_s += step_s
+        pod.energy_j += step_j
+        self._push(end, _STEP, pod)
+
+    # -- run -----------------------------------------------------------
+    def run(self, requests: list[Request]) -> ClusterReport:
+        """Simulate until every submitted request completes (or is
+        rejected) and all pods drain."""
+        self._build_pods()
+        self._events: list[tuple[float, int, int, object]] = []
+        self._seq = 0
+        records = [RequestRecord(request=request) for request in requests]
+        self._records_by_id = {r.request.request_id: r for r in records}
+        if len(self._records_by_id) != len(records):
+            raise ValueError("request_ids must be unique within one run")
+        for record in records:
+            self._push(record.request.arrival_s, _ARRIVAL, record)
+
+        last_time = 0.0
+        while self._events:
+            now, _, kind, payload = heapq.heappop(self._events)
+            last_time = max(last_time, now)
+            if kind == _ARRIVAL:
+                self._on_arrival(now, payload)
+            elif kind == _PREFILL_DONE:
+                self._on_prefill_done(now, payload)
+            elif kind == _KV_ARRIVE:
+                pod, record = payload
+                self._on_kv_arrive(now, pod, record)
+            else:
+                self._on_step(now, payload)
+
+        pod_stats = tuple(
+            [
+                PodStats(p.pod_id, "prefill", p.busy_s, p.energy_j)
+                for p in self.prefill_pods
+            ]
+            + [
+                PodStats(p.pod_id, "decode", p.busy_s, p.energy_j)
+                for p in self.decode_pods
+            ]
+        )
+        return ClusterReport(
+            completed=tuple(r for r in records if r.done),
+            rejected=tuple(r for r in records if r.rejected),
+            duration_s=last_time,
+            pod_stats=pod_stats,
+        )
+
+
+def simulate(config: ClusterConfig, requests: list[Request]) -> ClusterReport:
+    """One-shot convenience wrapper around :class:`ClusterSim`."""
+    return ClusterSim(config).run(requests)

@@ -18,7 +18,7 @@ whether the full response beats that threshold.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.analysis.perf_model import decode_step_perf
 from repro.arch.system import RpuSystem
@@ -47,11 +47,19 @@ class QueryResult:
     decode_tokens: int
     prefill_energy_j: float
     decode_energy_j: float
+    #: Latency of the *first* decode step, evaluated at the true
+    #: first-token context (prefill_len + 1).  The mean-context step used
+    #: for ``decode_s`` overstates TTFT for long generations, since the
+    #: first step sees the shortest context of the run.
+    first_step_s: float | None = None
 
     @property
     def ttft_s(self) -> float:
         """Time to first token: prefill + KV handoff + one decode step."""
-        first_step = self.decode_s / self.decode_tokens if self.decode_tokens else 0.0
+        if self.first_step_s is not None:
+            first_step = self.first_step_s
+        else:
+            first_step = self.decode_s / self.decode_tokens if self.decode_tokens else 0.0
         return self.prefill_s + self.kv_transfer_s + first_step
 
     @property
@@ -101,11 +109,19 @@ class DisaggregatedSystem:
         )
         kv_transfer_s = kv_bytes / KV_TRANSFER_BYTES_PER_S
 
-        mid_context = workload.prefill_len + workload.decode_len // 2
+        # Decode token k sees context prefill+k (k = 1..decode_len), so
+        # the mean decode context is prefill + (decode_len + 1) / 2; for
+        # decode_len == 1 it coincides with the first-token context.
+        mid_context = workload.prefill_len + (workload.decode_len + 1) // 2
         decode_point = workload.with_seq_len(max(mid_context, 1))
         step = decode_step_perf(self.decode_engine, decode_point)
         step_s = step.latency_s + HOST_TURNAROUND_S
         decode_s = step_s * workload.decode_len
+
+        first_point = workload.with_seq_len(max(workload.prefill_len + 1, 1))
+        first_step = decode_step_perf(
+            self.decode_engine, first_point, check_capacity=False
+        )
 
         return QueryResult(
             prefill_s=prefill_s,
@@ -114,6 +130,7 @@ class DisaggregatedSystem:
             decode_tokens=workload.decode_len,
             prefill_energy_j=prefill_s * prefill_w,
             decode_energy_j=step.energy_per_step_j * workload.decode_len,
+            first_step_s=first_step.latency_s + HOST_TURNAROUND_S,
         )
 
     def gpu_only_query(self, workload: Workload) -> QueryResult:
@@ -121,9 +138,14 @@ class DisaggregatedSystem:
         if workload.decode_len < 1:
             raise ValueError("workload must generate at least one token")
         prefill_s, prefill_w = prefill_time_and_power(self.prefill_engine, workload)
-        mid_context = workload.prefill_len + workload.decode_len // 2
+        # Decode token k sees context prefill+k (k = 1..decode_len), so
+        # the mean decode context is prefill + (decode_len + 1) / 2; for
+        # decode_len == 1 it coincides with the first-token context.
+        mid_context = workload.prefill_len + (workload.decode_len + 1) // 2
         decode_point = workload.with_seq_len(max(mid_context, 1))
         step = decode_step(self.prefill_engine, decode_point)
+        first_point = workload.with_seq_len(max(workload.prefill_len + 1, 1))
+        first_step = decode_step(self.prefill_engine, first_point)
         return QueryResult(
             prefill_s=prefill_s,
             kv_transfer_s=0.0,
@@ -131,4 +153,5 @@ class DisaggregatedSystem:
             decode_tokens=workload.decode_len,
             prefill_energy_j=prefill_s * prefill_w,
             decode_energy_j=step.energy_j * workload.decode_len,
+            first_step_s=first_step.latency_s,
         )

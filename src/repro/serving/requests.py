@@ -1,0 +1,215 @@
+"""Request-level traffic generation for the fleet simulator.
+
+A serving fleet sees a *stream* of queries, not one workload: arrivals
+cluster (diurnal bursts, agentic fan-out), prompt and reasoning lengths
+vary by orders of magnitude, and traffic mixes several models.  This
+module turns those statistics into a concrete, seeded, replayable list of
+:class:`Request` objects that :mod:`repro.serving.cluster` consumes.
+
+Two arrival processes are modeled:
+
+- **Poisson**: memoryless arrivals at a fixed rate -- the standard
+  open-loop load model (vLLM / Splitwise benchmarking methodology);
+- **Bursty**: a two-state Markov-modulated Poisson process that
+  alternates busy periods (rate scaled up by ``burst_factor``) and quiet
+  periods, keeping the same *average* rate.  Bursts are what stress a
+  continuous-batching scheduler's admission control.
+
+Prompt/decode lengths are sampled log-normally (heavy right tail, like
+production traces) and clamped to configured bounds.  All randomness
+flows through one ``random.Random(seed)`` so a generator is fully
+deterministic given its configuration.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+import random
+from dataclasses import dataclass
+
+from repro.models.config import ModelConfig
+from repro.models.dtypes import DType
+from repro.models.workload import Workload
+
+
+class ArrivalProcess(enum.Enum):
+    """How request inter-arrival times are drawn."""
+
+    POISSON = "poisson"
+    BURSTY = "bursty"
+
+
+@dataclass(frozen=True)
+class Request:
+    """One query submitted to the fleet."""
+
+    request_id: int
+    arrival_s: float
+    model: ModelConfig
+    prompt_len: int
+    decode_len: int
+    weight_dtype: DType = DType.MXFP4
+    kv_dtype: DType = DType.FP8
+
+    def __post_init__(self) -> None:
+        if self.prompt_len < 1:
+            raise ValueError(f"prompt_len must be >= 1, got {self.prompt_len}")
+        if self.decode_len < 1:
+            raise ValueError(f"decode_len must be >= 1, got {self.decode_len}")
+
+    @property
+    def total_len(self) -> int:
+        """Context length at the last generated token."""
+        return self.prompt_len + self.decode_len
+
+    def workload(self) -> Workload:
+        """The single-query workload this request corresponds to."""
+        return Workload(
+            self.model,
+            batch_size=1,
+            seq_len=self.total_len,
+            decode_len=self.decode_len,
+            weight_dtype=self.weight_dtype,
+            kv_dtype=self.kv_dtype,
+        )
+
+
+@dataclass(frozen=True)
+class TrafficClass:
+    """One model's share of the fleet traffic and its length statistics.
+
+    ``prompt_mean``/``decode_mean`` are the *means* of the log-normal
+    length distributions (before clamping), so offered token load is
+    ``rate_rps * decode_mean``.
+    """
+
+    model: ModelConfig
+    weight: float = 1.0
+    prompt_mean: int = 2048
+    decode_mean: int = 1024
+    prompt_sigma: float = 0.6  # log-space spread of the log-normal
+    decode_sigma: float = 0.6
+    min_len: int = 16
+    max_prompt: int = 16384
+    max_decode: int = 8192
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ValueError(f"weight must be > 0, got {self.weight}")
+        if self.prompt_mean < self.min_len or self.decode_mean < self.min_len:
+            raise ValueError("mean lengths must be >= min_len")
+
+
+def reasoning_traffic(model: ModelConfig) -> TrafficClass:
+    """The paper's motivating workload: short prompt, long chain of
+    thought (Section IX's 2k prompt / 4k reasoning split)."""
+    return TrafficClass(model, prompt_mean=2048, decode_mean=4096)
+
+
+@dataclass(frozen=True)
+class RequestGenerator:
+    """Seeded open-loop traffic source.
+
+    ``rate_rps`` is the average arrival rate across the whole mix; each
+    arrival picks a :class:`TrafficClass` with probability proportional
+    to its weight and samples lengths from that class.
+    """
+
+    classes: tuple[TrafficClass, ...]
+    rate_rps: float = 1.0
+    process: ArrivalProcess = ArrivalProcess.POISSON
+    seed: int = 0
+    #: Bursty process: busy-state rate multiplier and mean state dwell time.
+    burst_factor: float = 4.0
+    burst_dwell_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        if not self.classes:
+            raise ValueError("need at least one traffic class")
+        if self.rate_rps <= 0:
+            raise ValueError(f"rate_rps must be > 0, got {self.rate_rps}")
+        if self.burst_factor < 1.0:
+            raise ValueError("burst_factor must be >= 1")
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    def _sample_length(
+        self, rng: random.Random, mean: int, sigma: float, lo: int, hi: int
+    ) -> int:
+        # mu = ln(mean) - sigma^2/2 makes the configured value the true
+        # mean of the (unclamped) log-normal, so offered token load is
+        # rate * mean length; the right tail still produces the
+        # occasional very long prompt/generation that stresses KV
+        # admission.
+        mu = math.log(mean) - sigma * sigma / 2.0
+        value = int(round(rng.lognormvariate(mu, sigma)))
+        return max(lo, min(value, hi))
+
+    def _pick_class(self, rng: random.Random) -> TrafficClass:
+        total = sum(c.weight for c in self.classes)
+        mark = rng.random() * total
+        acc = 0.0
+        for cls in self.classes:
+            acc += cls.weight
+            if mark <= acc:
+                return cls
+        return self.classes[-1]
+
+    def _arrival_times(self, rng: random.Random, duration_s: float) -> list[float]:
+        times: list[float] = []
+        now = 0.0
+        if self.process is ArrivalProcess.POISSON:
+            while True:
+                now += rng.expovariate(self.rate_rps)
+                if now >= duration_s:
+                    return times
+                times.append(now)
+        # Bursty: two-state MMPP with the same average rate.  Busy-state
+        # rate is ``burst_factor`` times the quiet-state rate; equal mean
+        # dwell times keep the long-run average at ``rate_rps``.
+        quiet_rate = 2.0 * self.rate_rps / (1.0 + self.burst_factor)
+        busy_rate = quiet_rate * self.burst_factor
+        busy = bool(rng.getrandbits(1))
+        state_end = rng.expovariate(1.0 / self.burst_dwell_s)
+        while now < duration_s:
+            rate = busy_rate if busy else quiet_rate
+            step = rng.expovariate(rate)
+            if now + step > state_end:
+                now = state_end
+                busy = not busy
+                state_end = now + rng.expovariate(1.0 / self.burst_dwell_s)
+                continue
+            now += step
+            if now < duration_s:
+                times.append(now)
+        return times
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def generate(self, duration_s: float) -> list[Request]:
+        """All requests arriving in ``[0, duration_s)``, sorted by time."""
+        if duration_s <= 0:
+            raise ValueError(f"duration_s must be > 0, got {duration_s}")
+        rng = random.Random(self.seed)
+        requests = []
+        for index, arrival in enumerate(self._arrival_times(rng, duration_s)):
+            cls = self._pick_class(rng)
+            prompt = self._sample_length(
+                rng, cls.prompt_mean, cls.prompt_sigma, cls.min_len, cls.max_prompt
+            )
+            decode = self._sample_length(
+                rng, cls.decode_mean, cls.decode_sigma, cls.min_len, cls.max_decode
+            )
+            requests.append(
+                Request(
+                    request_id=index,
+                    arrival_s=arrival,
+                    model=cls.model,
+                    prompt_len=prompt,
+                    decode_len=decode,
+                )
+            )
+        return requests

@@ -15,7 +15,7 @@ the memory pipeline can prefetch ahead (Fig 8's lookahead window).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.sim.kernel import Signal, Simulator
 

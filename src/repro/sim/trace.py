@@ -7,7 +7,7 @@ rendering for the benchmark output.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass

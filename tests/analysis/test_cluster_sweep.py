@@ -1,0 +1,82 @@
+"""Cluster sweeps: saturation behaviour, pod scaling, ISO-power claim."""
+
+import pytest
+
+from repro.analysis.cluster_sweep import (
+    gpu_vs_disaggregated,
+    pod_scaling_curve,
+    throughput_latency_curve,
+)
+from repro.models.llama3 import LLAMA3_70B
+
+
+@pytest.fixture(scope="module")
+def load_curve():
+    return throughput_latency_curve(
+        LLAMA3_70B, rates_rps=(0.25, 1.0, 4.0), duration_s=15.0
+    )
+
+
+@pytest.fixture(scope="module")
+def scaling_curve():
+    return pod_scaling_curve(
+        LLAMA3_70B, pod_counts=(1, 2, 4), rate_rps=4.0, duration_s=12.0
+    )
+
+
+@pytest.fixture(scope="module")
+def versus():
+    return gpu_vs_disaggregated(LLAMA3_70B, rate_rps=1.0, duration_s=15.0)
+
+
+class TestThroughputLatency:
+    def test_throughput_tracks_offered_load(self, load_curve):
+        delivered = [p.tokens_per_s for p in load_curve]
+        assert delivered == sorted(delivered)
+        # An uncongested fleet delivers what is offered: 16x the RPS
+        # (0.25 -> 4.0) buys several times the delivered tokens.
+        assert load_curve[-1].tokens_per_s > 4 * load_curve[0].tokens_per_s
+
+    def test_latency_tails_grow_with_load(self, load_curve):
+        assert load_curve[-1].ttft_p99_s >= load_curve[0].ttft_p99_s
+        assert all(p.ttft_p50_s <= p.ttft_p99_s for p in load_curve)
+
+    def test_uncongested_fleet_meets_slo(self, load_curve):
+        assert load_curve[0].goodput == pytest.approx(1.0)
+        assert load_curve[0].mean_queueing_delay_s == pytest.approx(0.0, abs=0.05)
+
+
+class TestPodScaling:
+    def test_throughput_monotone_in_pods(self, scaling_curve):
+        delivered = [p.tokens_per_s for p in scaling_curve]
+        assert all(b >= a * 0.99 for a, b in zip(delivered, delivered[1:]))
+
+    def test_goodput_recovers_with_pods(self, scaling_curve):
+        assert scaling_curve[-1].goodput >= scaling_curve[0].goodput
+        assert scaling_curve[-1].goodput > 0.95
+
+    def test_marginal_pod_utilization_falls(self, scaling_curve):
+        """Once the pool absorbs the load, extra pods sit idle more."""
+        assert (
+            scaling_curve[-1].mean_decode_utilization
+            <= scaling_curve[0].mean_decode_utilization
+        )
+
+
+class TestIsoPowerComparison:
+    def test_disaggregated_goodput_wins_at_equal_power(self, versus):
+        assert versus.disaggregated.goodput >= versus.gpu_only.goodput
+        assert versus.disaggregated.goodput > 0.9
+        assert versus.goodput_advantage >= 0.0
+
+    def test_disaggregated_decodes_faster(self, versus):
+        assert versus.throughput_ratio > 2.0
+        assert (
+            versus.disaggregated.tpot_percentile(50)
+            < versus.gpu_only.tpot_percentile(50)
+        )
+
+    def test_iso_power_is_honest(self, versus):
+        """The RPU pool was sized to the GPU decode pods' TDP."""
+        assert versus.decode_pod_tdp_w == pytest.approx(1400.0)
+        assert versus.rpu_cus_per_pod >= 1

@@ -4,7 +4,6 @@ import pytest
 
 from repro.arch.area import cu_shoreline, h100_shoreline, rpu_shoreline_at_iso_area
 from repro.arch.compute_unit import ComputeUnit
-from repro.arch.core import ReasoningCore
 from repro.arch.package import Package
 from repro.arch.power import (
     cu_power,
@@ -15,7 +14,7 @@ from repro.arch.power import (
 from repro.arch.specs import CORE_SPEC
 from repro.arch.system import RpuSystem
 from repro.memory.design_space import design_point
-from repro.memory.hbmco import HBM3E, HbmCoConfig, hbm3e_like_sku
+from repro.memory.hbmco import HbmCoConfig, hbm3e_like_sku
 from repro.util.units import GIB, TB
 
 

@@ -1,6 +1,5 @@
 """Compiler: tracing, sharding plans, lowering discipline."""
 
-import math
 
 import pytest
 
@@ -8,8 +7,7 @@ from repro.arch.system import RpuSystem
 from repro.compiler.graph import trace
 from repro.compiler.lowering import compile_decode_step
 from repro.compiler.sharding import MIN_COLUMNS_PER_CORE, plan_linear
-from repro.isa.instructions import MemLoad, NetCollective
-from repro.models.flops import KernelKind
+from repro.isa.instructions import NetCollective
 from repro.models.llama3 import LLAMA3_8B, LLAMA3_70B
 from repro.models.workload import Workload
 from repro.util.units import KIB

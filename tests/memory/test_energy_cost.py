@@ -5,7 +5,6 @@ from hypothesis import given, strategies as st
 
 from repro.memory.cost import bandwidth_per_cost, cost_per_gb, module_cost
 from repro.memory.energy import (
-    EnergyBreakdown,
     average_tsv_layers,
     energy_per_bit,
     read_energy_j,

@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.models.config import AttentionConfig, ModelConfig, MoeConfig
+from repro.models.config import AttentionConfig, MoeConfig
 from repro.models.llama3 import LLAMA3_8B, LLAMA3_70B, LLAMA3_405B
 from repro.models.llama4 import LLAMA4_MAVERICK, LLAMA4_SCOUT
 from repro.models.registry import MODELS, get_model

@@ -1,0 +1,228 @@
+"""Fleet simulator: single-request limit, conservation, routing, SLOs."""
+
+import pytest
+
+from repro.analysis.perf_model import system_for
+from repro.gpu.system import GpuSystem
+from repro.models.llama3 import LLAMA3_8B, LLAMA3_70B
+from repro.models.workload import Workload
+from repro.serving.cluster import (
+    ClusterConfig,
+    ClusterSim,
+    DecodePodSpec,
+    disaggregated_cluster,
+    gpu_only_cluster,
+    simulate,
+)
+from repro.serving.disaggregated import DisaggregatedSystem
+from repro.serving.requests import Request, RequestGenerator, reasoning_traffic
+from repro.serving.scheduler import Policy
+
+
+def single_pod_config(model, *, num_cus=128, decode_len=2048, seq_len=8192):
+    sizing = Workload(model, batch_size=1, seq_len=seq_len, decode_len=decode_len)
+    return ClusterConfig(
+        prefill_engines=(GpuSystem(count=2),),
+        decode_pods=(DecodePodSpec(system_for(num_cus, sizing), model),),
+    )
+
+
+@pytest.fixture(scope="module")
+def traffic_70b():
+    generator = RequestGenerator(
+        classes=(reasoning_traffic(LLAMA3_70B),), rate_rps=1.0, seed=11
+    )
+    return generator.generate(15.0)
+
+
+class TestSingleRequestLimit:
+    """With one idle pod of each kind and one query, the fleet simulator
+    must collapse to the single-query pipeline model."""
+
+    def test_matches_disaggregated_query(self):
+        request = Request(0, 0.0, LLAMA3_70B, prompt_len=2048, decode_len=4096)
+        config = single_pod_config(LLAMA3_70B, decode_len=4096, seq_len=6144)
+        report = simulate(config, [request])
+        assert len(report.completed) == 1
+        record = report.completed[0]
+
+        reference = DisaggregatedSystem(
+            prefill_engine=config.prefill_engines[0],
+            decode_engine=config.decode_pods[0].engine,
+        ).query(request.workload())
+
+        assert record.end_to_end_s == pytest.approx(
+            reference.end_to_end_s, rel=0.10
+        )
+        assert record.ttft_s == pytest.approx(reference.ttft_s, rel=0.10)
+        assert record.tpot_s == pytest.approx(reference.tpot_s, rel=0.10)
+
+    def test_no_queueing_when_alone(self):
+        request = Request(0, 0.0, LLAMA3_70B, prompt_len=2048, decode_len=512)
+        report = simulate(single_pod_config(LLAMA3_70B), [request])
+        assert report.completed[0].queueing_delay_s == pytest.approx(0.0, abs=1e-9)
+
+    def test_aggregate_throughput_matches_tpot(self):
+        request = Request(0, 0.0, LLAMA3_70B, prompt_len=2048, decode_len=4096)
+        report = simulate(single_pod_config(LLAMA3_70B, decode_len=4096), [request])
+        record = report.completed[0]
+        # One query: delivered tok/s over the decode phase is 1/TPOT.
+        decode_span = record.completed_s - record.admitted_s
+        assert 4096 / decode_span == pytest.approx(1.0 / record.tpot_s, rel=0.01)
+
+
+class TestConservationAndDeterminism:
+    def test_every_request_completes_or_rejects(self, traffic_70b):
+        config = disaggregated_cluster(LLAMA3_70B, num_decode_pods=2)
+        report = simulate(config, traffic_70b)
+        assert report.num_submitted == len(traffic_70b)
+        assert len(report.completed) + len(report.rejected) == len(traffic_70b)
+        done_ids = {r.request.request_id for r in report.completed}
+        rejected_ids = {r.request.request_id for r in report.rejected}
+        assert not done_ids & rejected_ids
+        for record in report.completed:
+            assert record.first_token_s is not None
+            assert (
+                record.request.arrival_s
+                <= record.prefill_start_s
+                <= record.prefill_end_s
+                <= record.transfer_end_s
+                <= record.admitted_s
+                < record.first_token_s
+                <= record.completed_s
+            )
+
+    def test_seeded_rerun_is_identical(self, traffic_70b):
+        config = disaggregated_cluster(LLAMA3_70B, num_decode_pods=2)
+        a = simulate(config, traffic_70b)
+        b = ClusterSim(config).run(traffic_70b)
+        assert a.duration_s == b.duration_s
+        assert [r.completed_s for r in a.completed] == [
+            r.completed_s for r in b.completed
+        ]
+        assert a.total_energy_j == pytest.approx(b.total_energy_j)
+
+    def test_oversized_request_rejected(self):
+        config = single_pod_config(LLAMA3_8B, num_cus=2)
+        huge = Request(0, 0.0, LLAMA3_8B, prompt_len=16384, decode_len=8192)
+        small = Request(1, 0.0, LLAMA3_8B, prompt_len=256, decode_len=64)
+        report = simulate(config, [huge, small])
+        assert [r.request.request_id for r in report.rejected] == [0]
+        assert [r.request.request_id for r in report.completed] == [1]
+
+
+class TestRoutingAndPolicies:
+    def test_multi_model_requests_reach_their_pods(self):
+        sizing_8b = Workload(LLAMA3_8B, batch_size=1, seq_len=8192)
+        sizing_70b = Workload(LLAMA3_70B, batch_size=1, seq_len=8192)
+        config = ClusterConfig(
+            prefill_engines=(GpuSystem(count=2),),
+            decode_pods=(
+                DecodePodSpec(system_for(64, sizing_8b), LLAMA3_8B),
+                DecodePodSpec(system_for(128, sizing_70b), LLAMA3_70B),
+            ),
+        )
+        requests = [
+            Request(0, 0.0, LLAMA3_8B, 1024, 256),
+            Request(1, 0.1, LLAMA3_70B, 1024, 256),
+            Request(2, 0.2, LLAMA3_8B, 1024, 256),
+        ]
+        report = simulate(config, requests)
+        pods = {r.request.request_id: r.decode_pod for r in report.completed}
+        assert pods == {0: "decode0", 1: "decode1", 2: "decode0"}
+
+    def test_load_balances_across_pods(self, traffic_70b):
+        config = disaggregated_cluster(LLAMA3_70B, num_decode_pods=2)
+        report = simulate(config, traffic_70b)
+        counts = {"decode0": 0, "decode1": 0}
+        for record in report.completed:
+            counts[record.decode_pod] += 1
+        assert min(counts.values()) > 0
+
+    @pytest.mark.parametrize("policy", list(Policy))
+    def test_policies_both_complete(self, traffic_70b, policy):
+        config = disaggregated_cluster(
+            LLAMA3_70B, num_decode_pods=1, policy=policy
+        )
+        report = simulate(config, traffic_70b)
+        assert len(report.completed) == len(traffic_70b)
+
+
+class TestReport:
+    def test_slo_metrics_sane(self, traffic_70b):
+        config = disaggregated_cluster(LLAMA3_70B, num_decode_pods=2)
+        report = simulate(config, traffic_70b)
+        assert 0.0 <= report.goodput <= 1.0
+        assert report.ttft_percentile(50) <= report.ttft_percentile(99)
+        assert report.tpot_percentile(50) > 0
+        assert report.tokens_per_s > 0
+        assert report.total_energy_j > 0
+        for pod in report.pod_stats:
+            assert 0.0 <= pod.utilization(report.duration_s) <= 1.0
+        rendered = report.summary_table().render()
+        assert "goodput" in rendered
+
+    def test_gpu_only_cluster_runs(self):
+        generator = RequestGenerator(
+            classes=(reasoning_traffic(LLAMA3_70B),), rate_rps=0.5, seed=3
+        )
+        requests = generator.generate(8.0)
+        report = simulate(
+            gpu_only_cluster(LLAMA3_70B, num_decode_pods=2), requests
+        )
+        assert len(report.completed) == len(requests)
+        # GPU decode pays no KV hand-off in the colocated baseline.
+        assert all(
+            r.transfer_end_s == pytest.approx(r.prefill_end_s)
+            for r in report.completed
+        )
+
+
+class TestReviewRegressions:
+    def test_sim_instance_is_reusable(self, traffic_70b):
+        """Two runs on one ClusterSim must match (pod state resets)."""
+        sim = ClusterSim(disaggregated_cluster(LLAMA3_70B, num_decode_pods=2))
+        a = sim.run(traffic_70b)
+        b = sim.run(traffic_70b)
+        assert a.duration_s == b.duration_s
+        assert a.total_energy_j == pytest.approx(b.total_energy_j)
+        assert [r.completed_s for r in a.completed] == [
+            r.completed_s for r in b.completed
+        ]
+
+    def test_reservations_use_cluster_kv_dtype(self):
+        """Admission must budget at the pod's serving dtype, not the
+        request's default, or a BF16 cluster over-admits 2x."""
+        from repro.models.dtypes import DType
+        from repro.serving.scheduler import request_kv_bytes
+
+        request = Request(0, 0.0, LLAMA3_70B, prompt_len=4096, decode_len=2048)
+        config = ClusterConfig(
+            prefill_engines=(GpuSystem(count=2),),
+            decode_pods=(
+                DecodePodSpec(
+                    system_for(128, Workload(LLAMA3_70B, seq_len=8192)),
+                    LLAMA3_70B,
+                ),
+            ),
+            kv_dtype=DType.BF16,
+        )
+        pod = ClusterSim(config).decode_pods[0]
+        assert pod.scheduler.reservation_bytes(request) == pytest.approx(
+            request_kv_bytes(request, DType.BF16)
+        )
+        assert pod.scheduler.reservation_bytes(request) > request_kv_bytes(request)
+
+    def test_simultaneous_handoffs_spread_across_pods(self):
+        """Requests whose KV is still in flight count as pod load, so a
+        burst finishing prefill together fans out instead of herding."""
+        config = disaggregated_cluster(
+            LLAMA3_70B, num_prefill_pods=4, num_decode_pods=2
+        )
+        burst = [
+            Request(i, 0.0, LLAMA3_70B, prompt_len=2048, decode_len=1024)
+            for i in range(4)
+        ]
+        report = simulate(config, burst)
+        pods = {r.decode_pod for r in report.completed}
+        assert pods == {"decode0", "decode1"}

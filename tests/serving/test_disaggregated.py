@@ -90,3 +90,48 @@ class TestSmallModel:
         )
         result = system.query(workload)
         assert 1.0 / result.tpot_s > 8000
+
+
+class TestFirstTokenStep:
+    """TTFT must charge the first decode step at the first-token context
+    (prefill_len + 1), not the mean context of the whole generation."""
+
+    def test_first_step_not_inflated_by_long_decode(self, system_70b):
+        long_decode = Workload(LLAMA3_70B, seq_len=18432, decode_len=16384)
+        result = system_70b.query(long_decode)
+        assert result.first_step_s is not None
+        # The first step sees a ~2k context; the mean step sees ~10k.
+        assert result.first_step_s < result.tpot_s
+        assert result.ttft_s < result.prefill_s + result.kv_transfer_s + result.tpot_s
+
+    def test_first_step_decoupled_from_decode_len(self, system_70b):
+        """Two queries with the same prompt: generating 8x more tokens
+        must not change the first decode step (it used to, via the
+        mean-context approximation), even as the mean step grows."""
+        short = system_70b.query(Workload(LLAMA3_70B, seq_len=4096, decode_len=2048))
+        long = system_70b.query(Workload(LLAMA3_70B, seq_len=18432, decode_len=16384))
+        assert long.first_step_s == pytest.approx(short.first_step_s, rel=1e-6)
+        assert long.tpot_s > short.tpot_s
+
+    def test_gpu_baseline_also_fixed(self, system_70b, reasoning_query):
+        result = system_70b.gpu_only_query(reasoning_query)
+        assert result.first_step_s is not None
+        assert result.first_step_s <= result.tpot_s
+
+    def test_legacy_results_fall_back_to_mean_step(self):
+        legacy = QueryResult(
+            prefill_s=1.0,
+            kv_transfer_s=0.5,
+            decode_s=2.0,
+            decode_tokens=100,
+            prefill_energy_j=1.0,
+            decode_energy_j=1.0,
+        )
+        assert legacy.ttft_s == pytest.approx(1.0 + 0.5 + 0.02)
+
+    def test_single_token_decode_keeps_ttft_under_e2e(self, system_70b):
+        """decode_len == 1: the first step IS the whole decode, so
+        TTFT must not exceed end-to-end."""
+        result = system_70b.query(Workload(LLAMA3_70B, seq_len=2049, decode_len=1))
+        assert result.ttft_s <= result.end_to_end_s
+        assert result.first_step_s == pytest.approx(result.tpot_s)

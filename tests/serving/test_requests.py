@@ -1,0 +1,120 @@
+"""Traffic generation: seeded determinism, rates, mixes, bounds."""
+
+import pytest
+
+from repro.models.llama3 import LLAMA3_8B, LLAMA3_70B
+from repro.serving.requests import (
+    ArrivalProcess,
+    Request,
+    RequestGenerator,
+    TrafficClass,
+    reasoning_traffic,
+)
+
+
+def make_generator(**overrides):
+    defaults = dict(
+        classes=(reasoning_traffic(LLAMA3_70B),),
+        rate_rps=2.0,
+        seed=123,
+    )
+    defaults.update(overrides)
+    return RequestGenerator(**defaults)
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        a = make_generator().generate(50.0)
+        b = make_generator().generate(50.0)
+        assert a == b
+
+    def test_different_seed_different_trace(self):
+        a = make_generator(seed=1).generate(50.0)
+        b = make_generator(seed=2).generate(50.0)
+        assert a != b
+
+    def test_bursty_deterministic_too(self):
+        a = make_generator(process=ArrivalProcess.BURSTY).generate(50.0)
+        b = make_generator(process=ArrivalProcess.BURSTY).generate(50.0)
+        assert a == b
+
+
+class TestArrivals:
+    def test_sorted_unique_ids_in_window(self):
+        requests = make_generator().generate(100.0)
+        times = [r.arrival_s for r in requests]
+        assert times == sorted(times)
+        assert all(0.0 <= t < 100.0 for t in times)
+        assert len({r.request_id for r in requests}) == len(requests)
+
+    @pytest.mark.parametrize("process", list(ArrivalProcess))
+    def test_average_rate_respected(self, process):
+        duration = 500.0
+        requests = make_generator(process=process, rate_rps=2.0).generate(duration)
+        rate = len(requests) / duration
+        assert rate == pytest.approx(2.0, rel=0.25)
+
+    def test_bursty_is_burstier(self):
+        """Dispersion of per-window counts exceeds Poisson's (index of
+        dispersion 1)."""
+
+        def dispersion(process):
+            requests = make_generator(
+                process=process, rate_rps=4.0, seed=9
+            ).generate(400.0)
+            bins = [0] * 400
+            for r in requests:
+                bins[int(r.arrival_s)] += 1
+            mean = sum(bins) / len(bins)
+            var = sum((b - mean) ** 2 for b in bins) / len(bins)
+            return var / mean
+
+        assert dispersion(ArrivalProcess.BURSTY) > 1.5 * dispersion(
+            ArrivalProcess.POISSON
+        )
+
+
+class TestLengthsAndMix:
+    def test_lengths_clamped(self):
+        cls = TrafficClass(
+            LLAMA3_70B, prompt_mean=512, decode_mean=256,
+            min_len=64, max_prompt=1024, max_decode=512,
+        )
+        requests = make_generator(classes=(cls,)).generate(200.0)
+        assert requests
+        for r in requests:
+            assert 64 <= r.prompt_len <= 1024
+            assert 64 <= r.decode_len <= 512
+
+    def test_mean_length_near_configured_mean(self):
+        requests = make_generator(rate_rps=4.0).generate(400.0)
+        decodes = [r.decode_len for r in requests]
+        assert sum(decodes) / len(decodes) == pytest.approx(4096, rel=0.25)
+
+    def test_model_mix_follows_weights(self):
+        classes = (
+            TrafficClass(LLAMA3_70B, weight=3.0),
+            TrafficClass(LLAMA3_8B, weight=1.0),
+        )
+        requests = make_generator(classes=classes, rate_rps=4.0).generate(400.0)
+        share = sum(r.model.name == LLAMA3_70B.name for r in requests) / len(requests)
+        assert share == pytest.approx(0.75, abs=0.08)
+
+
+class TestValidation:
+    def test_request_workload_roundtrip(self):
+        request = Request(0, 1.0, LLAMA3_70B, prompt_len=2048, decode_len=1024)
+        workload = request.workload()
+        assert workload.prefill_len == 2048
+        assert workload.decode_len == 1024
+        assert workload.seq_len == request.total_len
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            Request(0, 0.0, LLAMA3_70B, prompt_len=0, decode_len=10)
+        with pytest.raises(ValueError):
+            RequestGenerator(classes=(), rate_rps=1.0)
+        with pytest.raises(ValueError):
+            make_generator(rate_rps=0.0)
+        with pytest.raises(ValueError):
+            make_generator().generate(0.0)

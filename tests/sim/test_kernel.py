@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.kernel import Signal, SimulationError, Simulator, Timeout
+from repro.sim.kernel import SimulationError, Simulator, Timeout
 
 
 def test_timeout_advances_time():
