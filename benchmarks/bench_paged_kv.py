@@ -1,0 +1,56 @@
+"""Paged vs full-context KV reservation at equal KV budget: the
+occupancy argument behind the fleet deployment.  Full-context
+reservation strands most of a decode pod's KV budget on the paper's
+2k-prompt/4k-reasoning traffic; block-granular (paged) allocation with
+preemption turns that stranded capacity into batch depth."""
+
+from conftest import emit
+
+from repro.analysis.cluster_sweep import reservation_sweep
+from repro.models.llama3 import LLAMA3_70B
+from repro.serving.scheduler import Reservation
+from repro.util.tables import Table
+
+
+def build():
+    return reservation_sweep(
+        LLAMA3_70B,
+        kv_budgets_gb=(3.0, 4.0, 6.0),
+        rate_rps=2.0,
+        duration_s=30.0,
+        num_decode_pods=1,
+    )
+
+
+def test_paged_kv(benchmark):
+    points = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    table = Table(
+        "KV reservation policy at equal budget: Llama3-70B reasoning "
+        "traffic, 1 RPU decode pod, 2 RPS",
+        ["KV budget", "policy", "goodput", "tok/s", "KV occupancy",
+         "preemptions", "completed"],
+    )
+    for p in points:
+        table.add_row([
+            f"{p.kv_budget_gb:.0f} GB", p.reservation.value,
+            f"{p.goodput:.0%}", f"{p.tokens_per_s:,.0f}",
+            f"{p.mean_decode_kv_occupancy:.0%}", p.preemptions, p.completed,
+        ])
+    emit(table)
+
+    full = {p.kv_budget_gb: p for p in points
+            if p.reservation is Reservation.FULL}
+    paged = {p.kv_budget_gb: p for p in points
+             if p.reservation is Reservation.PAGED}
+    for budget, f in full.items():
+        p = paged[budget]
+        # The acceptance claim: at equal KV budget on the reasoning mix,
+        # paged reservation never loses goodput and strictly wins decode
+        # throughput (deeper batches from un-stranding the KV pool).
+        assert p.goodput >= f.goodput
+        assert p.tokens_per_s > f.tokens_per_s
+        assert p.completed == f.completed
+    # The win comes from occupancy, not magic: where FULL is
+    # admission-starved (tightest budget), paged lifts goodput sharply.
+    assert paged[3.0].goodput - full[3.0].goodput > 0.2

@@ -31,8 +31,13 @@ from repro.serving.requests import (
     RequestGenerator,
     TrafficClass,
     reasoning_traffic,
+    truncated_lognormal_mean,
 )
-from repro.serving.scheduler import ContinuousBatchScheduler, Policy
+from repro.serving.scheduler import (
+    ContinuousBatchScheduler,
+    Policy,
+    Reservation,
+)
 
 __all__ = [
     "ArrivalProcess",
@@ -47,9 +52,11 @@ __all__ = [
     "QueryResult",
     "Request",
     "RequestGenerator",
+    "Reservation",
     "TrafficClass",
     "disaggregated_cluster",
     "gpu_only_cluster",
     "reasoning_traffic",
     "simulate",
+    "truncated_lognormal_mean",
 ]

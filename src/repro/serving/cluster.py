@@ -10,7 +10,11 @@ Splitwise/Dynamo).  A cluster is
   prompts buys little);
 - **M decode pods** -- RPU boards (or GPU groups for the baseline), each
   hosting one model's weights and running continuous batching under a
-  KV-capacity budget (:mod:`repro.serving.scheduler`);
+  KV-capacity budget (:mod:`repro.serving.scheduler`).  The default
+  reservation policy is paged (block-granular KV, admission on the
+  prompt footprint); a pod that runs its block pool dry preempts the
+  lowest-priority request, which re-pays prefill on a prefill pod and
+  the KV hand-off before re-admission (recompute-on-resume);
 - a **KV hand-off** between them over the Ring Station's external
   network, at the same 100 GbE cost the single-query model charges.
 
@@ -46,7 +50,7 @@ from repro.serving.disaggregated import (
     KV_TRANSFER_BYTES_PER_S,
 )
 from repro.serving.requests import Request
-from repro.serving.scheduler import ContinuousBatchScheduler, Policy
+from repro.serving.scheduler import ContinuousBatchScheduler, Policy, Reservation
 from repro.util.stats import mean, percentile
 from repro.util.tables import Table
 
@@ -65,14 +69,39 @@ class PrefillPod:
 
     pod_id: str
     engine: GpuSystem
+    #: Serving dtypes the cluster configured; prefill is charged at
+    #: these, not at each request's defaults, so its cost agrees with
+    #: the cluster's serving point.
+    weight_dtype: DType | None = None
+    kv_dtype: DType | None = None
     busy_until_s: float = 0.0
     busy_s: float = 0.0
     energy_j: float = 0.0
 
-    def serve(self, request: Request, now: float) -> tuple[float, float]:
-        """Queue ``request``; returns (start, end) of its prefill."""
+    def serve(
+        self, request: Request, now: float, *, context_tokens: int | None = None
+    ) -> tuple[float, float]:
+        """Queue ``request``; returns (start, end) of its prefill.
+
+        ``context_tokens`` overrides the prefilled context -- a
+        preemption resume recomputes prompt *plus* generated-so-far
+        tokens, not just the prompt.
+        """
         start = max(now, self.busy_until_s)
-        duration, power = prefill_time_and_power(self.engine, request.workload())
+        if context_tokens is None:
+            workload = request.workload(
+                weight_dtype=self.weight_dtype, kv_dtype=self.kv_dtype
+            )
+        else:
+            workload = Workload(
+                request.model,
+                batch_size=1,
+                seq_len=context_tokens,
+                decode_len=0,
+                weight_dtype=self.weight_dtype or request.weight_dtype,
+                kv_dtype=self.kv_dtype or request.kv_dtype,
+            )
+        duration, power = prefill_time_and_power(self.engine, workload)
         self.busy_until_s = start + duration
         self.busy_s += duration
         self.energy_j += duration * power
@@ -96,6 +125,11 @@ class DecodePod:
     #: flight; without it, near-simultaneous prefill completions would
     #: all herd onto one pod during the transfer window.
     in_transfer_tokens: int = 0
+    #: Paged-KV preemptions this pod issued over the run.
+    preemptions: int = 0
+    #: Integral of KV-pool occupancy over stepping time (occupancy
+    #: time-weighted by step latency; divide by ``busy_s`` for the mean).
+    kv_occupancy_s: float = 0.0
     _step_cache: dict[tuple[int, int], tuple[float, float]] = field(
         default_factory=dict, repr=False
     )
@@ -146,7 +180,10 @@ class DecodePod:
         """Decode tokens still owed to admitted, queued and in-transfer
         requests (the load metric the router balances on)."""
         owed = sum(entry.remaining_tokens for entry in self.scheduler.active)
-        owed += sum(request.decode_len for _, request in self.scheduler.queue)
+        owed += sum(
+            queued.request.decode_len - queued.tokens_done
+            for queued in self.scheduler.queue
+        )
         return owed + self.in_transfer_tokens
 
 
@@ -187,12 +224,24 @@ class ClusterConfig:
     #: KV hand-off bandwidth; ``float("inf")`` models colocated decode
     #: (the GPU-only baseline pays no transfer).
     kv_transfer_bytes_per_s: float = KV_TRANSFER_BYTES_PER_S
+    #: KV reservation policy on decode pods.  PAGED (the vLLM block
+    #: model) is the fleet default; FULL keeps the conservative
+    #: full-context reservation for regression comparison.
+    reservation: Reservation = Reservation.PAGED
+    block_tokens: int = 128
+    chunk_tokens: int = 512
+    #: Per-decode-pod KV budget override (bytes).  ``None`` derives it
+    #: from pod memory minus weights; setting it enables equal-budget
+    #: FULL-vs-PAGED comparisons and capacity what-ifs.
+    kv_budget_bytes: float | None = None
 
     def __post_init__(self) -> None:
         if not self.prefill_engines:
             raise ValueError("cluster needs at least one prefill pod")
         if not self.decode_pods:
             raise ValueError("cluster needs at least one decode pod")
+        if self.kv_budget_bytes is not None and self.kv_budget_bytes <= 0:
+            raise ValueError("kv_budget_bytes override must be positive")
 
 
 def disaggregated_cluster(
@@ -205,6 +254,10 @@ def disaggregated_cluster(
     sizing_batch: int = 32,
     policy: Policy = Policy.FIFO,
     max_batch: int = 128,
+    reservation: Reservation = Reservation.PAGED,
+    block_tokens: int = 128,
+    chunk_tokens: int = 512,
+    kv_budget_bytes: float | None = None,
 ) -> ClusterConfig:
     """GPU prefill + RPU decode fleet for one model (the paper's
     deployment)."""
@@ -219,6 +272,10 @@ def disaggregated_cluster(
         ),
         policy=policy,
         max_batch=max_batch,
+        reservation=reservation,
+        block_tokens=block_tokens,
+        chunk_tokens=chunk_tokens,
+        kv_budget_bytes=kv_budget_bytes,
     )
 
 
@@ -231,6 +288,10 @@ def gpu_only_cluster(
     gpus_per_decode: int = 2,
     policy: Policy = Policy.FIFO,
     max_batch: int = 128,
+    reservation: Reservation = Reservation.PAGED,
+    block_tokens: int = 128,
+    chunk_tokens: int = 512,
+    kv_budget_bytes: float | None = None,
 ) -> ClusterConfig:
     """All-GPU baseline: decode pods are GPU groups and the KV hand-off
     is free (colocated serving -- generous to the baseline)."""
@@ -245,6 +306,10 @@ def gpu_only_cluster(
         policy=policy,
         max_batch=max_batch,
         kv_transfer_bytes_per_s=float("inf"),
+        reservation=reservation,
+        block_tokens=block_tokens,
+        chunk_tokens=chunk_tokens,
+        kv_budget_bytes=kv_budget_bytes,
     )
 
 
@@ -253,7 +318,12 @@ def gpu_only_cluster(
 # ----------------------------------------------------------------------
 @dataclass
 class RequestRecord:
-    """Lifecycle timestamps of one request through the fleet."""
+    """Lifecycle timestamps of one request through the fleet.
+
+    A preempted request goes around the prefill/transfer/admit loop
+    again, so the per-stage timestamps reflect its *last* pass; waiting
+    time is accumulated across passes in ``queue_wait_s``.
+    """
 
     request: Request
     rejected: bool = False
@@ -265,6 +335,15 @@ class RequestRecord:
     admitted_s: float = 0.0
     first_token_s: float | None = None
     completed_s: float | None = None
+    #: Times this request was preempted off a decode pod (paged KV);
+    #: each preemption re-pays prefill and the KV hand-off.
+    num_preemptions: int = 0
+    #: Decode progress preserved across the last preemption (the
+    #: resume recomputes prompt + this many tokens at prefill speed).
+    resume_tokens: int = 0
+    #: Total time spent waiting (prefill queue + decode admission
+    #: queue), summed over every pass through the pipeline.
+    queue_wait_s: float = 0.0
 
     @property
     def done(self) -> bool:
@@ -292,10 +371,10 @@ class RequestRecord:
 
     @property
     def queueing_delay_s(self) -> float:
-        """Time spent waiting (prefill queue + decode admission queue)."""
-        return (self.prefill_start_s - self.request.arrival_s) + (
-            self.admitted_s - self.transfer_end_s
-        )
+        """Time spent waiting (prefill queue + decode admission queue),
+        accumulated across preemption passes -- service time (prefill,
+        transfer, decode) is never counted as queueing."""
+        return self.queue_wait_s
 
     @property
     def interactive(self) -> bool:
@@ -310,6 +389,10 @@ class PodStats:
     kind: str  # "prefill" | "decode"
     busy_s: float
     energy_j: float
+    #: Decode pods only: preemptions issued and mean KV-pool occupancy
+    #: (fraction of the budget allocated, time-weighted over stepping).
+    preemptions: int = 0
+    kv_occupancy: float = 0.0
 
     def utilization(self, elapsed_s: float) -> float:
         return min(self.busy_s / elapsed_s, 1.0) if elapsed_s > 0 else 0.0
@@ -321,8 +404,15 @@ class ClusterReport:
 
     completed: tuple[RequestRecord, ...]
     rejected: tuple[RequestRecord, ...]
+    #: Clock at the last processed event: the run drains fully, so this
+    #: includes the tail of long requests arriving near the window end.
     duration_s: float
     pod_stats: tuple[PodStats, ...]
+    #: Arrival time of the last submitted request.  Throughput over
+    #: this window (instead of the drain-inclusive ``duration_s``) is
+    #: what makes short runs with long-tail requests comparable across
+    #: sweep points.
+    last_arrival_s: float = 0.0
 
     @property
     def num_submitted(self) -> int:
@@ -358,11 +448,69 @@ class ClusterReport:
 
     @property
     def tokens_per_s(self) -> float:
+        """Drain-inclusive decode throughput (tokens over the full run,
+        including the post-arrival drain tail); understates a fleet's
+        steady-state rate on short runs."""
         return self.decode_tokens / self.duration_s if self.duration_s else 0.0
+
+    def decode_tokens_before(self, t: float) -> float:
+        """Estimated decode tokens generated by time ``t``, linearly
+        interpolating each request's pace between its first token and
+        completion (exact for requests that completed by ``t``)."""
+        total = 0.0
+        for r in self.completed:
+            first, done = r.first_token_s, r.completed_s
+            if first is None or t <= first:
+                continue
+            if t >= done or done <= first:
+                total += r.request.decode_len
+            else:
+                total += r.request.decode_len * (t - first) / (done - first)
+        return total
+
+    @property
+    def arrival_window_tokens_per_s(self) -> float:
+        """Decode throughput over the arrival window only: tokens
+        generated *within* the window / window length.  Neither diluted
+        by the drain tail (the drain-inclusive rate's flaw on short
+        runs) nor inflated by drain-tail tokens, so it plateaus at the
+        fleet's physical rate under overload.  Falls back to the
+        drain-inclusive rate for degenerate single-instant traffic."""
+        if self.last_arrival_s > 0.0:
+            tokens = self.decode_tokens_before(self.last_arrival_s)
+            return tokens / self.last_arrival_s
+        return self.tokens_per_s
 
     @property
     def completed_rps(self) -> float:
+        """Drain-inclusive completion rate."""
         return len(self.completed) / self.duration_s if self.duration_s else 0.0
+
+    @property
+    def arrival_window_rps(self) -> float:
+        """Completions inside the arrival window / window length."""
+        if self.last_arrival_s > 0.0:
+            in_window = sum(
+                1 for r in self.completed
+                if r.completed_s is not None
+                and r.completed_s <= self.last_arrival_s
+            )
+            return in_window / self.last_arrival_s
+        return self.completed_rps
+
+    # -- paged-KV health ----------------------------------------------
+    @property
+    def total_preemptions(self) -> int:
+        return sum(p.preemptions for p in self.pod_stats if p.kind == "decode")
+
+    @property
+    def mean_decode_kv_occupancy(self) -> float:
+        """Busy-time-weighted mean KV-pool occupancy across decode pods."""
+        decode = [p for p in self.pod_stats if p.kind == "decode"]
+        busy = sum(p.busy_s for p in decode)
+        if busy == 0.0:
+            return 0.0
+        return sum(p.kv_occupancy * p.busy_s for p in decode) / busy
 
     # -- energy --------------------------------------------------------
     @property
@@ -378,16 +526,29 @@ class ClusterReport:
         table.add_row(["queries completed / submitted",
                        f"{len(self.completed)} / {self.num_submitted}"])
         table.add_row(["goodput (<= 10 s)", f"{self.goodput:.1%}"])
-        table.add_row(["TTFT p50 / p95 / p99 (s)",
-                       f"{self.ttft_percentile(50):.2f} / "
-                       f"{self.ttft_percentile(95):.2f} / "
-                       f"{self.ttft_percentile(99):.2f}"])
-        table.add_row(["TPOT p50 / p99 (ms)",
-                       f"{self.tpot_percentile(50) * 1e3:.2f} / "
-                       f"{self.tpot_percentile(99) * 1e3:.2f}"])
-        table.add_row(["mean queueing delay (s)",
-                       f"{self.mean_queueing_delay_s:.2f}"])
-        table.add_row(["decode throughput (tok/s)", f"{self.tokens_per_s:,.0f}"])
+        if self.completed:
+            # Latency rows are undefined with zero completions; "n/a"
+            # beats a misleading 0.00 s.
+            table.add_row(["TTFT p50 / p95 / p99 (s)",
+                           f"{self.ttft_percentile(50):.2f} / "
+                           f"{self.ttft_percentile(95):.2f} / "
+                           f"{self.ttft_percentile(99):.2f}"])
+            table.add_row(["TPOT p50 / p99 (ms)",
+                           f"{self.tpot_percentile(50) * 1e3:.2f} / "
+                           f"{self.tpot_percentile(99) * 1e3:.2f}"])
+            table.add_row(["mean queueing delay (s)",
+                           f"{self.mean_queueing_delay_s:.2f}"])
+        else:
+            table.add_row(["TTFT p50 / p95 / p99 (s)", "n/a"])
+            table.add_row(["TPOT p50 / p99 (ms)", "n/a"])
+            table.add_row(["mean queueing delay (s)", "n/a"])
+        table.add_row(["decode tok/s (drain-inclusive)",
+                       f"{self.tokens_per_s:,.0f}"])
+        table.add_row(["decode tok/s (arrival window)",
+                       f"{self.arrival_window_tokens_per_s:,.0f}"])
+        table.add_row(["decode KV occupancy",
+                       f"{self.mean_decode_kv_occupancy:.0%}"])
+        table.add_row(["preemptions", f"{self.total_preemptions}"])
         table.add_row(["fleet energy (kJ)", f"{self.total_energy_j / 1e3:.1f}"])
         for pod in self.pod_stats:
             table.add_row([f"{pod.pod_id} utilization",
@@ -398,7 +559,7 @@ class ClusterReport:
 # ----------------------------------------------------------------------
 # The simulator
 # ----------------------------------------------------------------------
-_ARRIVAL, _PREFILL_DONE, _KV_ARRIVE, _STEP = range(4)
+_ARRIVAL, _PREFILL_DONE, _KV_ARRIVE, _STEP, _RESUME = range(5)
 
 
 class ClusterSim:
@@ -412,12 +573,19 @@ class ClusterSim:
         """Fresh pod state; called per run so a sim instance is reusable."""
         config = self.config
         self.prefill_pods = [
-            PrefillPod(pod_id=f"prefill{i}", engine=engine)
+            PrefillPod(
+                pod_id=f"prefill{i}",
+                engine=engine,
+                weight_dtype=config.weight_dtype,
+                kv_dtype=config.kv_dtype,
+            )
             for i, engine in enumerate(config.prefill_engines)
         ]
         self.decode_pods = []
         for i, spec in enumerate(config.decode_pods):
-            budget = decode_pod_kv_budget(spec.engine, spec.model, config.weight_dtype)
+            budget = config.kv_budget_bytes or decode_pod_kv_budget(
+                spec.engine, spec.model, config.weight_dtype
+            )
             self.decode_pods.append(
                 DecodePod(
                     pod_id=f"decode{i}",
@@ -428,6 +596,12 @@ class ClusterSim:
                         max_batch=config.max_batch,
                         policy=config.policy,
                         kv_dtype=config.kv_dtype,
+                        reservation=config.reservation,
+                        block_tokens=config.block_tokens,
+                        chunk_tokens=config.chunk_tokens,
+                        # The cluster re-routes preempted requests
+                        # through a prefill pod (recompute-on-resume).
+                        requeue_preempted=False,
                     ),
                     weight_dtype=config.weight_dtype,
                     kv_dtype=config.kv_dtype,
@@ -453,56 +627,94 @@ class ClusterSim:
         return min(hosts, key=lambda pod: (pod.outstanding_tokens(), pod.pod_id))
 
     # -- event handlers ------------------------------------------------
-    def _on_arrival(self, now: float, record: RequestRecord) -> None:
-        request = record.request
-        if self._route_decode(request) is None:
-            record.rejected = True
-            return
+    def _dispatch_prefill(self, now: float, record: RequestRecord) -> None:
+        """Send the request through the least-busy prefill pod (both
+        fresh arrivals and preemption resumes re-paying prefill)."""
         pod = min(self.prefill_pods, key=lambda p: (p.busy_until_s, p.pod_id))
-        start, end = pod.serve(request, now)
+        context = None
+        if record.resume_tokens:
+            context = record.request.prompt_len + record.resume_tokens
+        start, end = pod.serve(record.request, now, context_tokens=context)
         record.prefill_pod = pod.pod_id
         record.prefill_start_s = start
         record.prefill_end_s = end
+        record.queue_wait_s += start - now
         self._push(end, _PREFILL_DONE, record)
+
+    def _on_arrival(self, now: float, record: RequestRecord) -> None:
+        if self._route_decode(record.request) is None:
+            record.rejected = True
+            return
+        self._dispatch_prefill(now, record)
 
     def _on_prefill_done(self, now: float, record: RequestRecord) -> None:
         request = record.request
         pod = self._route_decode(request)
         assert pod is not None  # feasibility was checked at arrival
-        prompt_kv = kv_cache_bytes(
-            request.model, request.prompt_len, 1, self.config.kv_dtype
+        context_kv = kv_cache_bytes(
+            request.model,
+            request.prompt_len + record.resume_tokens,
+            1,
+            self.config.kv_dtype,
         )
-        transfer_s = prompt_kv / self.config.kv_transfer_bytes_per_s
+        transfer_s = context_kv / self.config.kv_transfer_bytes_per_s
         record.decode_pod = pod.pod_id
-        pod.in_transfer_tokens += request.decode_len
+        pod.in_transfer_tokens += request.decode_len - record.resume_tokens
         self._push(now + transfer_s, _KV_ARRIVE, (pod, record))
 
     def _on_kv_arrive(self, now: float, pod: DecodePod, record: RequestRecord) -> None:
         record.transfer_end_s = now
-        pod.in_transfer_tokens -= record.request.decode_len
-        pod.scheduler.enqueue(record.request, now)
+        pod.in_transfer_tokens -= record.request.decode_len - record.resume_tokens
+        # Under paged KV the transferred context still streams into the
+        # block pool in chunk_tokens slices (chunked prefill); FULL
+        # reserves the whole context up front and starts immediately.
+        # Preemption count and decode progress carry over so aging
+        # keeps protecting previously evicted requests.
+        pod.scheduler.enqueue(
+            record.request,
+            now,
+            needs_prefill=pod.scheduler.reservation is Reservation.PAGED,
+            preemptions=record.num_preemptions,
+            tokens_done=record.resume_tokens,
+        )
         if not pod.stepping:
             pod.stepping = True
             self._push(now, _STEP, pod)
 
     def _on_step(self, now: float, pod: DecodePod) -> None:
         for entry in pod.scheduler.admit(now):
-            self._records_by_id[entry.request.request_id].admitted_s = now
+            record = self._records_by_id[entry.request.request_id]
+            record.admitted_s = now
+            record.queue_wait_s += now - record.transfer_end_s
         if pod.scheduler.batch_size == 0:
             pod.stepping = False
             return
         batch = pod.scheduler.batch_size
         context = pod.scheduler.mean_context_len()
         step_s, step_j = pod.step_cost(batch, context)
+        pod.kv_occupancy_s += pod.scheduler.kv_occupancy * step_s
         end = now + step_s
         newly_running = [e for e in pod.scheduler.active if e.first_token_s is None]
         finished = pod.scheduler.advance(end)
         for entry in newly_running:
-            self._records_by_id[entry.request.request_id].first_token_s = (
-                entry.first_token_s
-            )
+            if entry.first_token_s is None:
+                continue  # still chunk-prefilling, or preempted mid-step
+            record = self._records_by_id[entry.request.request_id]
+            if record.first_token_s is None:
+                record.first_token_s = entry.first_token_s
         for entry in finished:
             self._records_by_id[entry.request.request_id].completed_s = end
+        for queued in pod.scheduler.take_preempted():
+            # Recompute-on-resume: back through a prefill pod (which
+            # recomputes prompt + generated-so-far) and the KV
+            # hand-off, then re-admission wherever load is lowest.
+            # Dispatched via the heap so the prefill pod is not booked
+            # before events that precede the step's end.
+            pod.preemptions += 1
+            record = self._records_by_id[queued.request.request_id]
+            record.num_preemptions = queued.preemptions
+            record.resume_tokens = queued.tokens_done
+            self._push(end, _RESUME, record)
         pod.busy_s += step_s
         pod.energy_j += step_j
         self._push(end, _STEP, pod)
@@ -532,6 +744,8 @@ class ClusterSim:
             elif kind == _KV_ARRIVE:
                 pod, record = payload
                 self._on_kv_arrive(now, pod, record)
+            elif kind == _RESUME:
+                self._dispatch_prefill(now, payload)
             else:
                 self._on_step(now, payload)
 
@@ -541,7 +755,16 @@ class ClusterSim:
                 for p in self.prefill_pods
             ]
             + [
-                PodStats(p.pod_id, "decode", p.busy_s, p.energy_j)
+                PodStats(
+                    p.pod_id,
+                    "decode",
+                    p.busy_s,
+                    p.energy_j,
+                    preemptions=p.preemptions,
+                    kv_occupancy=(
+                        p.kv_occupancy_s / p.busy_s if p.busy_s else 0.0
+                    ),
+                )
                 for p in self.decode_pods
             ]
         )
@@ -550,6 +773,9 @@ class ClusterSim:
             rejected=tuple(r for r in records if r.rejected),
             duration_s=last_time,
             pod_stats=pod_stats,
+            last_arrival_s=max(
+                (r.request.arrival_s for r in records), default=0.0
+            ),
         )
 
 

@@ -16,7 +16,11 @@ Two arrival processes are modeled:
   continuous-batching scheduler's admission control.
 
 Prompt/decode lengths are sampled log-normally (heavy right tail, like
-production traces) and clamped to configured bounds.  All randomness
+production traces), *resampling* out-of-bounds draws (bounded retries)
+rather than clamping them -- clamping piles probability mass onto the
+bounds and silently shifts the realized mean.  The realized mean is the
+truncated-lognormal mean, which :func:`truncated_lognormal_mean`
+computes exactly so offered token load stays auditable.  All randomness
 flows through one ``random.Random(seed)`` so a generator is fully
 deterministic given its configuration.
 """
@@ -40,6 +44,36 @@ class ArrivalProcess(enum.Enum):
     BURSTY = "bursty"
 
 
+def _phi(z: float) -> float:
+    """Standard normal CDF."""
+    return 0.5 * (1.0 + math.erf(z / math.sqrt(2.0)))
+
+
+def truncated_lognormal_mean(
+    mean: float, sigma: float, lo: float, hi: float
+) -> float:
+    """Exact mean of a log-normal with (unclamped) mean ``mean`` and
+    log-space spread ``sigma``, truncated to ``[lo, hi]`` by resampling.
+
+    This is the length the traffic generator actually realizes, so the
+    offered token load of a :class:`TrafficClass` is
+    ``rate_rps * truncated_lognormal_mean(...)``, not ``rate * mean``
+    (the two coincide only when the bounds are loose).
+    """
+    if not 0 < lo < hi:
+        raise ValueError("need 0 < lo < hi")
+    if sigma <= 0:
+        raise ValueError("sigma must be positive")
+    mu = math.log(mean) - sigma * sigma / 2.0
+    a = (math.log(lo) - mu) / sigma
+    b = (math.log(hi) - mu) / sigma
+    mass = _phi(b) - _phi(a)
+    if mass <= 0.0:
+        # Degenerate bounds: everything lands on one edge.
+        return lo if math.log(mean) < math.log(lo) else hi
+    return mean * (_phi(b - sigma) - _phi(a - sigma)) / mass
+
+
 @dataclass(frozen=True)
 class Request:
     """One query submitted to the fleet."""
@@ -51,6 +85,9 @@ class Request:
     decode_len: int
     weight_dtype: DType = DType.MXFP4
     kv_dtype: DType = DType.FP8
+    #: Scheduling priority; under paged KV the *lowest*-priority active
+    #: request is preempted first when the block pool runs dry.
+    priority: int = 0
 
     def __post_init__(self) -> None:
         if self.prompt_len < 1:
@@ -63,15 +100,25 @@ class Request:
         """Context length at the last generated token."""
         return self.prompt_len + self.decode_len
 
-    def workload(self) -> Workload:
-        """The single-query workload this request corresponds to."""
+    def workload(
+        self,
+        *,
+        weight_dtype: DType | None = None,
+        kv_dtype: DType | None = None,
+    ) -> Workload:
+        """The single-query workload this request corresponds to.
+
+        The dtype overrides let a serving fleet charge this request at
+        *its* configured serving point rather than the request's
+        defaults (the pod, not the client, decides storage dtypes).
+        """
         return Workload(
             self.model,
             batch_size=1,
             seq_len=self.total_len,
             decode_len=self.decode_len,
-            weight_dtype=self.weight_dtype,
-            kv_dtype=self.kv_dtype,
+            weight_dtype=weight_dtype or self.weight_dtype,
+            kv_dtype=kv_dtype or self.kv_dtype,
         )
 
 
@@ -79,9 +126,12 @@ class Request:
 class TrafficClass:
     """One model's share of the fleet traffic and its length statistics.
 
-    ``prompt_mean``/``decode_mean`` are the *means* of the log-normal
-    length distributions (before clamping), so offered token load is
-    ``rate_rps * decode_mean``.
+    ``prompt_mean``/``decode_mean`` are the means of the *untruncated*
+    log-normal length distributions.  Out-of-bounds draws are resampled,
+    so the realized mean is the truncated-lognormal mean --
+    :attr:`expected_prompt_len` / :attr:`expected_decode_len` -- and the
+    offered token load is ``rate_rps * expected_decode_len`` (slightly
+    below ``rate_rps * decode_mean`` when the bounds are tight).
     """
 
     model: ModelConfig
@@ -93,12 +143,29 @@ class TrafficClass:
     min_len: int = 16
     max_prompt: int = 16384
     max_decode: int = 8192
+    #: Priority stamped on every request of this class (paged-KV
+    #: preemption evicts the lowest priority first).
+    priority: int = 0
 
     def __post_init__(self) -> None:
         if self.weight <= 0:
             raise ValueError(f"weight must be > 0, got {self.weight}")
         if self.prompt_mean < self.min_len or self.decode_mean < self.min_len:
             raise ValueError("mean lengths must be >= min_len")
+
+    @property
+    def expected_prompt_len(self) -> float:
+        """Realized mean prompt length after truncation to bounds."""
+        return truncated_lognormal_mean(
+            self.prompt_mean, self.prompt_sigma, self.min_len, self.max_prompt
+        )
+
+    @property
+    def expected_decode_len(self) -> float:
+        """Realized mean decode length after truncation to bounds."""
+        return truncated_lognormal_mean(
+            self.decode_mean, self.decode_sigma, self.min_len, self.max_decode
+        )
 
 
 def reasoning_traffic(model: ModelConfig) -> TrafficClass:
@@ -135,16 +202,26 @@ class RequestGenerator:
     # ------------------------------------------------------------------
     # Sampling
     # ------------------------------------------------------------------
+    #: Out-of-bounds draws are resampled at most this many times before
+    #: falling back to a clamp (keeps sampling O(1) worst-case; with
+    #: sane bounds the fallback probability is p_out**8, i.e. nil).
+    MAX_LENGTH_RESAMPLES = 8
+
     def _sample_length(
         self, rng: random.Random, mean: int, sigma: float, lo: int, hi: int
     ) -> int:
         # mu = ln(mean) - sigma^2/2 makes the configured value the true
-        # mean of the (unclamped) log-normal, so offered token load is
-        # rate * mean length; the right tail still produces the
+        # mean of the *untruncated* log-normal; out-of-range draws are
+        # resampled (not clamped) so no probability mass piles up on
+        # the bounds and the realized mean is the analytic
+        # truncated-lognormal mean.  The right tail still produces the
         # occasional very long prompt/generation that stresses KV
         # admission.
         mu = math.log(mean) - sigma * sigma / 2.0
-        value = int(round(rng.lognormvariate(mu, sigma)))
+        for _ in range(self.MAX_LENGTH_RESAMPLES):
+            value = int(round(rng.lognormvariate(mu, sigma)))
+            if lo <= value <= hi:
+                return value
         return max(lo, min(value, hi))
 
     def _pick_class(self, rng: random.Random) -> TrafficClass:
@@ -210,6 +287,7 @@ class RequestGenerator:
                     model=cls.model,
                     prompt_len=prompt,
                     decode_len=decode,
+                    priority=cls.priority,
                 )
             )
         return requests

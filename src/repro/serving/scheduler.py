@@ -7,12 +7,38 @@ which the paper's host-interrupt-per-token deployment naturally
 supports).
 
 Admission is governed by the pod's KV budget: the memory left after the
-hosted model's weights.  A request reserves its *full-context* KV
-footprint (prompt + all tokens it may generate) when admitted, so an
-admitted request can always run to completion -- no mid-flight preemption
-or KV swapping is modeled.  This is the conservative reservation policy;
-it trades a little occupancy for a hard no-overflow guarantee, which the
-property tests assert.
+hosted model's weights.  Two reservation policies are modeled:
+
+- **FULL** -- a request reserves its *full-context* KV footprint
+  (prompt + all tokens it may generate) when admitted, so an admitted
+  request can always run to completion: no mid-flight preemption or KV
+  swapping.  Conservative; trades occupancy for a hard no-overflow
+  guarantee.
+- **PAGED** -- the vLLM paged-attention model.  KV is allocated in
+  fixed-size blocks of ``block_tokens`` tokens; admission only requires
+  the *prompt* footprint plus a small watermark, and each sequence
+  grows block-by-block as it decodes.  When the pool runs dry, the
+  lowest-priority, most-recently-admitted active request is preempted
+  under a recompute-on-resume model: its blocks free immediately and it
+  re-enters the queue.  Already-generated tokens are kept and their KV
+  is *recomputed at prefill speed* on resume (the vLLM recompute
+  model), so a preemption costs a prompt+generated re-prefill, not a
+  decode restart.  A preempted request's effective priority rises with
+  each preemption (aging), so no request is starved by an endless
+  preemption storm.
+
+PAGED also models **chunked prefill**: a request whose context KV is
+not yet written into the block pool (a prefill-pod hand-off landing on
+the pod, or a preemption resume recomputing locally) streams it in
+``chunk_tokens`` slices, one slice per step, instead of blocking the
+pod -- other sequences keep decoding while an oversized prompt lands.
+The blocks are reserved at admission (the gate is the resident-context
+footprint plus the watermark), so ingestion is pure pacing and decode
+starts once the context is fully resident.
+
+Block accounting is per-token exact for global-attention models; for
+local-attention layers it ignores window eviction, so paged
+reservations are (slightly) conservative there.
 
 Two queue policies:
 
@@ -26,11 +52,15 @@ Two queue policies:
 from __future__ import annotations
 
 import enum
+import math
 from dataclasses import dataclass, field
 
 from repro.models.dtypes import DType
-from repro.models.kv_cache import kv_cache_bytes
+from repro.models.kv_cache import kv_bytes_per_token, kv_cache_bytes
 from repro.serving.requests import Request
+
+#: Slack for float-dust comparisons against the KV budget (bytes).
+_EPS_BYTES = 1e-3
 
 
 class Policy(enum.Enum):
@@ -40,16 +70,50 @@ class Policy(enum.Enum):
     SJF = "sjf"
 
 
-def request_kv_bytes(request: Request, kv_dtype: DType | None = None) -> float:
-    """Full-context KV reservation for one request (its admission cost).
+class Reservation(enum.Enum):
+    """How admitted requests reserve KV against the pod budget."""
 
-    ``kv_dtype`` overrides the request's own dtype -- the pod stores the
-    cache at *its* serving dtype, so reservations must be computed at
-    the same dtype the step model charges, or the budget lies.
+    #: Reserve the full-context footprint up front (never preempts).
+    FULL = "full"
+    #: Block-granular allocation, grow on demand, preempt when dry.
+    PAGED = "paged"
+
+
+def request_kv_bytes(request: Request, kv_dtype: DType | None = None) -> float:
+    """Full-context KV footprint of one request.
+
+    This is the FULL policy's admission cost (and both policies'
+    feasibility floor).  ``kv_dtype`` overrides the request's own dtype
+    -- the pod stores the cache at *its* serving dtype, so reservations
+    must be computed at the same dtype the step model charges, or the
+    budget lies.
     """
     return kv_cache_bytes(
         request.model, request.total_len, 1, kv_dtype or request.kv_dtype
     )
+
+
+@dataclass
+class QueuedRequest:
+    """One waiting request plus its scheduler-side state."""
+
+    arrival_s: float
+    request: Request
+    #: True when the resident context KV must still be streamed into
+    #: the block pool (a paged hand-off landing, or a preemption resume
+    #: recomputing locally) -- paced by chunked prefill after admission.
+    needs_prefill: bool = False
+    #: Times this request has been preempted (raises its effective
+    #: priority so storms cannot starve it).
+    preemptions: int = 0
+    #: Decode progress to resume from (generated tokens survive a
+    #: preemption; only their KV must be recomputed).
+    tokens_done: int = 0
+
+    @property
+    def resume_context(self) -> int:
+        """Tokens whose KV must be resident before decoding (re)starts."""
+        return self.request.prompt_len + self.tokens_done
 
 
 @dataclass
@@ -61,6 +125,14 @@ class ActiveRequest:
     admitted_s: float
     tokens_done: int = 0
     first_token_s: float | None = None
+    #: Context tokens (prompt + resumed decode) still to ingest before
+    #: decoding starts (chunked prefill); 0 when the KV arrived
+    #: precomputed.
+    prefill_remaining: int = 0
+    #: PAGED bookkeeping; 0 / 0.0 under FULL reservation.
+    blocks_held: int = 0
+    bytes_per_block: float = 0.0
+    preemptions: int = 0
 
     @property
     def remaining_tokens(self) -> int:
@@ -70,6 +142,20 @@ class ActiveRequest:
     def context_len(self) -> int:
         """Context at the *next* decode step."""
         return self.request.prompt_len + self.tokens_done + 1
+
+    @property
+    def resident_tokens(self) -> int:
+        """Tokens whose KV is resident on the pod right now."""
+        return self.request.prompt_len - self.prefill_remaining + self.tokens_done
+
+    @property
+    def is_prefilling(self) -> bool:
+        return self.prefill_remaining > 0
+
+    @property
+    def effective_priority(self) -> int:
+        """Request priority aged by preemption count."""
+        return self.request.priority + self.preemptions
 
     @property
     def done(self) -> bool:
@@ -83,6 +169,14 @@ class ContinuousBatchScheduler:
     ``kv_budget_bytes`` is the pod capacity left for KV cache;
     ``max_batch`` caps the running batch (the paper evaluates decode up
     to batch 128; beyond that weight layers go compute-bound).
+
+    Under ``Reservation.PAGED`` the budget is carved into blocks of
+    ``block_tokens`` tokens; ``watermark_frac`` of the budget is kept
+    free at admission so freshly admitted requests do not immediately
+    trigger preemption, and preempted requests are re-queued locally
+    (``requeue_preempted=True``, the standalone recompute model) or
+    handed back to the caller via :meth:`take_preempted` for re-routing
+    (the cluster model: re-pay prefill on a prefill pod).
     """
 
     kv_budget_bytes: float
@@ -90,71 +184,225 @@ class ContinuousBatchScheduler:
     policy: Policy = Policy.FIFO
     #: Dtype the pod stores KV at; ``None`` trusts each request's own.
     kv_dtype: DType | None = None
-    queue: list[tuple[float, Request]] = field(default_factory=list)
+    reservation: Reservation = Reservation.FULL
+    block_tokens: int = 128
+    chunk_tokens: int = 512
+    watermark_frac: float = 0.01
+    requeue_preempted: bool = True
+    queue: list[QueuedRequest] = field(default_factory=list)
     active: list[ActiveRequest] = field(default_factory=list)
     kv_in_use_bytes: float = 0.0
+    num_preemptions: int = 0
+    _preempted: list[QueuedRequest] = field(default_factory=list, repr=False)
 
     def __post_init__(self) -> None:
         if self.kv_budget_bytes <= 0:
             raise ValueError("kv_budget_bytes must be positive")
         if self.max_batch < 1:
             raise ValueError("max_batch must be >= 1")
+        if self.block_tokens < 1:
+            raise ValueError("block_tokens must be >= 1")
+        if self.chunk_tokens < 1:
+            raise ValueError("chunk_tokens must be >= 1")
+        if not 0.0 <= self.watermark_frac < 1.0:
+            raise ValueError("watermark_frac must be in [0, 1)")
+
+    # ------------------------------------------------------------------
+    # Reservation accounting
+    # ------------------------------------------------------------------
+    def reservation_bytes(self, request: Request) -> float:
+        """Full-context KV of this request, at the pod's serving dtype."""
+        return request_kv_bytes(request, self.kv_dtype)
+
+    def bytes_per_block_for(self, request: Request) -> float:
+        """Byte size of one KV block for this request's model."""
+        return self.block_tokens * kv_bytes_per_token(
+            request.model, self.kv_dtype or request.kv_dtype
+        )
+
+    def _blocks_for(self, tokens: int) -> int:
+        return max(1, math.ceil(tokens / self.block_tokens))
+
+    def paged_total_bytes(self, request: Request) -> float:
+        """Block-rounded footprint at the request's final token."""
+        return self._blocks_for(request.total_len) * self.bytes_per_block_for(request)
+
+    def _admission_bytes(self, queued: QueuedRequest) -> float:
+        """KV that must be allocated to admit ``queued``: the resident
+        context (prompt, plus resumed decode progress) -- never the
+        full-context reservation under PAGED."""
+        request = queued.request
+        if self.reservation is Reservation.FULL:
+            return self.reservation_bytes(request)
+        blocks = self._blocks_for(queued.resume_context)
+        return blocks * self.bytes_per_block_for(request)
+
+    @property
+    def kv_occupancy(self) -> float:
+        """Fraction of the KV budget currently allocated."""
+        return self.kv_in_use_bytes / self.kv_budget_bytes
 
     # ------------------------------------------------------------------
     # Queue management
     # ------------------------------------------------------------------
-    def reservation_bytes(self, request: Request) -> float:
-        """KV this request reserves, at the pod's serving dtype."""
-        return request_kv_bytes(request, self.kv_dtype)
-
     def fits_ever(self, request: Request) -> bool:
-        """Could this request *ever* be admitted (even on an idle pod)?"""
+        """Could this request *ever* run to completion on this pod?"""
+        if self.reservation is Reservation.PAGED:
+            return self.paged_total_bytes(request) <= self.kv_budget_bytes
         return self.reservation_bytes(request) <= self.kv_budget_bytes
 
-    def enqueue(self, request: Request, now: float) -> None:
-        """Add a request to the waiting queue (KV already resident)."""
+    def enqueue(
+        self,
+        request: Request,
+        now: float,
+        *,
+        needs_prefill: bool = False,
+        preemptions: int = 0,
+        tokens_done: int = 0,
+    ) -> None:
+        """Add a request to the waiting queue.
+
+        ``needs_prefill`` marks resident context whose KV is not yet on
+        the pod (a local recompute after preemption); it streams in via
+        chunked prefill once admitted.  ``tokens_done`` resumes decode
+        progress after a preemption.
+        """
         if not self.fits_ever(request):
+            needed = (
+                self.paged_total_bytes(request)
+                if self.reservation is Reservation.PAGED
+                else self.reservation_bytes(request)
+            )
             raise ValueError(
                 f"request {request.request_id} needs "
-                f"{self.reservation_bytes(request) / 1e9:.1f} GB KV, pod budget "
+                f"{needed / 1e9:.1f} GB KV, pod budget "
                 f"is {self.kv_budget_bytes / 1e9:.1f} GB"
             )
-        self.queue.append((now, request))
-
-    def _admissible(self, request: Request) -> bool:
-        return (
-            len(self.active) < self.max_batch
-            and self.kv_in_use_bytes + self.reservation_bytes(request)
-            <= self.kv_budget_bytes
+        self.queue.append(
+            QueuedRequest(now, request, needs_prefill=needs_prefill,
+                          preemptions=preemptions, tokens_done=tokens_done)
         )
+
+    def _admissible(self, queued: QueuedRequest) -> bool:
+        if len(self.active) >= self.max_batch:
+            return False
+        need = self._admission_bytes(queued)
+        if self.reservation is Reservation.FULL:
+            return self.kv_in_use_bytes + need <= self.kv_budget_bytes
+        watermark = self.watermark_frac * self.kv_budget_bytes
+        if self.kv_in_use_bytes + need + watermark <= self.kv_budget_bytes:
+            return True
+        # An idle pool bypasses the watermark so a budget-filling
+        # request is not stranded forever.
+        return not self.active and need <= self.kv_budget_bytes
 
     def admit(self, now: float) -> list[ActiveRequest]:
         """Move waiting requests into the batch (called at each step
         boundary).  Returns the newly admitted requests."""
         admitted: list[ActiveRequest] = []
         if self.policy is Policy.SJF:
-            self.queue.sort(key=lambda item: (item[1].decode_len, item[0]))
+            self.queue.sort(
+                key=lambda q: (q.request.decode_len - q.tokens_done, q.arrival_s)
+            )
         while self.queue:
             index = 0
-            if not self._admissible(self.queue[index][1]):
+            if not self._admissible(self.queue[index]):
                 if self.policy is Policy.FIFO:
                     break  # strict order: blocked head blocks the queue
                 # SJF: scan for any job that fits.
-                for alt, (_, candidate) in enumerate(self.queue):
+                for alt, candidate in enumerate(self.queue):
                     if self._admissible(candidate):
                         index = alt
                         break
                 else:
                     break
-            _, request = self.queue.pop(index)
-            reservation = self.reservation_bytes(request)
-            self.kv_in_use_bytes += reservation
-            entry = ActiveRequest(
-                request=request, kv_reserved_bytes=reservation, admitted_s=now
-            )
-            self.active.append(entry)
-            admitted.append(entry)
+            queued = self.queue.pop(index)
+            admitted.append(self._activate(queued, now))
         return admitted
+
+    def _activate(self, queued: QueuedRequest, now: float) -> ActiveRequest:
+        request = queued.request
+        reserved = self._admission_bytes(queued)
+        blocks = 0
+        bytes_per_block = 0.0
+        if self.reservation is Reservation.PAGED:
+            bytes_per_block = self.bytes_per_block_for(request)
+            blocks = round(reserved / bytes_per_block)
+        entry = ActiveRequest(
+            request=request,
+            kv_reserved_bytes=reserved,
+            admitted_s=now,
+            tokens_done=queued.tokens_done,
+            prefill_remaining=(
+                queued.resume_context if queued.needs_prefill else 0
+            ),
+            blocks_held=blocks,
+            bytes_per_block=bytes_per_block,
+            preemptions=queued.preemptions,
+        )
+        self.kv_in_use_bytes += reserved
+        self.active.append(entry)
+        return entry
+
+    # ------------------------------------------------------------------
+    # Preemption (PAGED only)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _victim_order(entry: ActiveRequest) -> tuple[int, float, int]:
+        """Ascending = preempted first: lowest effective priority, then
+        most recently admitted, then highest request id."""
+        return (
+            entry.effective_priority,
+            -entry.admitted_s,
+            -entry.request.request_id,
+        )
+
+    def _preempt(self, entry: ActiveRequest, now: float, gone: set[int]) -> None:
+        self.active.remove(entry)
+        self.kv_in_use_bytes -= entry.kv_reserved_bytes
+        self.num_preemptions += 1
+        gone.add(entry.request.request_id)
+        queued = QueuedRequest(
+            now, entry.request, needs_prefill=True,
+            preemptions=entry.preemptions + 1,
+            tokens_done=entry.tokens_done,
+        )
+        if self.requeue_preempted:
+            # Resume-first: recompute locally ahead of fresh arrivals.
+            self.queue.insert(0, queued)
+        else:
+            self._preempted.append(queued)
+
+    def _make_room(
+        self, entry: ActiveRequest, nbytes: float, now: float, gone: set[int]
+    ) -> bool:
+        """Free pool space for ``entry`` to grow by ``nbytes``,
+        preempting strictly lower-ordered victims.  If ``entry`` is
+        itself the lowest-ordered active request, it yields (is
+        preempted) instead; returns False in that case.
+
+        Progress guarantee: the highest-ordered active request can
+        evict everyone else, and its full footprint fits the budget
+        (``fits_ever``), so it always runs to completion.
+        """
+        while self.kv_budget_bytes - self.kv_in_use_bytes < nbytes - _EPS_BYTES:
+            my_order = self._victim_order(entry)
+            victims = [
+                v for v in self.active
+                if v is not entry and self._victim_order(v) < my_order
+            ]
+            if not victims:
+                self._preempt(entry, now, gone)
+                return False
+            self._preempt(min(victims, key=self._victim_order), now, gone)
+        return True
+
+    def take_preempted(self) -> list[QueuedRequest]:
+        """Drain requests preempted since the last call (only populated
+        when ``requeue_preempted`` is False -- the cluster re-routes
+        them through a prefill pod)."""
+        out, self._preempted = self._preempted, []
+        return out
 
     # ------------------------------------------------------------------
     # Step accounting
@@ -168,25 +416,62 @@ class ContinuousBatchScheduler:
         return bool(self.active or self.queue)
 
     def mean_context_len(self) -> int:
-        """Context length the next step is evaluated at (batch mean)."""
+        """Context length the next step is evaluated at (batch mean);
+        prefilling sequences count at their resident prompt slice."""
         if not self.active:
             return 0
-        total = sum(entry.context_len for entry in self.active)
+        total = 0
+        for entry in self.active:
+            if entry.is_prefilling:
+                total += max(1, entry.resident_tokens)
+            else:
+                total += entry.context_len
         return max(1, round(total / len(self.active)))
 
+    def _needs_block(self, entry: ActiveRequest) -> bool:
+        """Does emitting the next token overflow the held blocks?"""
+        return entry.context_len > entry.blocks_held * self.block_tokens
+
+    def _ingest_chunk(self, entry: ActiveRequest) -> None:
+        """Stream the next context chunk into the pool (chunked
+        prefill).  The blocks were reserved at admission, so ingestion
+        is pure pacing: one ``chunk_tokens`` slice per step, decode
+        starts once the context is fully resident."""
+        entry.prefill_remaining -= min(self.chunk_tokens, entry.prefill_remaining)
+
     def advance(self, step_end_s: float) -> list[ActiveRequest]:
-        """All active sequences emit one token at ``step_end_s``; returns
-        (and retires) the requests that just finished."""
+        """One scheduler step ending at ``step_end_s``: prefilling
+        sequences ingest a prompt chunk, decoding sequences emit one
+        token (growing their KV block-by-block under PAGED, preempting
+        when the pool is dry).  Returns (and retires) the requests that
+        just finished; preempted requests re-enter the queue (or the
+        :meth:`take_preempted` hand-off)."""
         finished: list[ActiveRequest] = []
-        for entry in self.active:
+        gone: set[int] = set()
+        for entry in list(self.active):
+            if entry.request.request_id in gone:
+                continue
+            if entry.is_prefilling:
+                self._ingest_chunk(entry)
+                continue
+            if self.reservation is Reservation.PAGED and self._needs_block(entry):
+                if not self._make_room(
+                    entry, entry.bytes_per_block, step_end_s, gone
+                ):
+                    continue  # entry itself was preempted
+                entry.blocks_held += 1
+                entry.kv_reserved_bytes = entry.blocks_held * entry.bytes_per_block
+                self.kv_in_use_bytes += entry.bytes_per_block
             entry.tokens_done += 1
             if entry.first_token_s is None:
                 entry.first_token_s = step_end_s
             if entry.done:
+                # Retire immediately: a finished entry must free its KV
+                # before later entries grow, and must never be chosen as
+                # a preemption victim within this same step.
                 finished.append(entry)
-        for entry in finished:
-            self.active.remove(entry)
-            self.kv_in_use_bytes -= entry.kv_reserved_bytes
+                self.active.remove(entry)
+                self.kv_in_use_bytes -= entry.kv_reserved_bytes
         if not self.active:
             # Zero out float dust: positive residue would otherwise block
             # a future budget-filling request forever.

@@ -5,9 +5,11 @@ import pytest
 from repro.analysis.cluster_sweep import (
     gpu_vs_disaggregated,
     pod_scaling_curve,
+    reservation_sweep,
     throughput_latency_curve,
 )
 from repro.models.llama3 import LLAMA3_70B
+from repro.serving.scheduler import Reservation
 
 
 @pytest.fixture(scope="module")
@@ -61,6 +63,41 @@ class TestPodScaling:
             scaling_curve[-1].mean_decode_utilization
             <= scaling_curve[0].mean_decode_utilization
         )
+
+
+class TestReservationSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        # Budgets chosen so KV admission binds for FULL at this load
+        # (at generous budgets both policies tie, trivially).
+        return reservation_sweep(
+            LLAMA3_70B, kv_budgets_gb=(3.0, 4.0), duration_s=20.0
+        )
+
+    def test_two_points_per_budget(self, sweep):
+        assert len(sweep) == 4
+        assert [p.reservation for p in sweep] == [
+            Reservation.FULL, Reservation.PAGED,
+            Reservation.FULL, Reservation.PAGED,
+        ]
+
+    def test_paged_wins_at_equal_budget(self, sweep):
+        """The acceptance claim: paged reservation never loses goodput
+        and strictly wins decode throughput at every budget."""
+        for full, paged in zip(sweep[::2], sweep[1::2]):
+            assert full.kv_budget_gb == paged.kv_budget_gb
+            assert paged.goodput >= full.goodput
+            assert paged.tokens_per_s > full.tokens_per_s
+            assert paged.completed == full.completed
+
+    def test_only_paged_preempts(self, sweep):
+        for p in sweep:
+            if p.reservation is Reservation.FULL:
+                assert p.preemptions == 0
+
+    def test_tight_budget_goodput_gap_is_large(self, sweep):
+        full, paged = sweep[0], sweep[1]
+        assert paged.goodput - full.goodput > 0.1
 
 
 class TestIsoPowerComparison:

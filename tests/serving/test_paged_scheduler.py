@@ -1,0 +1,340 @@
+"""Paged-KV scheduler properties: no block-pool overflow, conservation
+under preemption storms, chunked prefill, priority ordering, and
+FULL-vs-PAGED equivalence at degenerate block size."""
+
+import random
+
+import pytest
+
+from repro.models.llama3 import LLAMA3_70B
+from repro.serving.requests import Request
+from repro.serving.scheduler import (
+    ContinuousBatchScheduler,
+    Policy,
+    Reservation,
+    request_kv_bytes,
+)
+
+GB = 1e9
+
+
+def make_request(request_id, prompt_len=2048, decode_len=512, priority=0):
+    return Request(
+        request_id, 0.0, LLAMA3_70B, prompt_len, decode_len, priority=priority
+    )
+
+
+def decode_heavy_request(rng, request_id):
+    """Small prompt, long chain of thought: admission is cheap but the
+    sequence grows many blocks -- the preemption-storm shape."""
+    return make_request(
+        request_id,
+        prompt_len=rng.randrange(64, 512),
+        decode_len=rng.randrange(1024, 4096),
+    )
+
+
+def check_invariants(scheduler):
+    assert scheduler.kv_in_use_bytes <= scheduler.kv_budget_bytes
+    assert scheduler.batch_size <= scheduler.max_batch
+    assert scheduler.kv_in_use_bytes == pytest.approx(
+        sum(e.kv_reserved_bytes for e in scheduler.active)
+    )
+    for entry in scheduler.active:
+        if scheduler.reservation is Reservation.PAGED:
+            assert entry.blocks_held >= 1
+            assert entry.kv_reserved_bytes == pytest.approx(
+                entry.blocks_held * entry.bytes_per_block
+            )
+            # Resident tokens never exceed the held blocks' capacity.
+            assert entry.resident_tokens <= (
+                entry.blocks_held * scheduler.block_tokens
+            )
+
+
+def drive(scheduler, requests, *, seed=0, max_steps=200_000):
+    """Feed all requests, then run admit/advance rounds to completion,
+    checking pool invariants at every step boundary."""
+    rng = random.Random(seed)
+    pending = list(requests)
+    finished_ids = []
+    now = 0.0
+    for _ in range(max_steps):
+        if not pending and not scheduler.has_work:
+            return finished_ids
+        for _ in range(rng.randrange(0, 3)):
+            if pending:
+                scheduler.enqueue(pending.pop(0), now)
+        scheduler.admit(now)
+        check_invariants(scheduler)
+        now += 0.01
+        finished_ids.extend(
+            e.request.request_id for e in scheduler.advance(now)
+        )
+    raise AssertionError("scheduler did not drain (livelock?)")
+
+
+class TestPoolInvariants:
+    @pytest.mark.parametrize("policy", list(Policy))
+    def test_no_overflow_under_preemption_storm(self, policy):
+        """A pool far smaller than the offered footprint forces constant
+        preemption; the allocation never exceeds the budget and every
+        request still completes (recompute-on-resume, aging)."""
+        rng = random.Random(42)
+        requests = [decode_heavy_request(rng, i) for i in range(40)]
+        budget = 2.5 * max(request_kv_bytes(r) for r in requests)
+        scheduler = ContinuousBatchScheduler(
+            kv_budget_bytes=budget,
+            max_batch=16,
+            policy=policy,
+            reservation=Reservation.PAGED,
+            block_tokens=128,
+            chunk_tokens=512,
+        )
+        finished = drive(scheduler, requests)
+        assert sorted(finished) == [r.request_id for r in requests]
+        assert scheduler.num_preemptions > 0  # the storm actually happened
+        assert scheduler.kv_in_use_bytes == 0.0
+        assert not scheduler.queue and not scheduler.active
+
+    def test_nothing_lost_or_duplicated(self):
+        rng = random.Random(7)
+        requests = [decode_heavy_request(rng, i) for i in range(30)]
+        scheduler = ContinuousBatchScheduler(
+            kv_budget_bytes=3 * max(request_kv_bytes(r) for r in requests),
+            max_batch=8,
+            reservation=Reservation.PAGED,
+        )
+        finished = drive(scheduler, requests)
+        assert len(finished) == len(set(finished)) == len(requests)
+
+    def test_deterministic(self):
+        rng = random.Random(3)
+        requests = [decode_heavy_request(rng, i) for i in range(25)]
+        budget = 3 * max(request_kv_bytes(r) for r in requests)
+
+        def run():
+            scheduler = ContinuousBatchScheduler(
+                kv_budget_bytes=budget, max_batch=8,
+                reservation=Reservation.PAGED,
+            )
+            finished = drive(scheduler, list(requests), seed=11)
+            return finished, scheduler.num_preemptions
+
+        assert run() == run()
+
+    def test_oversized_request_still_refused(self):
+        scheduler = ContinuousBatchScheduler(
+            kv_budget_bytes=1 * GB, reservation=Reservation.PAGED
+        )
+        request = make_request(0, prompt_len=8192, decode_len=8192)
+        assert not scheduler.fits_ever(request)
+        with pytest.raises(ValueError):
+            scheduler.enqueue(request, 0.0)
+
+
+class TestAdmissionDepth:
+    def test_admission_needs_only_prompt_footprint(self):
+        """Two decode-heavy requests whose *full-context* footprints sum
+        past the budget: FULL serializes them, PAGED batches them."""
+        a = make_request(0, prompt_len=256, decode_len=4096)
+        b = make_request(1, prompt_len=256, decode_len=4096)
+        budget = 1.2 * request_kv_bytes(a)
+        full = ContinuousBatchScheduler(
+            kv_budget_bytes=budget, reservation=Reservation.FULL
+        )
+        paged = ContinuousBatchScheduler(
+            kv_budget_bytes=budget, reservation=Reservation.PAGED
+        )
+        for scheduler in (full, paged):
+            scheduler.enqueue(a, 0.0)
+            scheduler.enqueue(b, 0.0)
+        assert len(full.admit(0.0)) == 1
+        assert len(paged.admit(0.0)) == 2
+
+    def test_watermark_holds_back_admission(self):
+        a = make_request(0, prompt_len=2048, decode_len=64)
+        b = make_request(1, prompt_len=2048, decode_len=64)
+        budget = 2.05 * request_kv_bytes(make_request(9, 2048, 1))
+        scheduler = ContinuousBatchScheduler(
+            kv_budget_bytes=budget,
+            reservation=Reservation.PAGED,
+            watermark_frac=0.25,
+        )
+        scheduler.enqueue(a, 0.0)
+        scheduler.enqueue(b, 0.0)
+        # Both prompts fit outright, but the second would leave less
+        # than the watermark free.
+        assert len(scheduler.admit(0.0)) == 1
+
+    def test_idle_pool_bypasses_watermark(self):
+        """A budget-filling request must not be stranded by the
+        watermark when the pool is empty."""
+        request = make_request(0, prompt_len=8192, decode_len=64)
+        budget = 1.01 * request_kv_bytes(request)
+        scheduler = ContinuousBatchScheduler(
+            kv_budget_bytes=budget,
+            reservation=Reservation.PAGED,
+            watermark_frac=0.5,
+        )
+        scheduler.enqueue(request, 0.0)
+        assert len(scheduler.admit(0.0)) == 1
+
+
+class TestChunkedPrefill:
+    def test_recompute_streams_in_chunks(self):
+        """A needs_prefill admission ingests chunk_tokens per step and
+        only then starts decoding."""
+        request = make_request(0, prompt_len=1000, decode_len=4)
+        scheduler = ContinuousBatchScheduler(
+            kv_budget_bytes=100 * GB,
+            reservation=Reservation.PAGED,
+            chunk_tokens=256,
+        )
+        scheduler.enqueue(request, 0.0, needs_prefill=True)
+        (entry,) = scheduler.admit(0.0)
+        assert entry.is_prefilling
+        residents = []
+        for step in range(1, 5):  # ceil(1000 / 256) = 4 ingest steps
+            assert not scheduler.advance(float(step))
+            residents.append(entry.resident_tokens)
+        assert residents == [256, 512, 768, 1000]
+        assert not entry.is_prefilling
+        assert entry.tokens_done == 0
+        scheduler.advance(5.0)
+        assert entry.tokens_done == 1
+
+    def test_precomputed_kv_skips_ingestion(self):
+        request = make_request(0, prompt_len=1000, decode_len=4)
+        scheduler = ContinuousBatchScheduler(
+            kv_budget_bytes=100 * GB, reservation=Reservation.PAGED
+        )
+        scheduler.enqueue(request, 0.0)
+        (entry,) = scheduler.admit(0.0)
+        assert not entry.is_prefilling
+        scheduler.advance(1.0)
+        assert entry.tokens_done == 1
+
+    def test_resume_keeps_decode_progress(self):
+        request = make_request(0, prompt_len=512, decode_len=100)
+        scheduler = ContinuousBatchScheduler(
+            kv_budget_bytes=100 * GB,
+            reservation=Reservation.PAGED,
+            chunk_tokens=512,
+        )
+        scheduler.enqueue(request, 0.0, needs_prefill=True, tokens_done=40)
+        (entry,) = scheduler.admit(0.0)
+        # Resume must re-ingest prompt + generated (512 + 40 = 552
+        # tokens -> two 512-token chunks), then continue from token 40.
+        assert entry.prefill_remaining == 552
+        scheduler.advance(1.0)
+        scheduler.advance(2.0)
+        assert not entry.is_prefilling
+        scheduler.advance(3.0)
+        assert entry.tokens_done == 41
+
+
+class TestPreemptionPolicy:
+    def run_until_preemption(self, scheduler, steps=6000):
+        now = 0.0
+        while scheduler.num_preemptions == 0 and steps:
+            now += 0.01
+            scheduler.admit(now)
+            scheduler.advance(now)
+            steps -= 1
+        assert scheduler.num_preemptions > 0, "no preemption triggered"
+
+    def test_lowest_priority_evicted_first(self):
+        vip = make_request(0, prompt_len=256, decode_len=4096, priority=1)
+        best_effort = make_request(1, prompt_len=256, decode_len=4096)
+        budget = 1.2 * request_kv_bytes(vip)
+        scheduler = ContinuousBatchScheduler(
+            kv_budget_bytes=budget, reservation=Reservation.PAGED
+        )
+        scheduler.enqueue(vip, 0.0)
+        scheduler.enqueue(best_effort, 0.0)
+        scheduler.admit(0.0)
+        assert scheduler.batch_size == 2
+        self.run_until_preemption(scheduler)
+        # The priority-1 request survives; the best-effort one is back
+        # in the queue with its progress preserved and its aging bumped.
+        assert [e.request.request_id for e in scheduler.active] == [0]
+        (queued,) = scheduler.queue
+        assert queued.request.request_id == 1
+        assert queued.preemptions == 1
+        assert queued.needs_prefill
+        assert queued.tokens_done > 0
+
+    def test_latest_admitted_evicted_on_priority_tie(self):
+        first = make_request(0, prompt_len=256, decode_len=4096)
+        second = make_request(1, prompt_len=256, decode_len=4096)
+        budget = 1.2 * request_kv_bytes(first)
+        scheduler = ContinuousBatchScheduler(
+            kv_budget_bytes=budget, reservation=Reservation.PAGED
+        )
+        scheduler.enqueue(first, 0.0)
+        scheduler.admit(0.0)
+        scheduler.advance(0.01)
+        scheduler.enqueue(second, 0.02)
+        scheduler.admit(0.02)
+        self.run_until_preemption(scheduler)
+        assert [e.request.request_id for e in scheduler.active] == [0]
+
+    def test_take_preempted_hands_off_when_not_requeueing(self):
+        a = make_request(0, prompt_len=256, decode_len=4096)
+        b = make_request(1, prompt_len=256, decode_len=4096)
+        scheduler = ContinuousBatchScheduler(
+            kv_budget_bytes=1.2 * request_kv_bytes(a),
+            reservation=Reservation.PAGED,
+            requeue_preempted=False,
+        )
+        scheduler.enqueue(a, 0.0)
+        scheduler.enqueue(b, 0.0)
+        scheduler.admit(0.0)
+        self.run_until_preemption(scheduler)
+        assert not scheduler.queue  # handed off, not locally requeued
+        (queued,) = scheduler.take_preempted()
+        assert queued.request.request_id == 1
+        assert scheduler.take_preempted() == []  # drained
+
+
+class TestFullPagedEquivalence:
+    def test_degenerate_block_size_matches_full(self):
+        """With block_tokens >= every total_len (one block per request,
+        no growth, no preemption possible) and no watermark, PAGED
+        admits in the same order and finishes in the same steps as
+        FULL when the batch cap, not KV, is the binding constraint."""
+        rng = random.Random(5)
+        requests = [
+            make_request(
+                i,
+                prompt_len=rng.randrange(64, 2048),
+                decode_len=rng.randrange(16, 1024),
+            )
+            for i in range(30)
+        ]
+
+        def run(reservation):
+            scheduler = ContinuousBatchScheduler(
+                kv_budget_bytes=2000 * GB,
+                max_batch=4,
+                reservation=reservation,
+                block_tokens=4096,  # >= max total_len
+                watermark_frac=0.0,
+            )
+            pending = list(requests)
+            admissions, finishes = [], []
+            now = 0.0
+            while pending or scheduler.has_work:
+                if pending:
+                    scheduler.enqueue(pending.pop(0), now)
+                admissions.extend(
+                    e.request.request_id for e in scheduler.admit(now)
+                )
+                now += 0.01
+                finishes.append(
+                    sorted(e.request.request_id for e in scheduler.advance(now))
+                )
+            return admissions, finishes
+
+        assert run(Reservation.FULL) == run(Reservation.PAGED)

@@ -9,6 +9,7 @@ from repro.serving.requests import (
     RequestGenerator,
     TrafficClass,
     reasoning_traffic,
+    truncated_lognormal_mean,
 )
 
 
@@ -90,6 +91,58 @@ class TestLengthsAndMix:
         requests = make_generator(rate_rps=4.0).generate(400.0)
         decodes = [r.decode_len for r in requests]
         assert sum(decodes) / len(decodes) == pytest.approx(4096, rel=0.25)
+
+    def test_realized_mean_matches_truncated_lognormal(self):
+        """The docstring claim ('offered load = rate * expected length')
+        must hold numerically: the seeded sample mean pins to the
+        analytic truncated-lognormal mean, even with tight bounds."""
+        cls = TrafficClass(
+            LLAMA3_70B, prompt_mean=2048, decode_mean=4096,
+            min_len=256, max_decode=8192, max_prompt=8192,
+        )
+        requests = make_generator(classes=(cls,), rate_rps=8.0).generate(800.0)
+        assert len(requests) > 4000
+        decodes = [r.decode_len for r in requests]
+        prompts = [r.prompt_len for r in requests]
+        assert sum(decodes) / len(decodes) == pytest.approx(
+            cls.expected_decode_len, rel=0.04
+        )
+        assert sum(prompts) / len(prompts) == pytest.approx(
+            cls.expected_prompt_len, rel=0.04
+        )
+        # With a bound near the mean, the truncated mean is visibly
+        # below the configured one -- the old docstring's claim.
+        assert cls.expected_decode_len < 4096
+
+    def test_resampling_leaves_no_mass_on_bounds(self):
+        """Clamping used to pile ~7% of draws exactly onto max_decode;
+        resampling leaves only the rounding residue at the edges."""
+        cls = TrafficClass(
+            LLAMA3_70B, prompt_mean=2048, decode_mean=4096,
+            min_len=256, max_decode=8192,
+        )
+        requests = make_generator(classes=(cls,), rate_rps=8.0).generate(400.0)
+        at_edge = sum(r.decode_len == 8192 for r in requests) / len(requests)
+        assert at_edge < 0.01
+
+    def test_truncated_mean_loose_bounds_is_configured_mean(self):
+        assert truncated_lognormal_mean(
+            1024, 0.6, 1, 10**9
+        ) == pytest.approx(1024, rel=1e-6)
+
+    def test_truncated_mean_validation(self):
+        with pytest.raises(ValueError):
+            truncated_lognormal_mean(1024, 0.6, 0, 8192)
+        with pytest.raises(ValueError):
+            truncated_lognormal_mean(1024, 0.0, 16, 8192)
+        with pytest.raises(ValueError):
+            truncated_lognormal_mean(1024, 0.6, 8192, 16)
+
+    def test_priority_stamped_from_class(self):
+        vip = TrafficClass(LLAMA3_70B, priority=2)
+        requests = make_generator(classes=(vip,)).generate(50.0)
+        assert requests
+        assert all(r.priority == 2 for r in requests)
 
     def test_model_mix_follows_weights(self):
         classes = (
