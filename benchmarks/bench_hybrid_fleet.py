@@ -1,0 +1,72 @@
+"""Hybrid fleets through the unified Platform API: a 3-way mixed decode
+pool (RPU + H100 + H200 side by side) and an inverted RPU-prefill fleet
+-- topologies the pre-platform simulator could not express -- on
+identical reasoning arrivals."""
+
+from conftest import emit
+
+from repro.api import PodGroup, Scenario, TrafficSpec, comparison_table
+from repro.models.llama3 import LLAMA3_70B
+
+TRAFFIC = TrafficSpec(
+    rate_rps=1.0, duration_s=15.0, seed=5, prompt_mean=2048, decode_mean=2048
+)
+
+
+def build():
+    disaggregated = Scenario(
+        model=LLAMA3_70B,
+        traffic=TRAFFIC,
+        decode=(PodGroup("rpu", count=2, options={"num_cus": 128}),),
+        name="rpu-decode",
+    )
+    mixed = Scenario(
+        model=LLAMA3_70B,
+        traffic=TRAFFIC,
+        decode=(
+            PodGroup("rpu", options={"num_cus": 128}),
+            PodGroup("h100", options={"gpus": 2}),
+            PodGroup("h200", options={"gpus": 2}),
+        ),
+        name="mixed-pool",
+    )
+    inverted = Scenario(
+        model=LLAMA3_70B,
+        traffic=TRAFFIC,
+        prefill=(PodGroup("rpu", count=2, options={"num_cus": 64}),),
+        decode=(PodGroup("gpu", count=2),),
+        name="rpu-prefill",
+    )
+    requests = disaggregated.requests()
+    scenarios = [disaggregated, mixed, inverted]
+    reports = {s.name: s.run(requests) for s in scenarios}
+    return scenarios, requests, reports
+
+
+def test_hybrid_fleet(benchmark):
+    scenarios, requests, reports = benchmark.pedantic(build, rounds=1, iterations=1)
+    emit(comparison_table(
+        scenarios, reports=[reports[s.name] for s in scenarios],
+        title="Hybrid fleets, identical reasoning arrivals",
+    ))
+
+    # Every topology conserves requests end-to-end.
+    for report in reports.values():
+        assert report.num_submitted == len(requests)
+        assert len(report.completed) + len(report.rejected) == len(requests)
+
+    # The mixed pool really uses all three platforms.
+    mixed_decode = [
+        p for p in reports["mixed-pool"].pod_stats if p.kind == "decode"
+    ]
+    assert sorted(p.platform for p in mixed_decode) == [
+        "2xH100-SXM", "2xH200-SXM", "rpu-128cu",
+    ]
+    assert all(p.busy_s > 0 for p in mixed_decode)
+
+    # The inverted fleet's prefill pods are RPU boards doing real work.
+    inverted_prefill = [
+        p for p in reports["rpu-prefill"].pod_stats if p.kind == "prefill"
+    ]
+    assert all(p.platform == "rpu-64cu" for p in inverted_prefill)
+    assert all(p.busy_s > 0 for p in inverted_prefill)

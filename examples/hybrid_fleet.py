@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Hybrid fleets: topologies only the unified Platform API can express.
+
+Before the ``repro.platform`` layer, the fleet simulator hardcoded
+GPU-prefill/RPU-decode pod types.  This example runs two fleets the old
+API could not describe:
+
+1. a **3-way mixed decode pool** -- an RPU board, an H100 group and an
+   H200 group serving the same model side by side, with the router
+   load-balancing on outstanding tokens;
+2. an **inverted fleet** -- RPU boards doing *prefill* for a GPU decode
+   pool (e.g. repurposing bandwidth-dense boards when prefill capacity
+   is the bottleneck), costed by the new RPU prefill model.
+
+Run:  python examples/hybrid_fleet.py
+"""
+
+from repro import LLAMA3_70B, PodGroup, Scenario, TrafficSpec
+
+TRAFFIC = TrafficSpec(
+    rate_rps=1.5, duration_s=25.0, seed=3, prompt_mean=2048, decode_mean=2048
+)
+
+
+def main() -> None:
+    mixed = Scenario(
+        model=LLAMA3_70B,
+        traffic=TRAFFIC,
+        prefill=(PodGroup("gpu", count=2),),
+        decode=(
+            PodGroup("rpu", options={"num_cus": 128}),
+            PodGroup("h100", options={"gpus": 2}),
+            PodGroup("h200", options={"gpus": 2}),
+        ),
+        name="mixed-pool",
+    )
+    requests = mixed.requests()
+    report = mixed.run(requests)
+    print(report.summary_table(
+        "Mixed decode pool: RPU-128CU + 2xH100 + 2xH200, one model"
+    ))
+    decode = [p for p in report.pod_stats if p.kind == "decode"]
+    print("\nPer-pod decode share (busy seconds):")
+    for pod in decode:
+        print(f"  {pod.pod_id:8s} {pod.platform:12s} {pod.busy_s:6.1f} s busy, "
+              f"{pod.energy_j / 1e3:6.1f} kJ")
+
+    inverted = Scenario(
+        model=LLAMA3_70B,
+        traffic=TRAFFIC,
+        prefill=(PodGroup("rpu", count=2, options={"num_cus": 64}),),
+        decode=(PodGroup("gpu", count=2),),
+        name="rpu-prefill",
+    )
+    inv_report = inverted.run(requests)
+    print()
+    print(inv_report.summary_table(
+        "Inverted fleet: 2x RPU-64CU prefill + 2x 2xH100 decode"
+    ))
+    print(
+        f"\nSame {len(requests)} queries, two topologies the pre-platform "
+        f"API could not express:\n"
+        f"  mixed pool   goodput {report.goodput:5.0%}, "
+        f"{report.arrival_window_tokens_per_s:8,.0f} tok/s\n"
+        f"  rpu-prefill  goodput {inv_report.goodput:5.0%}, "
+        f"{inv_report.arrival_window_tokens_per_s:8,.0f} tok/s"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,27 +1,41 @@
 #!/usr/bin/env python3
-"""Quickstart: size an RPU for a model and measure one decode step.
+"""Quickstart: one declarative Scenario, then the models underneath.
 
-Builds a 204-CU RPU with the optimal HBM-CO SKU for Llama3-70B, runs the
-fast analytical model and the full event-driven simulator, and compares
-both against a 2xH100 baseline at ISO-TDP.
+1. Runs the paper's deployment as a three-line ``Scenario`` -- GPU
+   prefill + RPU decode on reasoning traffic -- and prints the SLO
+   report.
+2. Drops down to the underlying single-step analytics: size an RPU for
+   Llama3-70B, measure one decode step analytically and in the event
+   simulator, and compare against 2xH100 at ISO-TDP.
 
 Run:  python examples/quickstart.py
 """
 
+from repro import LLAMA3_70B, Scenario, TrafficSpec
 from repro.analysis.perf_model import decode_step_perf, iso_tdp_system, system_for
 from repro.gpu.inference import decode_step
 from repro.gpu.system import GpuSystem
-from repro.models import LLAMA3_70B, Workload
+from repro.models import Workload
 from repro.sim.system_sim import simulate_decode_step
 from repro.util.units import fmt_time
 
 
 def main() -> None:
+    # 1. The paper's deployment, declaratively: 2 GPU prefill pods +
+    #    2 RPU decode pods serving reasoning traffic.
+    report = Scenario(
+        model=LLAMA3_70B,
+        traffic=TrafficSpec(rate_rps=1.0, duration_s=20.0, decode_mean=4096),
+    ).run()
+    print(report.summary_table("Scenario: GPU prefill + RPU decode, 20 s"))
+    print()
+
+    # 2. The analytics the fleet numbers are built from.
     workload = Workload(LLAMA3_70B, batch_size=1, seq_len=8192)
     print(f"Workload: {workload}")
     print(f"Footprint: {workload.memory_footprint_bytes() / 1e9:.1f} GB\n")
 
-    # 1. The paper's peak-performance design point: 204 CUs.
+    # The paper's peak-performance design point: 204 CUs.
     system = system_for(204, workload)
     print(f"System:   {system}")
     result = decode_step_perf(system, workload)
@@ -31,7 +45,7 @@ def main() -> None:
         f"{result.energy_per_token_j():.2f} J/token)\n"
     )
 
-    # 2. The event-driven simulator (one representative CU in detail).
+    # The event-driven simulator (one representative CU in detail).
     sim = simulate_decode_step(system, workload)
     print(f"Event simulation: {fmt_time(sim.latency_s)}/token")
     print(
@@ -40,7 +54,7 @@ def main() -> None:
     )
     print(f"  power: {sim.avg_power_per_cu_w():.1f} W per CU\n")
 
-    # 3. ISO-TDP comparison against 2xH100.
+    # ISO-TDP comparison against 2xH100.
     gpu = GpuSystem(count=2)
     rpu_iso = iso_tdp_system(gpu, workload)
     gpu_result = decode_step(gpu, workload)

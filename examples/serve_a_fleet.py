@@ -1,53 +1,74 @@
 #!/usr/bin/env python3
-"""Serve a fleet: request-level traffic through a disaggregated cluster.
+"""Serve a fleet: declarative scenarios through the cluster simulator.
 
-Generates 30 seconds of bursty reasoning traffic against a fleet of two
-GPU prefill pods and two 128-CU RPU decode pods running continuous
-batching, prints the SLO report, then reruns the same traffic on an
-all-GPU fleet whose decode pods burn the same TDP.
+Runs 30 seconds of bursty reasoning traffic through the paper's
+disaggregated deployment (two GPU prefill pods, two 128-CU RPU decode
+pods) as one ``Scenario``, prints the SLO report, then replays the same
+ISO-TDP comparison the paper motivates -- identical prefill pods, decode
+pools at equal TDP (GPU groups vs RPU boards) on identical arrivals --
+and finally sweeps the three named workload presets.
 
 Run:  python examples/serve_a_fleet.py
 """
 
-from repro.analysis.cluster_sweep import gpu_vs_disaggregated
-from repro.models import LLAMA3_70B
-from repro.serving import (
-    ArrivalProcess,
-    RequestGenerator,
-    disaggregated_cluster,
-    reasoning_traffic,
-    simulate,
+from repro import LLAMA3_70B, PodGroup, Scenario, TrafficSpec
+from repro.api import SCENARIOS, comparison_table, scenario
+from repro.serving import ArrivalProcess
+
+REASONING = TrafficSpec(
+    rate_rps=1.0,
+    duration_s=30.0,
+    process=ArrivalProcess.BURSTY,
+    seed=7,
+    prompt_mean=2048,
+    decode_mean=4096,
 )
 
 
 def main() -> None:
-    traffic = RequestGenerator(
-        classes=(reasoning_traffic(LLAMA3_70B),),
-        rate_rps=1.0,
-        process=ArrivalProcess.BURSTY,
-        seed=7,
+    fleet = Scenario(
+        model=LLAMA3_70B,
+        traffic=REASONING,
+        prefill=(PodGroup("gpu", count=2),),
+        decode=(PodGroup("rpu", count=2, options={"num_cus": 128}),),
+        name="disaggregated",
     )
-    requests = traffic.generate(30.0)
+    requests = fleet.requests()
     print(
         f"Traffic: {len(requests)} reasoning queries over 30 s "
         f"(bursty arrivals, ~2k prompt / ~4k decode)\n"
     )
+    print(fleet.run(requests).summary_table(
+        "Disaggregated fleet: 2 GPU prefill + 2 RPU pods"
+    ))
 
-    fleet = disaggregated_cluster(
-        LLAMA3_70B, num_prefill_pods=2, num_decode_pods=2, cus_per_pod=128
+    # ISO-TDP decode pools on identical arrivals: the paper's claim.
+    iso_traffic = TrafficSpec(
+        rate_rps=1.0, duration_s=30.0, prompt_mean=2048, decode_mean=4096
     )
-    report = simulate(fleet, requests)
-    print(report.summary_table("Disaggregated fleet: 2 GPU prefill + 2 RPU pods"))
+    gpu_fleet = Scenario(
+        model=LLAMA3_70B,
+        traffic=iso_traffic,
+        decode=(PodGroup("gpu", count=2),),
+        colocated=True,
+        name="GPU-only",
+    )
+    rpu_fleet = Scenario(
+        model=LLAMA3_70B,
+        traffic=iso_traffic,
+        decode=(PodGroup("rpu_iso_tdp", count=2, options={"gpus": 2}),),
+        name="disaggregated",
+    )
+    shared = gpu_fleet.requests()
+    print("\nISO-power decode pools, identical arrivals:")
+    print(comparison_table(
+        [gpu_fleet, rpu_fleet], requests=shared, title="GPU-only vs disaggregated"
+    ))
 
-    versus = gpu_vs_disaggregated(LLAMA3_70B, rate_rps=1.0, duration_s=30.0)
-    print(
-        f"\nISO-power decode pools ({versus.decode_pod_tdp_w:.0f} W per pod):\n"
-        f"  GPU-only       goodput {versus.gpu_only.goodput:5.0%}, "
-        f"{versus.gpu_only.tokens_per_s:8,.0f} tok/s\n"
-        f"  disaggregated  goodput {versus.disaggregated.goodput:5.0%}, "
-        f"{versus.disaggregated.tokens_per_s:8,.0f} tok/s "
-        f"(RPU-{versus.rpu_cus_per_pod}CU pods)"
-    )
+    # The named workload presets, each with its own traffic statistics.
+    presets = [scenario(name, LLAMA3_70B) for name in sorted(SCENARIOS)]
+    print()
+    print(comparison_table(presets, title="Named scenario presets"))
 
 
 if __name__ == "__main__":

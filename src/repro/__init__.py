@@ -6,14 +6,27 @@ Public API highlights:
 - :mod:`repro.memory` -- the HBM-CO capacity-optimized memory model;
 - :mod:`repro.arch` -- the RPU core/CU/package/system hierarchy;
 - :mod:`repro.models` -- the Llama3/Llama4 workload zoo;
+- :mod:`repro.quant` -- MXFP/NXFP/BFP/FP8 codecs and the stream decoder;
 - :mod:`repro.compiler` / :mod:`repro.isa` -- the deterministic toolchain;
-- :mod:`repro.sim` -- the event-driven simulator;
+- :mod:`repro.sim` -- the event-driven single-CU simulator;
 - :mod:`repro.gpu` -- the H100/H200 baselines;
-- :mod:`repro.analysis` -- one module per paper figure/table.
+- :mod:`repro.platform` -- the hardware-agnostic platform interface
+  (RPU/GPU/custom SKUs behind one prefill/decode/KV contract);
+- :mod:`repro.serving` -- disaggregated serving: single query to
+  fleet-scale continuous batching with paged KV;
+- :mod:`repro.api` -- declarative :class:`Scenario` runner (model +
+  traffic + fleet + SLO in, :class:`ClusterReport` out);
+- :mod:`repro.specdec` -- the speculative-decoding throughput model;
+- :mod:`repro.analysis` -- one module per paper figure/table, plus the
+  fleet sweeps.
 
 Quick start::
 
-    from repro.models import LLAMA3_70B, Workload
+    from repro import LLAMA3_70B, Scenario
+    report = Scenario(LLAMA3_70B).run()      # paper deployment: GPU
+    print(report.summary_table())            # prefill + RPU decode
+
+    from repro.models import Workload
     from repro.analysis.perf_model import decode_step_perf, system_for
 
     workload = Workload(LLAMA3_70B, batch_size=1, seq_len=8192)
@@ -25,15 +38,37 @@ Quick start::
 __version__ = "1.0.0"
 
 from repro.arch import ComputeUnit, Package, ReasoningCore, RpuSystem
-from repro.models import MODELS, Workload, get_model
+from repro.models import LLAMA3_70B, MODELS, Workload, get_model
+from repro.platform import GpuPlatform, Platform, RpuPlatform
+from repro.serving import (
+    ClusterConfig,
+    ClusterReport,
+    disaggregated_cluster,
+    gpu_only_cluster,
+    simulate,
+)
+from repro.api import PodGroup, Scenario, TrafficSpec, scenario
 
 __all__ = [
+    "LLAMA3_70B",
     "MODELS",
+    "ClusterConfig",
+    "ClusterReport",
     "ComputeUnit",
+    "GpuPlatform",
     "Package",
+    "Platform",
+    "PodGroup",
     "ReasoningCore",
+    "RpuPlatform",
     "RpuSystem",
+    "Scenario",
+    "TrafficSpec",
     "Workload",
+    "disaggregated_cluster",
     "get_model",
+    "gpu_only_cluster",
+    "scenario",
+    "simulate",
     "__version__",
 ]

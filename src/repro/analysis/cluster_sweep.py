@@ -16,6 +16,10 @@ Three experiments over :mod:`repro.serving.cluster`:
   workload is reasoning traffic (short prompt, long chain of thought).
   The RPU pool's higher decode throughput per watt shows up directly as
   goodput at equal power;
+- **fleet_layout_comparison**: identical traffic over arbitrary decode
+  pool layouts expressed as :class:`repro.platform.Platform` tuples --
+  including mixed pools (RPU + H100 + H200 side by side) that the
+  pre-platform API could not express;
 - **reservation_sweep**: FULL (conservative full-context) vs PAGED
   (block-granular, preempting) KV reservation at *equal KV budget* on
   the reasoning mix.  Full-context reservation strands most of the
@@ -32,6 +36,7 @@ from repro.analysis.perf_model import iso_tdp_system
 from repro.gpu.system import GpuSystem
 from repro.models.config import ModelConfig
 from repro.models.workload import Workload
+from repro.platform import RpuPlatform
 from repro.serving.cluster import (
     ClusterConfig,
     ClusterReport,
@@ -254,6 +259,43 @@ def reservation_sweep(
     return points
 
 
+def fleet_layout_comparison(
+    model: ModelConfig,
+    layouts: dict[str, tuple],
+    *,
+    rate_rps: float = 1.0,
+    num_prefill_pods: int = 2,
+    gpus_per_prefill: int = 2,
+    duration_s: float = 30.0,
+    seed: int = 0,
+) -> dict[str, ClusterReport]:
+    """Identical reasoning traffic over arbitrary decode-pool layouts.
+
+    ``layouts`` maps a label to the tuple of :class:`repro.platform.Platform`
+    pods filling the decode pool -- homogeneous or mixed (e.g. an
+    RPU board next to H100 and H200 groups), which only the platform
+    interface can express.  Prefill pods are identical across layouts so
+    the comparison isolates the decode hardware.
+    """
+    from repro.platform import GpuPlatform, as_platform
+
+    requests = _traffic(model, rate_rps, seed, ArrivalProcess.POISSON, duration_s)
+    prefill = tuple(
+        GpuPlatform(GpuSystem(count=gpus_per_prefill))
+        for _ in range(num_prefill_pods)
+    )
+    reports = {}
+    for label, pods in layouts.items():
+        config = ClusterConfig(
+            prefill_engines=prefill,
+            decode_pods=tuple(
+                DecodePodSpec(as_platform(pod), model) for pod in pods
+            ),
+        )
+        reports[label] = simulate(config, requests)
+    return reports
+
+
 def gpu_vs_disaggregated(
     model: ModelConfig,
     *,
@@ -282,7 +324,8 @@ def gpu_vs_disaggregated(
     disagg_config = ClusterConfig(
         prefill_engines=gpu_config.prefill_engines,
         decode_pods=tuple(
-            DecodePodSpec(rpu_pod, model) for _ in range(num_decode_pods)
+            DecodePodSpec(RpuPlatform(rpu_pod), model)
+            for _ in range(num_decode_pods)
         ),
     )
     return FleetComparison(

@@ -1,0 +1,333 @@
+"""Declarative serving scenarios: one dataclass in, one report out.
+
+A :class:`Scenario` binds everything a serving experiment needs --
+model, traffic statistics, fleet layout, SLO, and KV reservation policy
+-- into a single frozen value whose :meth:`Scenario.run` produces a
+:class:`~repro.serving.cluster.ClusterReport`.  Fleets are declared as
+:class:`PodGroup` rows naming platforms from the
+:mod:`repro.platform` registry (or carrying concrete
+:class:`~repro.platform.Platform` instances), so every topology the
+unified platform API can express -- the paper's GPU-prefill/RPU-decode
+deployment, an all-GPU baseline, an inverted RPU-prefill fleet, a
+3-way mixed decode pool -- is configuration::
+
+    from repro.api import PodGroup, Scenario, TrafficSpec
+    from repro.models import LLAMA3_70B
+
+    report = Scenario(
+        model=LLAMA3_70B,
+        traffic=TrafficSpec(rate_rps=1.0, duration_s=30.0),
+        prefill=(PodGroup("gpu", count=2),),
+        decode=(PodGroup("rpu", count=2, options={"num_cus": 128}),),
+    ).run()
+    print(report.summary_table())
+
+Named presets cover the paper's motivating workloads:
+``chatbot`` (short interactive turns), ``agentic_fanout`` (bursty
+tool-calling sub-queries) and ``batch_offline`` (throughput-oriented,
+no interactive SLO); build them via :func:`scenario` or the preset
+functions directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.models.config import ModelConfig
+from repro.models.dtypes import DType
+from repro.models.workload import Workload
+from repro.platform import Platform, build_platform
+from repro.serving.cluster import (
+    ClusterConfig,
+    ClusterReport,
+    DecodePodSpec,
+    simulate,
+)
+from repro.serving.disaggregated import INTERACTION_THRESHOLD_S
+from repro.serving.requests import (
+    ArrivalProcess,
+    Request,
+    RequestGenerator,
+    TrafficClass,
+)
+from repro.serving.scheduler import Policy, Reservation
+from repro.util.tables import Table
+
+
+# ----------------------------------------------------------------------
+# Traffic
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TrafficSpec:
+    """Offered load: arrival process plus length statistics.
+
+    The mean/sigma knobs describe one log-normal traffic class for the
+    scenario's model; pass explicit ``classes`` to mix several (they
+    override the length knobs entirely).
+    """
+
+    rate_rps: float = 1.0
+    duration_s: float = 30.0
+    process: ArrivalProcess = ArrivalProcess.POISSON
+    seed: int = 0
+    prompt_mean: int = 2048
+    decode_mean: int = 1024
+    prompt_sigma: float = 0.6
+    decode_sigma: float = 0.6
+    priority: int = 0
+    burst_factor: float = 4.0
+    burst_dwell_s: float = 5.0
+    classes: tuple[TrafficClass, ...] | None = None
+
+    def traffic_classes(self, model: ModelConfig) -> tuple[TrafficClass, ...]:
+        if self.classes is not None:
+            return self.classes
+        return (
+            TrafficClass(
+                model,
+                prompt_mean=self.prompt_mean,
+                decode_mean=self.decode_mean,
+                prompt_sigma=self.prompt_sigma,
+                decode_sigma=self.decode_sigma,
+                priority=self.priority,
+            ),
+        )
+
+    def generator(self, model: ModelConfig) -> RequestGenerator:
+        return RequestGenerator(
+            classes=self.traffic_classes(model),
+            rate_rps=self.rate_rps,
+            process=self.process,
+            seed=self.seed,
+            burst_factor=self.burst_factor,
+            burst_dwell_s=self.burst_dwell_s,
+        )
+
+    def requests(self, model: ModelConfig) -> list[Request]:
+        return self.generator(model).generate(self.duration_s)
+
+
+# ----------------------------------------------------------------------
+# Fleet layout
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PodGroup:
+    """``count`` identical pods of one platform.
+
+    ``platform`` is a registry name (``"rpu"``, ``"gpu"``, ``"h100"``,
+    ``"h200"``, ``"rpu_iso_tdp"``, or anything registered via
+    :func:`repro.platform.register_platform`) with builder ``options``,
+    or a concrete :class:`~repro.platform.Platform` instance.
+    """
+
+    platform: Platform | str
+    count: int = 1
+    options: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError(f"count must be >= 1, got {self.count}")
+        if isinstance(self.platform, Platform) and self.options:
+            raise ValueError("options only apply to registry-named platforms")
+
+    def build(self, sizing: Workload) -> list[Platform]:
+        if isinstance(self.platform, Platform):
+            pod = self.platform
+        else:
+            pod = build_platform(self.platform, sizing=sizing, **dict(self.options))
+        return [pod] * self.count
+
+
+# ----------------------------------------------------------------------
+# Scenario
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Scenario:
+    """One declarative serving experiment.
+
+    ``run()`` generates the (seeded, replayable) traffic, builds the
+    fleet from the pod groups, simulates, and returns the SLO report.
+    """
+
+    model: ModelConfig
+    traffic: TrafficSpec = TrafficSpec()
+    prefill: tuple[PodGroup, ...] = (PodGroup("gpu", count=2),)
+    decode: tuple[PodGroup, ...] = (PodGroup("rpu", count=2),)
+    #: Interactive SLO (``float("inf")`` scores pure throughput runs).
+    slo_s: float = INTERACTION_THRESHOLD_S
+    policy: Policy = Policy.FIFO
+    max_batch: int = 128
+    weight_dtype: DType = DType.MXFP4
+    kv_dtype: DType = DType.FP8
+    reservation: Reservation = Reservation.PAGED
+    block_tokens: int = 128
+    chunk_tokens: int = 512
+    kv_budget_bytes: float | None = None
+    #: Colocated fleets (decode shares the prefill box) pay no KV
+    #: hand-off; disaggregated fleets pay each decode platform's
+    #: ingest rate.
+    colocated: bool = False
+    #: Representative workload the pod builders size memory SKUs and
+    #: ISO-TDP scale against.
+    sizing_batch: int = 32
+    sizing_seq_len: int = 8192
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.prefill or not self.decode:
+            raise ValueError("scenario needs at least one pod group per role")
+
+    # -- construction --------------------------------------------------
+    def sizing_workload(self) -> Workload:
+        return Workload(
+            self.model, batch_size=self.sizing_batch, seq_len=self.sizing_seq_len
+        )
+
+    def cluster(self) -> ClusterConfig:
+        """The fleet this scenario declares, as a simulator config."""
+        sizing = self.sizing_workload()
+        prefill = tuple(
+            pod for group in self.prefill for pod in group.build(sizing)
+        )
+        decode = tuple(
+            DecodePodSpec(pod, self.model)
+            for group in self.decode
+            for pod in group.build(sizing)
+        )
+        return ClusterConfig(
+            prefill_engines=prefill,
+            decode_pods=decode,
+            policy=self.policy,
+            max_batch=self.max_batch,
+            weight_dtype=self.weight_dtype,
+            kv_dtype=self.kv_dtype,
+            kv_transfer_bytes_per_s=float("inf") if self.colocated else None,
+            reservation=self.reservation,
+            block_tokens=self.block_tokens,
+            chunk_tokens=self.chunk_tokens,
+            kv_budget_bytes=self.kv_budget_bytes,
+            slo_s=self.slo_s,
+        )
+
+    def requests(self) -> list[Request]:
+        """The scenario's seeded traffic (replayable)."""
+        return self.traffic.requests(self.model)
+
+    # -- execution -----------------------------------------------------
+    def run(self, requests: list[Request] | None = None) -> ClusterReport:
+        """Simulate the scenario end to end.
+
+        ``requests`` overrides the generated traffic -- pass the same
+        list to several scenarios to compare fleets on identical
+        arrivals.
+        """
+        if requests is None:
+            requests = self.requests()
+        return simulate(self.cluster(), requests)
+
+
+# ----------------------------------------------------------------------
+# Named presets
+# ----------------------------------------------------------------------
+def chatbot(model: ModelConfig, **overrides: object) -> Scenario:
+    """Interactive chat: short prompts, short answers, tight SLO."""
+    settings: dict = dict(
+        model=model,
+        name="chatbot",
+        traffic=TrafficSpec(rate_rps=2.0, prompt_mean=512, decode_mean=256),
+        prefill=(PodGroup("gpu", count=2),),
+        decode=(PodGroup("rpu", count=2),),
+    )
+    settings.update(overrides)
+    return Scenario(**settings)
+
+
+def agentic_fanout(model: ModelConfig, **overrides: object) -> Scenario:
+    """Agentic tool-calling: bursts of sub-queries sharing long system
+    prompts; SJF keeps the many short jobs flowing during bursts."""
+    settings: dict = dict(
+        model=model,
+        name="agentic_fanout",
+        traffic=TrafficSpec(
+            rate_rps=4.0,
+            process=ArrivalProcess.BURSTY,
+            burst_factor=6.0,
+            prompt_mean=2048,
+            decode_mean=512,
+        ),
+        prefill=(PodGroup("gpu", count=2),),
+        decode=(PodGroup("rpu", count=2),),
+        policy=Policy.SJF,
+    )
+    settings.update(overrides)
+    return Scenario(**settings)
+
+
+def batch_offline(model: ModelConfig, **overrides: object) -> Scenario:
+    """Offline batch generation: long chains of thought, no interactive
+    SLO -- goodput degenerates to the completion rate and the
+    interesting metrics are tokens/s and energy/token."""
+    settings: dict = dict(
+        model=model,
+        name="batch_offline",
+        traffic=TrafficSpec(rate_rps=1.0, prompt_mean=1024, decode_mean=4096),
+        prefill=(PodGroup("gpu", count=2),),
+        decode=(PodGroup("rpu", count=2),),
+        slo_s=float("inf"),
+    )
+    settings.update(overrides)
+    return Scenario(**settings)
+
+
+SCENARIOS = {
+    "chatbot": chatbot,
+    "agentic_fanout": agentic_fanout,
+    "batch_offline": batch_offline,
+}
+
+
+def scenario(name: str, model: ModelConfig, **overrides: object) -> Scenario:
+    """Build a named preset scenario for ``model``."""
+    try:
+        preset = SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(sorted(SCENARIOS))
+        raise ValueError(f"unknown scenario {name!r} (known: {known})") from None
+    return preset(model, **overrides)
+
+
+def comparison_table(
+    scenarios: list[Scenario],
+    *,
+    requests: list[Request] | None = None,
+    reports: list[ClusterReport] | None = None,
+    title: str = "Scenario comparison",
+) -> Table:
+    """Run several scenarios and tabulate their headline SLO metrics.
+
+    With ``requests`` the fleets see identical arrivals (fleet
+    comparison); without, each scenario generates its own traffic
+    (workload comparison).  Pass precomputed ``reports`` (aligned with
+    ``scenarios``) to tabulate without re-simulating.
+    """
+    if reports is not None and len(reports) != len(scenarios):
+        raise ValueError("reports must align 1:1 with scenarios")
+    table = Table(
+        title,
+        ["scenario", "completed", "goodput", "tok/s", "TTFT p50 (s)", "J/token"],
+    )
+    for index, entry in enumerate(scenarios):
+        report = reports[index] if reports is not None else entry.run(requests)
+        ttft = (
+            f"{report.ttft_percentile(50):.2f}" if report.completed else "n/a"
+        )
+        table.add_row([
+            entry.name or f"scenario-{scenarios.index(entry)}",
+            f"{len(report.completed)}/{report.num_submitted}",
+            f"{report.goodput:.0%}",
+            f"{report.arrival_window_tokens_per_s:,.0f}",
+            ttft,
+            f"{report.energy_per_token_j:.2f}",
+        ])
+    return table

@@ -22,8 +22,8 @@ from repro.gpu.system import GpuSystem
 from repro.models.flops import (
     KernelKind,
     KernelProfile,
+    chunked_prefill_flops,
     decode_step_profile,
-    prefill_step_profile,
 )
 from repro.models.workload import Workload
 
@@ -140,12 +140,9 @@ def prefill_time_and_power(
     Prefill is compute-bound and runs near full tensor-core utilization
     (the paper measures 70.3% compute utilization at 90% TDP).
     """
-    prompt = workload.prefill_len
-    if prompt == 0:
+    if workload.prefill_len == 0:
         return 0.0, system.spec.idle_w * system.count
-    num_chunks = max(1, round(prompt / chunk_tokens))
-    kernels = prefill_step_profile(workload, chunk_tokens=prompt // num_chunks)
-    flops = sum(k.flops for k in kernels) * num_chunks
+    flops = chunked_prefill_flops(workload, chunk_tokens)
     comp_util = 0.70
     rate = system.peak_bf16_flops * comp_util
     duration = flops / rate

@@ -275,6 +275,18 @@ def step_totals(kernels: list[KernelProfile]) -> dict[str, float]:
     }
 
 
+def chunked_prefill_flops(workload: Workload, chunk_tokens: int = 2048) -> float:
+    """Total FLOPs of prefilling the workload's prompt in ~``chunk_tokens``
+    slices (the chunking every prefill cost model charges, so GPU- and
+    RPU-role prefill comparisons share one aggregation)."""
+    prompt = workload.prefill_len
+    if prompt == 0:
+        return 0.0
+    num_chunks = max(1, round(prompt / chunk_tokens))
+    kernels = prefill_step_profile(workload, chunk_tokens=prompt // num_chunks)
+    return sum(k.flops for k in kernels) * num_chunks
+
+
 def step_arithmetic_intensity(workload: Workload) -> float:
     """Average FLOPs per HBM byte of one decode step (Fig 1, right)."""
     totals = step_totals(decode_step_profile(workload))

@@ -1,0 +1,39 @@
+"""Hardware-agnostic serving platforms.
+
+One interface (:class:`Platform`) for everything a serving fleet needs
+to know about a hardware family -- prefill/decode step cost, energy,
+KV-capacity and dtype policy, TDP, and the KV hand-off cost -- with
+:class:`RpuPlatform` and :class:`GpuPlatform` wrapping the repository's
+existing analytical models unchanged, and a registry
+(:func:`build_platform` / :func:`register_platform`) so new SKUs and
+fleet topologies are configuration, not code.  Any platform can fill
+any pod role: RPU-prefill, GPU-decode, mixed decode pools.
+"""
+
+from repro.platform.base import (
+    HOST_TURNAROUND_S,
+    KV_TRANSFER_BYTES_PER_S,
+    Platform,
+    StepCost,
+)
+from repro.platform.gpu import GpuPlatform
+from repro.platform.registry import (
+    as_platform,
+    available_platforms,
+    build_platform,
+    register_platform,
+)
+from repro.platform.rpu import RpuPlatform
+
+__all__ = [
+    "HOST_TURNAROUND_S",
+    "KV_TRANSFER_BYTES_PER_S",
+    "GpuPlatform",
+    "Platform",
+    "RpuPlatform",
+    "StepCost",
+    "as_platform",
+    "available_platforms",
+    "build_platform",
+    "register_platform",
+]

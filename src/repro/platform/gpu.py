@@ -1,0 +1,65 @@
+"""GPU systems (H100/H200 tensor-parallel groups) as a
+:class:`~repro.platform.base.Platform`.
+
+Both roles wrap the existing baseline models unchanged
+(:func:`repro.gpu.inference.prefill_time_and_power` and
+:func:`repro.gpu.inference.decode_step`), so platform-routed numbers
+match the direct-model numbers bit-for-bit.
+
+The fleet decode path (``check_capacity=False``) keeps the batch-mean
+evaluation guard the cluster simulator always applied: ``batch x
+kv(mean context)`` can overshoot the sum of per-request reservations
+(``kv()`` is concave for local-attention models), so the evaluation
+context shrinks until the capacity check holds.  Terminates feasibly:
+``batch x kv(1)`` is under the admitted reservations, which fit by
+construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.inference import decode_step, prefill_time_and_power
+from repro.gpu.system import GpuSystem
+from repro.models.workload import Workload
+from repro.platform.base import Platform, StepCost
+
+
+@dataclass(frozen=True)
+class GpuPlatform(Platform):
+    """A tensor-parallel GPU group serving prefill and/or decode."""
+
+    system: GpuSystem
+
+    @property
+    def name(self) -> str:
+        return self.system.name
+
+    @property
+    def engine(self) -> GpuSystem:
+        return self.system
+
+    @property
+    def tdp_w(self) -> float:
+        return self.system.tdp_w
+
+    @property
+    def mem_capacity_bytes(self) -> float:
+        return self.system.mem_capacity_bytes
+
+    def prefill(self, workload: Workload) -> tuple[float, float]:
+        return prefill_time_and_power(self.system, workload)
+
+    def decode_step(
+        self, workload: Workload, *, check_capacity: bool = True
+    ) -> StepCost:
+        if not check_capacity:
+            # Shrink the batch-mean evaluation context until it fits
+            # (see module docstring); the admitted reservations bound
+            # the true footprint.
+            while workload.seq_len > 1 and not self.system.fits(
+                workload.memory_footprint_bytes()
+            ):
+                workload = workload.with_seq_len(max(workload.seq_len // 2, 1))
+        result = decode_step(self.system, workload)
+        return StepCost(latency_s=result.latency_s, energy_j=result.energy_j)

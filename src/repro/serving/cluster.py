@@ -5,30 +5,37 @@ module scales that pipeline to datacenter traffic (the paper's Section I
 deployment: disaggregated prefill/decode at fleet scale, following
 Splitwise/Dynamo).  A cluster is
 
-- **N prefill pods** -- tensor-parallel GPU groups, each serving one
-  prompt at a time in FIFO order (prefill is compute-bound, so batching
-  prompts buys little);
-- **M decode pods** -- RPU boards (or GPU groups for the baseline), each
-  hosting one model's weights and running continuous batching under a
-  KV-capacity budget (:mod:`repro.serving.scheduler`).  The default
-  reservation policy is paged (block-granular KV, admission on the
-  prompt footprint); a pod that runs its block pool dry preempts the
-  lowest-priority request, which re-pays prefill on a prefill pod and
-  the KV hand-off before re-admission (recompute-on-resume);
-- a **KV hand-off** between them over the Ring Station's external
-  network, at the same 100 GbE cost the single-query model charges.
+- **N prefill pods** -- each serving one prompt at a time in FIFO order
+  (prefill is compute-bound, so batching prompts buys little);
+- **M decode pods** -- each hosting one model's weights and running
+  continuous batching under a KV-capacity budget
+  (:mod:`repro.serving.scheduler`).  The default reservation policy is
+  paged (block-granular KV, admission on the prompt footprint); a pod
+  that runs its block pool dry preempts the lowest-priority request,
+  which re-pays prefill on a prefill pod and the KV hand-off before
+  re-admission (recompute-on-resume);
+- a **KV hand-off** between them at the decode platform's ingest
+  bandwidth (the Ring Station's 100 GbE by default; ``float("inf")``
+  models colocated serving).
+
+Every pod consumes the hardware-agnostic
+:class:`repro.platform.Platform` interface, so *any* platform can fill
+*any* role: the paper's GPU-prefill/RPU-decode deployment, an all-GPU
+baseline, an inverted RPU-prefill fleet, or a mixed decode pool of
+RPU/H100/H200 pods -- fleet topology is configuration, not code.  Raw
+``RpuSystem``/``GpuSystem`` engines are still accepted (coerced with a
+:class:`DeprecationWarning`).
 
 The simulation is a classic discrete-event loop: request arrivals,
 prefill completions, KV arrivals and per-token decode steps interleave
-on one heap.  Decode step latency/energy comes from the same analytical
-models as everywhere else in the repo (``decode_step_perf`` for RPUs,
-``gpu.inference.decode_step`` for GPUs), evaluated at the running
-batch's mean context and memoized on (batch, context-bucket) so fleet
-runs stay fast.
+on one heap.  Step latency/energy comes from each pod's platform,
+evaluated at the running batch's mean context and memoized on (batch,
+context-bucket) so fleet runs stay fast.
 
 The report answers the serving questions the paper motivates: TTFT/TPOT
-tail percentiles, goodput against the ~10 s interaction threshold,
-queueing delay, and per-pod utilization and energy.
+tail percentiles, goodput against the configured SLO (the ~10 s
+interaction threshold by default), queueing delay, and per-pod
+utilization and energy.
 """
 
 from __future__ import annotations
@@ -36,19 +43,15 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass, field
 
-from repro.analysis.perf_model import decode_step_perf, system_for
+from repro.analysis.perf_model import system_for
 from repro.arch.system import RpuSystem
-from repro.gpu.inference import decode_step, prefill_time_and_power
 from repro.gpu.system import GpuSystem
 from repro.models.config import ModelConfig
 from repro.models.dtypes import DType
 from repro.models.kv_cache import kv_cache_bytes
 from repro.models.workload import Workload
-from repro.serving.disaggregated import (
-    HOST_TURNAROUND_S,
-    INTERACTION_THRESHOLD_S,
-    KV_TRANSFER_BYTES_PER_S,
-)
+from repro.platform import GpuPlatform, Platform, RpuPlatform, as_platform
+from repro.serving.disaggregated import INTERACTION_THRESHOLD_S
 from repro.serving.requests import Request
 from repro.serving.scheduler import ContinuousBatchScheduler, Policy, Reservation
 from repro.util.stats import mean, percentile
@@ -65,10 +68,10 @@ STEP_CONTEXT_BUCKET = 512
 # ----------------------------------------------------------------------
 @dataclass
 class PrefillPod:
-    """One tensor-parallel GPU group running prompts FIFO."""
+    """One platform running prompts FIFO."""
 
     pod_id: str
-    engine: GpuSystem
+    platform: Platform
     #: Serving dtypes the cluster configured; prefill is charged at
     #: these, not at each request's defaults, so its cost agrees with
     #: the cluster's serving point.
@@ -77,6 +80,11 @@ class PrefillPod:
     busy_until_s: float = 0.0
     busy_s: float = 0.0
     energy_j: float = 0.0
+
+    @property
+    def engine(self) -> object:
+        """The platform's underlying system (compatibility accessor)."""
+        return self.platform.engine
 
     def serve(
         self, request: Request, now: float, *, context_tokens: int | None = None
@@ -101,7 +109,7 @@ class PrefillPod:
                 weight_dtype=self.weight_dtype or request.weight_dtype,
                 kv_dtype=self.kv_dtype or request.kv_dtype,
             )
-        duration, power = prefill_time_and_power(self.engine, workload)
+        duration, power = self.platform.prefill(workload)
         self.busy_until_s = start + duration
         self.busy_s += duration
         self.energy_j += duration * power
@@ -110,11 +118,11 @@ class PrefillPod:
 
 @dataclass
 class DecodePod:
-    """One decode engine (RPU board or GPU group) hosting one model."""
+    """One decode platform (RPU board, GPU group, ...) hosting one model."""
 
     pod_id: str
     model: ModelConfig
-    engine: RpuSystem | GpuSystem
+    platform: Platform
     scheduler: ContinuousBatchScheduler
     weight_dtype: DType
     kv_dtype: DType
@@ -135,18 +143,9 @@ class DecodePod:
     )
 
     @property
-    def is_rpu(self) -> bool:
-        return isinstance(self.engine, RpuSystem)
-
-    def _step_point(self, batch_size: int, context_len: int) -> Workload:
-        return Workload(
-            self.model,
-            batch_size=batch_size,
-            seq_len=context_len,
-            decode_len=1,
-            weight_dtype=self.weight_dtype,
-            kv_dtype=self.kv_dtype,
-        )
+    def engine(self) -> object:
+        """The platform's underlying system (compatibility accessor)."""
+        return self.platform.engine
 
     def step_cost(self, batch_size: int, context_len: int) -> tuple[float, float]:
         """(latency, energy) of one decode step for the current batch."""
@@ -156,23 +155,16 @@ class DecodePod:
         cached = self._step_cache.get(key)
         if cached is not None:
             return cached
-        point = self._step_point(batch_size, context_len)
-        if self.is_rpu:
-            result = decode_step_perf(self.engine, point, check_capacity=False)
-            cost = (result.latency_s + HOST_TURNAROUND_S, result.energy_per_step_j)
-        else:
-            # batch x kv(mean context) can overshoot the sum of per-request
-            # reservations (kv() is concave for local-attention models), so
-            # shrink the evaluation context until the capacity check holds.
-            # Terminates feasibly: batch x kv(1) is under the admitted
-            # reservations, which fit by construction.
-            while context_len > 1 and not self.engine.fits(
-                point.memory_footprint_bytes()
-            ):
-                context_len = max(context_len // 2, 1)
-                point = self._step_point(batch_size, context_len)
-            gpu_result = decode_step(self.engine, point)
-            cost = (gpu_result.latency_s, gpu_result.energy_j)
+        point = Workload(
+            self.model,
+            batch_size=batch_size,
+            seq_len=context_len,
+            decode_len=1,
+            weight_dtype=self.weight_dtype,
+            kv_dtype=self.kv_dtype,
+        )
+        step = self.platform.decode_step(point, check_capacity=False)
+        cost = (step.latency_s, step.energy_j)
         self._step_cache[key] = cost
         return cost
 
@@ -188,16 +180,10 @@ class DecodePod:
 
 
 def decode_pod_kv_budget(
-    engine: RpuSystem | GpuSystem, model: ModelConfig, weight_dtype: DType
+    engine: Platform | RpuSystem | GpuSystem, model: ModelConfig, weight_dtype: DType
 ) -> float:
     """Pod memory left for KV after the hosted model's weights."""
-    budget = engine.mem_capacity_bytes - model.weight_bytes(weight_dtype.nbytes)
-    if budget <= 0:
-        raise ValueError(
-            f"{model.name} weights do not fit in decode pod "
-            f"({engine.mem_capacity_bytes / 1e9:.0f} GB)"
-        )
-    return budget
+    return as_platform(engine).kv_budget_bytes(model, weight_dtype)
 
 
 # ----------------------------------------------------------------------
@@ -205,9 +191,10 @@ def decode_pod_kv_budget(
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class DecodePodSpec:
-    """Engine + hosted model for one decode pod."""
+    """Platform + hosted model for one decode pod (raw
+    ``RpuSystem``/``GpuSystem`` engines are accepted but deprecated)."""
 
-    engine: RpuSystem | GpuSystem
+    engine: Platform | RpuSystem | GpuSystem
     model: ModelConfig
 
 
@@ -215,15 +202,17 @@ class DecodePodSpec:
 class ClusterConfig:
     """A serving fleet: prefill pods, decode pods, policies."""
 
-    prefill_engines: tuple[GpuSystem, ...]
+    prefill_engines: tuple[Platform | GpuSystem | RpuSystem, ...]
     decode_pods: tuple[DecodePodSpec, ...]
     policy: Policy = Policy.FIFO
     max_batch: int = 128
     weight_dtype: DType = DType.MXFP4
     kv_dtype: DType = DType.FP8
-    #: KV hand-off bandwidth; ``float("inf")`` models colocated decode
-    #: (the GPU-only baseline pays no transfer).
-    kv_transfer_bytes_per_s: float = KV_TRANSFER_BYTES_PER_S
+    #: KV hand-off bandwidth override.  ``None`` charges each decode
+    #: platform's own ingest rate (100 GbE by default);
+    #: ``float("inf")`` models colocated decode (the GPU-only baseline
+    #: pays no transfer).
+    kv_transfer_bytes_per_s: float | None = None
     #: KV reservation policy on decode pods.  PAGED (the vLLM block
     #: model) is the fleet default; FULL keeps the conservative
     #: full-context reservation for regression comparison.
@@ -234,6 +223,9 @@ class ClusterConfig:
     #: from pod memory minus weights; setting it enables equal-budget
     #: FULL-vs-PAGED comparisons and capacity what-ifs.
     kv_budget_bytes: float | None = None
+    #: Interactive SLO: a completed query counts toward goodput iff its
+    #: end-to-end latency is within this bound.
+    slo_s: float = INTERACTION_THRESHOLD_S
 
     def __post_init__(self) -> None:
         if not self.prefill_engines:
@@ -242,6 +234,8 @@ class ClusterConfig:
             raise ValueError("cluster needs at least one decode pod")
         if self.kv_budget_bytes is not None and self.kv_budget_bytes <= 0:
             raise ValueError("kv_budget_bytes override must be positive")
+        if self.slo_s <= 0:
+            raise ValueError("slo_s must be positive")
 
 
 def disaggregated_cluster(
@@ -262,13 +256,14 @@ def disaggregated_cluster(
     """GPU prefill + RPU decode fleet for one model (the paper's
     deployment)."""
     sizing = Workload(model, batch_size=sizing_batch, seq_len=8192)
-    pod_engine = system_for(cus_per_pod, sizing)
+    pod_platform = RpuPlatform(system_for(cus_per_pod, sizing))
     return ClusterConfig(
         prefill_engines=tuple(
-            GpuSystem(count=gpus_per_prefill) for _ in range(num_prefill_pods)
+            GpuPlatform(GpuSystem(count=gpus_per_prefill))
+            for _ in range(num_prefill_pods)
         ),
         decode_pods=tuple(
-            DecodePodSpec(pod_engine, model) for _ in range(num_decode_pods)
+            DecodePodSpec(pod_platform, model) for _ in range(num_decode_pods)
         ),
         policy=policy,
         max_batch=max_batch,
@@ -297,10 +292,11 @@ def gpu_only_cluster(
     is free (colocated serving -- generous to the baseline)."""
     return ClusterConfig(
         prefill_engines=tuple(
-            GpuSystem(count=gpus_per_prefill) for _ in range(num_prefill_pods)
+            GpuPlatform(GpuSystem(count=gpus_per_prefill))
+            for _ in range(num_prefill_pods)
         ),
         decode_pods=tuple(
-            DecodePodSpec(GpuSystem(count=gpus_per_decode), model)
+            DecodePodSpec(GpuPlatform(GpuSystem(count=gpus_per_decode)), model)
             for _ in range(num_decode_pods)
         ),
         policy=policy,
@@ -393,6 +389,8 @@ class PodStats:
     #: (fraction of the budget allocated, time-weighted over stepping).
     preemptions: int = 0
     kv_occupancy: float = 0.0
+    #: Platform label of the pod's hardware ("" for legacy records).
+    platform: str = ""
 
     def utilization(self, elapsed_s: float) -> float:
         return min(self.busy_s / elapsed_s, 1.0) if elapsed_s > 0 else 0.0
@@ -413,6 +411,8 @@ class ClusterReport:
     #: what makes short runs with long-tail requests comparable across
     #: sweep points.
     last_arrival_s: float = 0.0
+    #: Interactive SLO the run was scored against.
+    slo_s: float = INTERACTION_THRESHOLD_S
 
     @property
     def num_submitted(self) -> int:
@@ -435,11 +435,11 @@ class ClusterReport:
     # -- throughput ----------------------------------------------------
     @property
     def goodput(self) -> float:
-        """Fraction of submitted queries answered within the interaction
-        threshold (rejected queries count against it)."""
+        """Fraction of submitted queries answered within the SLO
+        (rejected queries count against it)."""
         if not self.num_submitted:
             return 0.0
-        good = sum(1 for r in self.completed if r.interactive)
+        good = sum(1 for r in self.completed if r.end_to_end_s <= self.slo_s)
         return good / self.num_submitted
 
     @property
@@ -525,7 +525,8 @@ class ClusterReport:
         table = Table(title, ["metric", "value"])
         table.add_row(["queries completed / submitted",
                        f"{len(self.completed)} / {self.num_submitted}"])
-        table.add_row(["goodput (<= 10 s)", f"{self.goodput:.1%}"])
+        slo = "inf" if self.slo_s == float("inf") else f"{self.slo_s:g} s"
+        table.add_row([f"goodput (<= {slo})", f"{self.goodput:.1%}"])
         if self.completed:
             # Latency rows are undefined with zero completions; "n/a"
             # beats a misleading 0.00 s.
@@ -551,7 +552,10 @@ class ClusterReport:
         table.add_row(["preemptions", f"{self.total_preemptions}"])
         table.add_row(["fleet energy (kJ)", f"{self.total_energy_j / 1e3:.1f}"])
         for pod in self.pod_stats:
-            table.add_row([f"{pod.pod_id} utilization",
+            label = f"{pod.pod_id} utilization"
+            if pod.platform:
+                label = f"{pod.pod_id} ({pod.platform}) utilization"
+            table.add_row([label,
                            f"{pod.utilization(self.duration_s):.0%}"])
         return table
 
@@ -575,7 +579,7 @@ class ClusterSim:
         self.prefill_pods = [
             PrefillPod(
                 pod_id=f"prefill{i}",
-                engine=engine,
+                platform=as_platform(engine, warn=True),
                 weight_dtype=config.weight_dtype,
                 kv_dtype=config.kv_dtype,
             )
@@ -583,14 +587,15 @@ class ClusterSim:
         ]
         self.decode_pods = []
         for i, spec in enumerate(config.decode_pods):
-            budget = config.kv_budget_bytes or decode_pod_kv_budget(
-                spec.engine, spec.model, config.weight_dtype
+            platform = as_platform(spec.engine, warn=True)
+            budget = config.kv_budget_bytes or platform.kv_budget_bytes(
+                spec.model, config.weight_dtype
             )
             self.decode_pods.append(
                 DecodePod(
                     pod_id=f"decode{i}",
                     model=spec.model,
-                    engine=spec.engine,
+                    platform=platform,
                     scheduler=ContinuousBatchScheduler(
                         kv_budget_bytes=budget,
                         max_batch=config.max_batch,
@@ -612,6 +617,13 @@ class ClusterSim:
     def _push(self, when: float, kind: int, payload: object) -> None:
         self._seq += 1
         heapq.heappush(self._events, (when, self._seq, kind, payload))
+
+    def _kv_ingest_rate(self, pod: DecodePod) -> float:
+        """Hand-off bandwidth into ``pod``: the cluster-wide override,
+        or the decode platform's own ingest rate."""
+        if self.config.kv_transfer_bytes_per_s is not None:
+            return self.config.kv_transfer_bytes_per_s
+        return pod.platform.kv_ingest_bytes_per_s
 
     def _route_decode(self, request: Request) -> DecodePod | None:
         """Least-loaded decode pod hosting the request's model, or None
@@ -657,7 +669,7 @@ class ClusterSim:
             1,
             self.config.kv_dtype,
         )
-        transfer_s = context_kv / self.config.kv_transfer_bytes_per_s
+        transfer_s = context_kv / self._kv_ingest_rate(pod)
         record.decode_pod = pod.pod_id
         pod.in_transfer_tokens += request.decode_len - record.resume_tokens
         self._push(now + transfer_s, _KV_ARRIVE, (pod, record))
@@ -751,7 +763,10 @@ class ClusterSim:
 
         pod_stats = tuple(
             [
-                PodStats(p.pod_id, "prefill", p.busy_s, p.energy_j)
+                PodStats(
+                    p.pod_id, "prefill", p.busy_s, p.energy_j,
+                    platform=p.platform.name,
+                )
                 for p in self.prefill_pods
             ]
             + [
@@ -764,6 +779,7 @@ class ClusterSim:
                     kv_occupancy=(
                         p.kv_occupancy_s / p.busy_s if p.busy_s else 0.0
                     ),
+                    platform=p.platform.name,
                 )
                 for p in self.decode_pods
             ]
@@ -776,6 +792,7 @@ class ClusterSim:
             last_arrival_s=max(
                 (r.request.arrival_s for r in records), default=0.0
             ),
+            slo_s=self.config.slo_s,
         )
 
 

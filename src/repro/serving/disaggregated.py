@@ -1,14 +1,20 @@
-"""End-to-end disaggregated serving: GPU prefill -> KV transfer -> RPU decode.
+"""End-to-end disaggregated serving: prefill -> KV transfer -> decode.
 
 Pipeline stages for one query:
 
-1. **Prefill** on a GPU system (compute-bound; the regime GPUs are good at
-   -- paper Fig 2's 634 W / 70% utilization phase).
-2. **KV-cache transfer** from the prefill engine into RPU memory over the
-   Ring Station's external network (the paper provisions 100 Gb Ethernet).
-3. **Decode** on the RPU: autonomous execution; the host is interrupted
-   once per generated token to collect output (the paper's deployment
-   model), costing a fixed host-turnaround per token.
+1. **Prefill** on the prefill platform (compute-bound; the regime GPUs
+   are good at -- paper Fig 2's 634 W / 70% utilization phase).
+2. **KV-cache transfer** from the prefill engine into the decode
+   platform's memory over the Ring Station's external network (the
+   paper provisions 100 Gb Ethernet).
+3. **Decode** on the decode platform (the paper's deployment: an RPU in
+   autonomous execution, the host interrupted once per generated token).
+
+Both stages are costed through the hardware-agnostic
+:class:`repro.platform.Platform` interface -- the same code path the
+fleet simulator charges -- so single-query and fleet-scale costing
+cannot drift.  Engines may be passed as platforms or as raw
+``RpuSystem``/``GpuSystem`` objects (coerced, kept for compatibility).
 
 The paper's application domain (Section IX) motivates the ~10 s
 interaction threshold: reasoning queries should complete before working
@@ -20,21 +26,27 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.analysis.perf_model import decode_step_perf
 from repro.arch.system import RpuSystem
-from repro.gpu.inference import decode_step, prefill_time_and_power
 from repro.gpu.system import GpuSystem
 from repro.models.kv_cache import kv_cache_bytes
 from repro.models.workload import Workload
+from repro.platform import (
+    HOST_TURNAROUND_S,
+    KV_TRANSFER_BYTES_PER_S,
+    Platform,
+    as_platform,
+)
+
+__all__ = [
+    "HOST_TURNAROUND_S",
+    "INTERACTION_THRESHOLD_S",
+    "KV_TRANSFER_BYTES_PER_S",
+    "DisaggregatedSystem",
+    "QueryResult",
+]
 
 #: Interaction-latency threshold (paper Section IX, HCI literature).
 INTERACTION_THRESHOLD_S = 10.0
-
-#: Ring-Station external network bandwidth (100 Gb Ethernet).
-KV_TRANSFER_BYTES_PER_S = 100e9 / 8
-
-#: Host interrupt + token collection overhead per decode step.
-HOST_TURNAROUND_S = 2e-6
 
 
 @dataclass(frozen=True)
@@ -83,10 +95,20 @@ class QueryResult:
 
 @dataclass(frozen=True)
 class DisaggregatedSystem:
-    """A prefill GPU pool paired with an RPU decode engine."""
+    """A prefill platform paired with a (usually different) decode
+    platform -- the paper's GPU-prefill/RPU-decode pairing by default,
+    but any :class:`~repro.platform.Platform` can fill either role."""
 
-    prefill_engine: GpuSystem
-    decode_engine: RpuSystem
+    prefill_engine: Platform | GpuSystem | RpuSystem
+    decode_engine: Platform | GpuSystem | RpuSystem
+
+    @property
+    def prefill_platform(self) -> Platform:
+        return as_platform(self.prefill_engine)
+
+    @property
+    def decode_platform(self) -> Platform:
+        return as_platform(self.decode_engine)
 
     def query(self, workload: Workload) -> QueryResult:
         """Serve one query: ``workload.prefill_len`` prompt tokens per
@@ -98,8 +120,10 @@ class DisaggregatedSystem:
         """
         if workload.decode_len < 1:
             raise ValueError("workload must generate at least one token")
+        prefill = self.prefill_platform
+        decode = self.decode_platform
 
-        prefill_s, prefill_w = prefill_time_and_power(self.prefill_engine, workload)
+        prefill_s, prefill_w = prefill.prefill(workload)
 
         kv_bytes = kv_cache_bytes(
             workload.model,
@@ -107,45 +131,43 @@ class DisaggregatedSystem:
             workload.batch_size,
             workload.kv_dtype,
         )
-        kv_transfer_s = kv_bytes / KV_TRANSFER_BYTES_PER_S
+        kv_transfer_s = kv_bytes / decode.kv_ingest_bytes_per_s
 
         # Decode token k sees context prefill+k (k = 1..decode_len), so
         # the mean decode context is prefill + (decode_len + 1) / 2; for
         # decode_len == 1 it coincides with the first-token context.
         mid_context = workload.prefill_len + (workload.decode_len + 1) // 2
-        decode_point = workload.with_seq_len(max(mid_context, 1))
-        step = decode_step_perf(self.decode_engine, decode_point)
-        step_s = step.latency_s + HOST_TURNAROUND_S
-        decode_s = step_s * workload.decode_len
-
-        first_point = workload.with_seq_len(max(workload.prefill_len + 1, 1))
-        first_step = decode_step_perf(
-            self.decode_engine, first_point, check_capacity=False
+        step = decode.decode_step(workload.with_seq_len(max(mid_context, 1)))
+        first = decode.decode_step(
+            workload.with_seq_len(max(workload.prefill_len + 1, 1)),
+            check_capacity=False,
         )
 
         return QueryResult(
             prefill_s=prefill_s,
             kv_transfer_s=kv_transfer_s,
-            decode_s=decode_s,
+            decode_s=step.latency_s * workload.decode_len,
             decode_tokens=workload.decode_len,
             prefill_energy_j=prefill_s * prefill_w,
-            decode_energy_j=step.energy_per_step_j * workload.decode_len,
-            first_step_s=first_step.latency_s + HOST_TURNAROUND_S,
+            decode_energy_j=step.energy_j * workload.decode_len,
+            first_step_s=first.latency_s,
         )
 
     def gpu_only_query(self, workload: Workload) -> QueryResult:
-        """Baseline: the same query decoded on the prefill GPUs."""
+        """Baseline: the same query decoded on the prefill platform
+        (colocated serving -- no KV hand-off)."""
         if workload.decode_len < 1:
             raise ValueError("workload must generate at least one token")
-        prefill_s, prefill_w = prefill_time_and_power(self.prefill_engine, workload)
+        prefill = self.prefill_platform
+        prefill_s, prefill_w = prefill.prefill(workload)
         # Decode token k sees context prefill+k (k = 1..decode_len), so
         # the mean decode context is prefill + (decode_len + 1) / 2; for
         # decode_len == 1 it coincides with the first-token context.
         mid_context = workload.prefill_len + (workload.decode_len + 1) // 2
-        decode_point = workload.with_seq_len(max(mid_context, 1))
-        step = decode_step(self.prefill_engine, decode_point)
-        first_point = workload.with_seq_len(max(workload.prefill_len + 1, 1))
-        first_step = decode_step(self.prefill_engine, first_point)
+        step = prefill.decode_step(workload.with_seq_len(max(mid_context, 1)))
+        first = prefill.decode_step(
+            workload.with_seq_len(max(workload.prefill_len + 1, 1))
+        )
         return QueryResult(
             prefill_s=prefill_s,
             kv_transfer_s=0.0,
@@ -153,5 +175,5 @@ class DisaggregatedSystem:
             decode_tokens=workload.decode_len,
             prefill_energy_j=prefill_s * prefill_w,
             decode_energy_j=step.energy_j * workload.decode_len,
-            first_step_s=first_step.latency_s,
+            first_step_s=first.latency_s,
         )

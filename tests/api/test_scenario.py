@@ -1,0 +1,276 @@
+"""Scenario runner: ISO-TDP parity with the pre-platform API, hybrid
+fleets, presets, and the deprecation shims."""
+
+import warnings
+
+import pytest
+
+from repro.analysis.cluster_sweep import fleet_layout_comparison, gpu_vs_disaggregated
+from repro.analysis.perf_model import system_for
+from repro.api import (
+    SCENARIOS,
+    PodGroup,
+    Scenario,
+    TrafficSpec,
+    comparison_table,
+    scenario,
+)
+from repro.gpu.system import GpuSystem
+from repro.models.llama3 import LLAMA3_70B
+from repro.models.workload import Workload
+from repro.platform import GpuPlatform, RpuPlatform, build_platform
+from repro.serving.cluster import (
+    ClusterConfig,
+    DecodePodSpec,
+    simulate,
+)
+from repro.serving.requests import RequestGenerator, reasoning_traffic
+from repro.serving.scheduler import Reservation
+
+
+def reasoning_spec(rate_rps=1.0, duration_s=20.0, seed=0):
+    """TrafficSpec matching the sweeps' reasoning mix exactly."""
+    return TrafficSpec(
+        rate_rps=rate_rps,
+        duration_s=duration_s,
+        seed=seed,
+        classes=(reasoning_traffic(LLAMA3_70B),),
+    )
+
+
+class TestIsoTdpParity:
+    """Scenario.run() must reproduce the pre-refactor
+    gpu_vs_disaggregated numbers -- the new API pinned to the old."""
+
+    @pytest.fixture(scope="class")
+    def versus(self):
+        return gpu_vs_disaggregated(LLAMA3_70B, rate_rps=1.0, duration_s=20.0)
+
+    def test_disaggregated_fleet_matches(self, versus):
+        report = Scenario(
+            model=LLAMA3_70B,
+            traffic=reasoning_spec(),
+            prefill=(PodGroup("gpu", count=2),),
+            decode=(PodGroup("rpu_iso_tdp", count=2, options={"gpus": 2}),),
+        ).run()
+        assert report.goodput == pytest.approx(versus.disaggregated.goodput)
+        assert report.tokens_per_s == pytest.approx(
+            versus.disaggregated.tokens_per_s, rel=1e-9
+        )
+        assert report.total_energy_j == pytest.approx(
+            versus.disaggregated.total_energy_j, rel=1e-9
+        )
+
+    def test_gpu_only_fleet_matches(self, versus):
+        report = Scenario(
+            model=LLAMA3_70B,
+            traffic=reasoning_spec(),
+            prefill=(PodGroup("gpu", count=2),),
+            decode=(PodGroup("gpu", count=2),),
+            colocated=True,
+        ).run()
+        assert report.goodput == pytest.approx(versus.gpu_only.goodput)
+        assert report.tokens_per_s == pytest.approx(
+            versus.gpu_only.tokens_per_s, rel=1e-9
+        )
+
+    def test_raw_system_config_matches_platform_config(self):
+        """The deprecation shim (raw engines) and the platform path
+        must produce identical reports."""
+        sizing = Workload(LLAMA3_70B, batch_size=32, seq_len=8192)
+        rpu = system_for(128, sizing)
+        requests = reasoning_spec(duration_s=10.0).requests(LLAMA3_70B)
+        old_style = ClusterConfig(
+            prefill_engines=(GpuSystem(count=2), GpuSystem(count=2)),
+            decode_pods=(DecodePodSpec(rpu, LLAMA3_70B),) * 2,
+        )
+        new_style = ClusterConfig(
+            prefill_engines=(GpuPlatform(GpuSystem(count=2)),) * 2,
+            decode_pods=(DecodePodSpec(RpuPlatform(rpu), LLAMA3_70B),) * 2,
+        )
+        with pytest.warns(DeprecationWarning):
+            old = simulate(old_style, requests)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            new = simulate(new_style, requests)
+        assert old.duration_s == new.duration_s
+        assert old.goodput == new.goodput
+        assert old.total_energy_j == pytest.approx(new.total_energy_j)
+        assert [r.completed_s for r in old.completed] == [
+            r.completed_s for r in new.completed
+        ]
+
+
+class TestHybridFleets:
+    """Topologies only the platform API can express."""
+
+    @pytest.fixture(scope="class")
+    def pressure_traffic(self):
+        generator = RequestGenerator(
+            classes=(reasoning_traffic(LLAMA3_70B),), rate_rps=2.0, seed=0
+        )
+        return generator.generate(15.0)
+
+    def test_rpu_prefill_gpu_decode_conserves_requests(self, pressure_traffic):
+        """Inverted fleet under the paged scheduler with a tight budget:
+        preemption storms must not lose or duplicate requests."""
+        inverted = Scenario(
+            model=LLAMA3_70B,
+            prefill=(PodGroup("rpu", count=2, options={"num_cus": 64}),),
+            decode=(PodGroup("gpu", count=1, options={"gpus": 2}),),
+            reservation=Reservation.PAGED,
+            kv_budget_bytes=3e9,
+        )
+        report = inverted.run(pressure_traffic)
+        assert report.num_submitted == len(pressure_traffic)
+        assert len(report.completed) + len(report.rejected) == len(pressure_traffic)
+        assert len(report.completed) == len(pressure_traffic)
+        assert report.total_preemptions > 0  # the budget really was tight
+        prefill = [p for p in report.pod_stats if p.kind == "prefill"]
+        assert all(p.platform.startswith("rpu-") for p in prefill)
+        assert all(p.busy_s > 0 for p in prefill)
+
+    def test_three_way_mixed_decode_pool(self, pressure_traffic):
+        """RPU + H100 + H200 decode pods side by side, one model."""
+        mixed = Scenario(
+            model=LLAMA3_70B,
+            prefill=(PodGroup("gpu", count=2),),
+            decode=(
+                PodGroup("rpu", options={"num_cus": 128}),
+                PodGroup("h100", options={"gpus": 2}),
+                PodGroup("h200", options={"gpus": 2}),
+            ),
+        )
+        report = mixed.run(pressure_traffic)
+        assert len(report.completed) == len(pressure_traffic)
+        decode = [p for p in report.pod_stats if p.kind == "decode"]
+        assert sorted(p.platform for p in decode) == [
+            "2xH100-SXM", "2xH200-SXM", "rpu-128cu",
+        ]
+        # The router load-balances: every platform kind does real work.
+        assert all(p.busy_s > 0 for p in decode)
+
+    def test_fleet_layout_comparison_sweep(self):
+        """The analysis-layer sweep expresses the same mixed pools."""
+        sizing = Workload(LLAMA3_70B, batch_size=32, seq_len=8192)
+        layouts = {
+            "rpu-only": (build_platform("rpu", sizing=sizing),) * 2,
+            "mixed": (
+                build_platform("rpu", sizing=sizing),
+                build_platform("h100"),
+            ),
+        }
+        reports = fleet_layout_comparison(
+            LLAMA3_70B, layouts, rate_rps=0.5, duration_s=8.0
+        )
+        assert set(reports) == {"rpu-only", "mixed"}
+        for report in reports.values():
+            assert report.num_submitted == len(
+                reports["rpu-only"].completed
+            ) + len(reports["rpu-only"].rejected)
+
+
+class TestPresets:
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_preset_runs_end_to_end(self, name):
+        entry = scenario(
+            name, LLAMA3_70B, traffic=TrafficSpec(rate_rps=1.0, duration_s=5.0)
+        )
+        assert entry.name == name
+        report = entry.run()
+        assert report.num_submitted > 0
+        assert len(report.completed) == report.num_submitted
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            scenario("nope", LLAMA3_70B)
+
+    def test_batch_offline_has_no_interactive_slo(self):
+        entry = scenario("batch_offline", LLAMA3_70B)
+        assert entry.slo_s == float("inf")
+        report = entry.run(
+            scenario(
+                "batch_offline",
+                LLAMA3_70B,
+                traffic=TrafficSpec(rate_rps=0.5, duration_s=5.0),
+            ).requests()
+        )
+        # Everything completed => goodput degenerates to completion rate.
+        assert report.goodput == 1.0
+        assert report.slo_s == float("inf")
+
+    def test_slo_threads_through_to_goodput(self):
+        tight = Scenario(
+            model=LLAMA3_70B,
+            traffic=reasoning_spec(duration_s=5.0),
+            slo_s=1e-3,  # nothing finishes a reasoning query in 1 ms
+        )
+        report = tight.run()
+        assert report.slo_s == 1e-3
+        assert report.goodput == 0.0
+        assert len(report.completed) == report.num_submitted
+
+
+class TestScenarioValidation:
+    def test_needs_pod_groups(self):
+        with pytest.raises(ValueError, match="pod group"):
+            Scenario(model=LLAMA3_70B, prefill=())
+        with pytest.raises(ValueError, match="pod group"):
+            Scenario(model=LLAMA3_70B, decode=())
+
+    def test_pod_group_count_positive(self):
+        with pytest.raises(ValueError, match="count"):
+            PodGroup("rpu", count=0)
+
+    def test_options_rejected_on_concrete_platform(self):
+        pod = build_platform("h100")
+        with pytest.raises(ValueError, match="options"):
+            PodGroup(pod, options={"gpus": 4})
+
+    def test_requests_are_replayable(self):
+        entry = scenario(
+            "chatbot", LLAMA3_70B, traffic=TrafficSpec(duration_s=5.0)
+        )
+        a = entry.requests()
+        b = entry.requests()
+        assert [(r.request_id, r.arrival_s, r.prompt_len) for r in a] == [
+            (r.request_id, r.arrival_s, r.prompt_len) for r in b
+        ]
+
+    def test_comparison_table_renders(self):
+        entries = [
+            scenario(
+                name, LLAMA3_70B, traffic=TrafficSpec(rate_rps=0.5, duration_s=4.0)
+            )
+            for name in sorted(SCENARIOS)
+        ]
+        rendered = comparison_table(entries).render()
+        for name in SCENARIOS:
+            assert name in rendered
+
+
+class TestTopLevelExports:
+    def test_serving_api_exported_from_repro(self):
+        import repro
+
+        for name in (
+            "simulate",
+            "disaggregated_cluster",
+            "gpu_only_cluster",
+            "ClusterConfig",
+            "ClusterReport",
+            "Scenario",
+            "PodGroup",
+            "TrafficSpec",
+            "Platform",
+            "RpuPlatform",
+            "GpuPlatform",
+        ):
+            assert hasattr(repro, name), name
+            assert name in repro.__all__
+
+    def test_docstring_module_list_is_current(self):
+        import repro
+
+        for module in ("repro.platform", "repro.api", "repro.serving"):
+            assert module in repro.__doc__
