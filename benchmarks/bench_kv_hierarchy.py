@@ -1,0 +1,150 @@
+"""KV cache hierarchy benchmark: prefix-cache hit rate, the goodput and
+TTFT it buys on agentic fan-out traffic, and the swap-vs-recompute
+crossover -- emitted both as tables and as machine-readable
+``BENCH_kv_hierarchy.json`` so the perf trajectory is trackable across
+commits."""
+
+import json
+from pathlib import Path
+
+from conftest import emit
+
+from repro.analysis.cluster_sweep import prefix_hit_sweep, swap_crossover_sweep
+from repro.api import PodGroup, agentic_fanout
+from repro.models.llama3 import LLAMA3_70B
+from repro.util.tables import Table
+
+JSON_PATH = Path(__file__).resolve().parent / "BENCH_kv_hierarchy.json"
+
+
+def build():
+    hit_points = prefix_hit_sweep(
+        LLAMA3_70B, share_probs=(0.0, 0.5, 0.9)
+    )
+    crossover = swap_crossover_sweep(
+        LLAMA3_70B, host_link_gbps=(100.0, 25.0, 6.0, 1.5)
+    )
+    # The acceptance scenario: agentic fan-out at equal KV budget on a
+    # prefill-bound fleet, identical traffic, caching off vs on.
+    scenario_kwargs = dict(
+        kv_budget_bytes=2e9, prefill=(PodGroup("gpu", count=1),)
+    )
+    cached_scenario = agentic_fanout(LLAMA3_70B, **scenario_kwargs)
+    requests = cached_scenario.requests()
+    uncached = agentic_fanout(
+        LLAMA3_70B, **scenario_kwargs, prefix_caching=False
+    ).run(requests)
+    cached = cached_scenario.run(requests)
+    return hit_points, crossover, uncached, cached
+
+
+def test_kv_hierarchy(benchmark):
+    hit_points, crossover, uncached, cached = benchmark.pedantic(
+        build, rounds=1, iterations=1
+    )
+
+    hit_table = Table(
+        "Prefix caching off vs on: agentic fan-out traffic at equal KV "
+        "budget (Llama3-70B, 1 RPU decode pod)",
+        ["share prob", "hit rate", "goodput off->on", "TTFT p50 off->on",
+         "tok/s off->on"],
+    )
+    for p in hit_points:
+        hit_table.add_row([
+            f"{p.share_prob:.1f}", f"{p.hit_rate:.0%}",
+            f"{p.goodput_uncached:.0%} -> {p.goodput_cached:.0%}",
+            f"{p.ttft_p50_uncached_s:.2f} -> {p.ttft_p50_cached_s:.2f} s",
+            f"{p.tokens_per_s_uncached:,.0f} -> {p.tokens_per_s_cached:,.0f}",
+        ])
+
+    swap_table = Table(
+        "Swap-to-host vs recompute-on-resume across host-link bandwidths "
+        "(tight block pool, Llama3-70B reasoning traffic)",
+        ["host link", "swap cost", "recompute cost", "AUTO swap frac",
+         "e2e p95 rec/swap/auto"],
+    )
+    for p in crossover:
+        swap_table.add_row([
+            f"{p.host_link_gbps:g} Gb/s", f"{p.swap_s:.2f} s",
+            f"{p.recompute_s:.2f} s", f"{p.auto_swap_fraction:.0%}",
+            f"{p.e2e_p95_recompute_s:.2f} / {p.e2e_p95_swap_s:.2f} / "
+            f"{p.e2e_p95_auto_s:.2f} s",
+        ])
+
+    scenario_table = Table(
+        "agentic_fanout preset at equal KV budget (identical traffic)",
+        ["caching", "goodput", "TTFT p50 (s)", "TTFT p95 (s)", "hit rate"],
+    )
+    for label, report in (("off", uncached), ("on", cached)):
+        scenario_table.add_row([
+            label, f"{report.goodput:.1%}",
+            f"{report.ttft_percentile(50):.2f}",
+            f"{report.ttft_percentile(95):.2f}",
+            f"{report.prefix_hit_rate:.1%}",
+        ])
+    emit(hit_table, swap_table, scenario_table)
+
+    # -- acceptance: caching converts sharing into hit rate, TTFT and
+    # goodput at equal KV budget --------------------------------------
+    by_share = {p.share_prob: p for p in hit_points}
+    assert by_share[0.0].hit_rate == 0.0
+    assert by_share[0.9].hit_rate > 0.3
+    assert by_share[0.9].ttft_p50_cached_s < by_share[0.9].ttft_p50_uncached_s
+    for p in hit_points:
+        assert p.completed_cached == p.completed_uncached
+        assert p.goodput_cached >= p.goodput_uncached
+    # The pressured agentic_fanout scenario: measurably higher goodput
+    # AND lower TTFT with caching on.
+    assert cached.goodput > uncached.goodput + 0.02
+    assert cached.ttft_percentile(50) < uncached.ttft_percentile(50)
+    assert cached.prefix_hit_rate > 0.0
+
+    # -- acceptance: the swap-vs-recompute crossover exists and AUTO
+    # tracks the cheaper branch on both sides --------------------------
+    assert any(p.swap_wins for p in crossover)
+    assert any(not p.swap_wins for p in crossover)
+    for p in crossover:
+        assert p.preemptions > 0
+        if p.swap_wins:
+            assert p.auto_swap_fraction > 0.5
+        else:
+            assert p.auto_swap_fraction < 0.5
+            # AUTO must not pay the slow-link swap penalty.
+            assert p.e2e_p95_auto_s <= p.e2e_p95_swap_s + 1e-9
+
+    JSON_PATH.write_text(json.dumps({
+        "prefix_hit_sweep": [
+            {
+                "share_prob": p.share_prob,
+                "hit_rate": p.hit_rate,
+                "goodput_uncached": p.goodput_uncached,
+                "goodput_cached": p.goodput_cached,
+                "ttft_p50_uncached_s": p.ttft_p50_uncached_s,
+                "ttft_p50_cached_s": p.ttft_p50_cached_s,
+                "tokens_per_s_uncached": p.tokens_per_s_uncached,
+                "tokens_per_s_cached": p.tokens_per_s_cached,
+            }
+            for p in hit_points
+        ],
+        "swap_crossover": [
+            {
+                "host_link_gbps": p.host_link_gbps,
+                "swap_s": p.swap_s,
+                "recompute_s": p.recompute_s,
+                "auto_swap_fraction": p.auto_swap_fraction,
+                "e2e_p95_recompute_s": p.e2e_p95_recompute_s,
+                "e2e_p95_swap_s": p.e2e_p95_swap_s,
+                "e2e_p95_auto_s": p.e2e_p95_auto_s,
+            }
+            for p in crossover
+        ],
+        "agentic_fanout": {
+            "goodput_uncached": uncached.goodput,
+            "goodput_cached": cached.goodput,
+            "ttft_p50_uncached_s": uncached.ttft_percentile(50),
+            "ttft_p50_cached_s": cached.ttft_percentile(50),
+            "hit_rate": cached.prefix_hit_rate,
+            "swap_bytes": cached.total_swap_bytes,
+        },
+    }, indent=2) + "\n")
+    emit(f"wrote {JSON_PATH.name}")

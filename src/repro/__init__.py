@@ -14,6 +14,9 @@ Public API highlights:
   (RPU/GPU/custom SKUs behind one prefill/decode/KV contract);
 - :mod:`repro.serving` -- disaggregated serving: single query to
   fleet-scale continuous batching with paged KV;
+- :mod:`repro.serving.kvstore` -- the KV cache hierarchy: ref-counted
+  prefix cache (radix trie, copy-on-write) + host swap tier with the
+  swap-vs-recompute cost model;
 - :mod:`repro.api` -- declarative :class:`Scenario` runner (model +
   traffic + fleet + SLO in, :class:`ClusterReport` out);
 - :mod:`repro.specdec` -- the speculative-decoding throughput model;
@@ -43,6 +46,8 @@ from repro.platform import GpuPlatform, Platform, RpuPlatform
 from repro.serving import (
     ClusterConfig,
     ClusterReport,
+    KvBlockStore,
+    SwapPolicy,
     disaggregated_cluster,
     gpu_only_cluster,
     simulate,
@@ -56,6 +61,7 @@ __all__ = [
     "ClusterReport",
     "ComputeUnit",
     "GpuPlatform",
+    "KvBlockStore",
     "Package",
     "Platform",
     "PodGroup",
@@ -63,6 +69,7 @@ __all__ = [
     "RpuPlatform",
     "RpuSystem",
     "Scenario",
+    "SwapPolicy",
     "TrafficSpec",
     "Workload",
     "disaggregated_cluster",

@@ -25,11 +25,24 @@ Three experiments over :mod:`repro.serving.cluster`:
   the reasoning mix.  Full-context reservation strands most of the
   budget on 2k-prompt/4k-reasoning traffic; the paged pool turns that
   stranded capacity into batch depth, so goodput and decode throughput
-  rise at every budget tight enough to bind.
+  rise at every budget tight enough to bind;
+- **prefix_hit_sweep**: the KV cache hierarchy's first lever.  Identical
+  shared-prefix traffic (agentic fan-out groups) served with prefix
+  caching off and on at each sharing level: hit rate climbs with the
+  share probability, and the cached fleet converts it into lower TTFT
+  (skipped prefill + hand-off) and higher goodput at equal KV budget;
+- **swap_crossover_sweep**: the hierarchy's second lever.  Preemption
+  under a tight block pool resolved by recompute-on-resume vs
+  swap-to-host at each host-link bandwidth: the analytic cost model
+  (:func:`repro.serving.kvstore.swap_recompute_costs`) crosses over as
+  the link slows (and as prompts lengthen, since re-prefill FLOPs grow
+  superlinearly with context), and ``SwapPolicy.AUTO`` tracks the
+  cheaper branch on both sides.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 from repro.analysis.perf_model import iso_tdp_system
@@ -45,9 +58,11 @@ from repro.serving.cluster import (
     gpu_only_cluster,
     simulate,
 )
+from repro.serving.kvstore import SwapPolicy, swap_recompute_costs
 from repro.serving.requests import (
     ArrivalProcess,
     RequestGenerator,
+    TrafficClass,
     reasoning_traffic,
 )
 from repro.serving.scheduler import Policy, Reservation
@@ -294,6 +309,213 @@ def fleet_layout_comparison(
         )
         reports[label] = simulate(config, requests)
     return reports
+
+
+@dataclass(frozen=True)
+class PrefixCachePoint:
+    """Cached vs uncached serving of one shared-prefix traffic level."""
+
+    share_prob: float
+    #: Prefix-cache hit rate realized by the cached run (tokens served
+    #: from resident blocks / tokens looked up).
+    hit_rate: float
+    goodput_uncached: float
+    goodput_cached: float
+    ttft_p50_uncached_s: float
+    ttft_p50_cached_s: float
+    tokens_per_s_uncached: float
+    tokens_per_s_cached: float
+    completed_uncached: int
+    completed_cached: int
+
+
+def prefix_hit_sweep(
+    model: ModelConfig,
+    *,
+    share_probs: tuple[float, ...] = (0.0, 0.5, 0.9),
+    prefix_fanout: int = 8,
+    prefix_frac: float = 0.75,
+    rate_rps: float = 6.0,
+    duration_s: float = 20.0,
+    prompt_mean: int = 2048,
+    decode_mean: int = 512,
+    num_prefill_pods: int = 2,
+    num_decode_pods: int = 1,
+    cus_per_pod: int = 128,
+    kv_budget_gb: float = 4.0,
+    seed: int = 0,
+) -> list[PrefixCachePoint]:
+    """Prefix caching off vs on across sharing levels, at equal KV
+    budget on identical traffic.
+
+    Each point generates agentic-fan-out traffic whose arrivals join an
+    open prefix group with probability ``share_prob`` (groups of
+    ``prefix_fanout`` sharing ``prefix_frac`` of the founder's prompt)
+    and serves it twice on the same fleet.  As sharing rises, the
+    cached fleet's hit rate climbs and shows up as lower TTFT (cached
+    tokens skip prefill and the hand-off) and higher goodput (skipped
+    block allocations deepen the batch at the same budget).
+    """
+    points = []
+    for share_prob in share_probs:
+        traffic = TrafficClass(
+            model,
+            prompt_mean=prompt_mean,
+            decode_mean=decode_mean,
+            prefix_share_prob=share_prob,
+            prefix_fanout=prefix_fanout,
+            prefix_frac=prefix_frac,
+        )
+        requests = RequestGenerator(
+            classes=(traffic,), rate_rps=rate_rps, seed=seed
+        ).generate(duration_s)
+        base = disaggregated_cluster(
+            model,
+            num_prefill_pods=num_prefill_pods,
+            num_decode_pods=num_decode_pods,
+            cus_per_pod=cus_per_pod,
+            kv_budget_bytes=kv_budget_gb * 1e9,
+        )
+        uncached = simulate(base, requests)
+        cached = simulate(
+            dataclasses.replace(base, prefix_caching=True), requests
+        )
+        points.append(
+            PrefixCachePoint(
+                share_prob=share_prob,
+                hit_rate=cached.prefix_hit_rate,
+                goodput_uncached=uncached.goodput,
+                goodput_cached=cached.goodput,
+                ttft_p50_uncached_s=uncached.ttft_percentile(50),
+                ttft_p50_cached_s=cached.ttft_percentile(50),
+                tokens_per_s_uncached=uncached.arrival_window_tokens_per_s,
+                tokens_per_s_cached=cached.arrival_window_tokens_per_s,
+                completed_uncached=len(uncached.completed),
+                completed_cached=len(cached.completed),
+            )
+        )
+    return points
+
+
+@dataclass(frozen=True)
+class SwapCrossoverPoint:
+    """Recompute vs swap-to-host preemption at one (prompt, link) point."""
+
+    prompt_mean: int
+    host_link_gbps: float
+    #: Analytic per-victim costs at the representative context
+    #: (:func:`repro.serving.kvstore.swap_recompute_costs`).
+    swap_s: float
+    recompute_s: float
+    #: Fraction of AUTO-policy preemptions resolved by swapping (1.0 on
+    #: the fast-link side of the crossover, 0.0 on the slow side).
+    auto_swap_fraction: float
+    e2e_p95_recompute_s: float
+    e2e_p95_swap_s: float
+    e2e_p95_auto_s: float
+    preemptions: int
+
+    @property
+    def swap_wins(self) -> bool:
+        """Does the cost model favor swapping at this point?"""
+        return self.swap_s < self.recompute_s
+
+
+def swap_crossover_sweep(
+    model: ModelConfig,
+    *,
+    host_link_gbps: tuple[float, ...] = (400.0, 100.0, 25.0, 6.0, 1.5),
+    prompt_means: tuple[int, ...] = (2048,),
+    decode_mean: int = 4096,
+    rate_rps: float = 2.0,
+    duration_s: float = 20.0,
+    num_prefill_pods: int = 2,
+    num_decode_pods: int = 1,
+    cus_per_pod: int = 128,
+    kv_budget_gb: float = 3.0,
+    seed: int = 0,
+) -> list[SwapCrossoverPoint]:
+    """Preemption resolution across host-link bandwidths (and prompt
+    lengths): recompute-on-resume vs swap-to-host vs the AUTO cost
+    model, on identical traffic under a deliberately tight block pool.
+
+    Swapping moves the victim's resident KV across the host link twice;
+    recomputing re-pays the context prefill plus the hand-off.  Both
+    scale with context, but re-prefill FLOPs grow superlinearly
+    (attention) while swap bytes grow linearly -- so swap wins on fast
+    links and long prompts, recompute on slow links and short prompts,
+    and the sweep exhibits the crossover along both axes.  AUTO should
+    match whichever pure policy is cheaper at every point.
+    """
+    from repro.models.dtypes import DType
+    from repro.models.kv_cache import kv_cache_bytes
+    from repro.platform import GpuPlatform
+    from repro.platform.base import KV_TRANSFER_BYTES_PER_S
+
+    prefill_platform = GpuPlatform(GpuSystem(count=2))
+    points = []
+    for prompt_mean in prompt_means:
+        traffic = TrafficClass(
+            model, prompt_mean=prompt_mean, decode_mean=decode_mean
+        )
+        requests = RequestGenerator(
+            classes=(traffic,), rate_rps=rate_rps, seed=seed
+        ).generate(duration_s)
+        base = disaggregated_cluster(
+            model,
+            num_prefill_pods=num_prefill_pods,
+            num_decode_pods=num_decode_pods,
+            cus_per_pod=cus_per_pod,
+            kv_budget_bytes=kv_budget_gb * 1e9,
+        )
+        # Representative victim: full prompt plus half the reasoning.
+        context = prompt_mean + decode_mean // 2
+        resident = kv_cache_bytes(model, context, 1, DType.FP8)
+        for gbps in host_link_gbps:
+            host_rate = gbps * 1e9 / 8.0
+            swap_s, recompute_s = swap_recompute_costs(
+                model,
+                context,
+                resident,
+                prefill_platform=prefill_platform,
+                kv_dtype=DType.FP8,
+                handoff_bytes_per_s=KV_TRANSFER_BYTES_PER_S,
+                host_bytes_per_s=host_rate,
+            )
+            reports = {
+                policy: simulate(
+                    dataclasses.replace(
+                        base, swap_policy=policy, swap_bytes_per_s=host_rate
+                    ),
+                    requests,
+                )
+                for policy in (
+                    SwapPolicy.NEVER, SwapPolicy.ALWAYS, SwapPolicy.AUTO
+                )
+            }
+            auto = reports[SwapPolicy.AUTO]
+            points.append(
+                SwapCrossoverPoint(
+                    prompt_mean=prompt_mean,
+                    host_link_gbps=gbps,
+                    swap_s=swap_s,
+                    recompute_s=recompute_s,
+                    auto_swap_fraction=(
+                        auto.total_swaps / auto.total_preemptions
+                        if auto.total_preemptions
+                        else 0.0
+                    ),
+                    e2e_p95_recompute_s=reports[
+                        SwapPolicy.NEVER
+                    ].e2e_percentile(95),
+                    e2e_p95_swap_s=reports[
+                        SwapPolicy.ALWAYS
+                    ].e2e_percentile(95),
+                    e2e_p95_auto_s=auto.e2e_percentile(95),
+                    preemptions=auto.total_preemptions,
+                )
+            )
+    return points
 
 
 def gpu_vs_disaggregated(

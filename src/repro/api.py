@@ -45,6 +45,7 @@ from repro.serving.cluster import (
     simulate,
 )
 from repro.serving.disaggregated import INTERACTION_THRESHOLD_S
+from repro.serving.kvstore import SwapPolicy
 from repro.serving.requests import (
     ArrivalProcess,
     Request,
@@ -78,6 +79,12 @@ class TrafficSpec:
     priority: int = 0
     burst_factor: float = 4.0
     burst_dwell_s: float = 5.0
+    #: Shared-prefix structure (see :class:`TrafficClass`): probability
+    #: an arrival joins the open prefix group, group size, and the
+    #: shared fraction of the founder's prompt.  0.0 disables sharing.
+    prefix_share_prob: float = 0.0
+    prefix_fanout: int = 8
+    prefix_frac: float = 0.5
     classes: tuple[TrafficClass, ...] | None = None
 
     def traffic_classes(self, model: ModelConfig) -> tuple[TrafficClass, ...]:
@@ -91,6 +98,9 @@ class TrafficSpec:
                 prompt_sigma=self.prompt_sigma,
                 decode_sigma=self.decode_sigma,
                 priority=self.priority,
+                prefix_share_prob=self.prefix_share_prob,
+                prefix_fanout=self.prefix_fanout,
+                prefix_frac=self.prefix_frac,
             ),
         )
 
@@ -164,6 +174,13 @@ class Scenario:
     block_tokens: int = 128
     chunk_tokens: int = 512
     kv_budget_bytes: float | None = None
+    #: KV cache hierarchy (see :mod:`repro.serving.kvstore`):
+    #: cross-request prefix caching on decode pods, and what preemption
+    #: does with a victim's KV (recompute / swap-to-host / cost model).
+    prefix_caching: bool = False
+    swap_policy: SwapPolicy = SwapPolicy.NEVER
+    host_kv_bytes: float | None = None
+    swap_bytes_per_s: float | None = None
     #: Colocated fleets (decode shares the prefill box) pay no KV
     #: hand-off; disaggregated fleets pay each decode platform's
     #: ingest rate.
@@ -208,6 +225,10 @@ class Scenario:
             chunk_tokens=self.chunk_tokens,
             kv_budget_bytes=self.kv_budget_bytes,
             slo_s=self.slo_s,
+            prefix_caching=self.prefix_caching,
+            swap_policy=self.swap_policy,
+            host_kv_bytes=self.host_kv_bytes,
+            swap_bytes_per_s=self.swap_bytes_per_s,
         )
 
     def requests(self) -> list[Request]:
@@ -244,8 +265,10 @@ def chatbot(model: ModelConfig, **overrides: object) -> Scenario:
 
 
 def agentic_fanout(model: ModelConfig, **overrides: object) -> Scenario:
-    """Agentic tool-calling: bursts of sub-queries sharing long system
-    prompts; SJF keeps the many short jobs flowing during bursts."""
+    """Agentic tool-calling: bursts of sub-queries fanned off shared
+    parent prompts (each group of ~8 shares 3/4 of its founder's
+    prompt), with prefix caching on so the shared context is computed
+    once per pod; SJF keeps the many short jobs flowing during bursts."""
     settings: dict = dict(
         model=model,
         name="agentic_fanout",
@@ -255,10 +278,14 @@ def agentic_fanout(model: ModelConfig, **overrides: object) -> Scenario:
             burst_factor=6.0,
             prompt_mean=2048,
             decode_mean=512,
+            prefix_share_prob=0.85,
+            prefix_fanout=8,
+            prefix_frac=0.75,
         ),
         prefill=(PodGroup("gpu", count=2),),
         decode=(PodGroup("rpu", count=2),),
         policy=Policy.SJF,
+        prefix_caching=True,
     )
     settings.update(overrides)
     return Scenario(**settings)

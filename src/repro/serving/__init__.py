@@ -8,7 +8,10 @@ GPU and RPU models into that end-to-end query pipeline -- one query at a
 time in :mod:`repro.serving.disaggregated`, and full fleet traffic with
 continuous batching in :mod:`repro.serving.cluster` -- and reports the
 interactive-latency metrics the paper motivates (TTFT, TPOT, goodput
-against the ~10 s interaction threshold).
+against the ~10 s interaction threshold).  Decode-pod KV lives in
+:mod:`repro.serving.kvstore`: a block store with a ref-counted prefix
+cache (shared system prompts / agentic fan-out reuse resident blocks)
+and a host swap tier for preempted sequences.
 """
 
 from repro.serving.cluster import (
@@ -24,6 +27,12 @@ from repro.serving.disaggregated import (
     INTERACTION_THRESHOLD_S,
     DisaggregatedSystem,
     QueryResult,
+)
+from repro.serving.kvstore import (
+    KvBlockStore,
+    KvStoreStats,
+    SwapPolicy,
+    swap_recompute_costs,
 )
 from repro.serving.requests import (
     ArrivalProcess,
@@ -48,15 +57,19 @@ __all__ = [
     "DecodePodSpec",
     "DisaggregatedSystem",
     "INTERACTION_THRESHOLD_S",
+    "KvBlockStore",
+    "KvStoreStats",
     "Policy",
     "QueryResult",
     "Request",
     "RequestGenerator",
     "Reservation",
+    "SwapPolicy",
     "TrafficClass",
     "disaggregated_cluster",
     "gpu_only_cluster",
     "reasoning_traffic",
     "simulate",
+    "swap_recompute_costs",
     "truncated_lognormal_mean",
 ]

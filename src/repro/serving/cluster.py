@@ -18,6 +18,19 @@ Splitwise/Dynamo).  A cluster is
   bandwidth (the Ring Station's 100 GbE by default; ``float("inf")``
   models colocated serving).
 
+Each decode pod's block pool is a :class:`repro.serving.kvstore.KvBlockStore`
+-- a two-tier cache hierarchy.  With ``prefix_caching`` enabled,
+requests sharing a prompt prefix (``Request.prefix_id``; agentic
+fan-out, shared system prompts) are routed to the pod already holding
+the prefix, pin its resident ref-counted blocks at arrival, and skip
+the prefill, the hand-off transfer and the block allocation for those
+tokens.  With a ``swap_policy`` other than ``NEVER``, preemption can
+swap a victim's private KV to the host tier over the Ring Station host
+link instead of recomputing it on resume -- ``SwapPolicy.AUTO`` picks
+per victim by the transfer-bytes-vs-re-prefill cost model.  Both
+features default off, in which case results are bit-identical to the
+pre-hierarchy simulator.
+
 Every pod consumes the hardware-agnostic
 :class:`repro.platform.Platform` interface, so *any* platform can fill
 *any* role: the paper's GPU-prefill/RPU-decode deployment, an all-GPU
@@ -52,6 +65,7 @@ from repro.models.kv_cache import kv_cache_bytes
 from repro.models.workload import Workload
 from repro.platform import GpuPlatform, Platform, RpuPlatform, as_platform
 from repro.serving.disaggregated import INTERACTION_THRESHOLD_S
+from repro.serving.kvstore import KvBlockStore, SwapPolicy, swap_recompute_costs
 from repro.serving.requests import Request
 from repro.serving.scheduler import ContinuousBatchScheduler, Policy, Reservation
 from repro.util.stats import mean, percentile
@@ -147,6 +161,11 @@ class DecodePod:
         """The platform's underlying system (compatibility accessor)."""
         return self.platform.engine
 
+    @property
+    def store(self) -> KvBlockStore:
+        """The pod's KV block store (pool + prefix cache + swap tier)."""
+        return self.scheduler.store
+
     def step_cost(self, batch_size: int, context_len: int) -> tuple[float, float]:
         """(latency, energy) of one decode step for the current batch."""
         if context_len > STEP_CONTEXT_BUCKET:
@@ -208,10 +227,13 @@ class ClusterConfig:
     max_batch: int = 128
     weight_dtype: DType = DType.MXFP4
     kv_dtype: DType = DType.FP8
-    #: KV hand-off bandwidth override.  ``None`` charges each decode
-    #: platform's own ingest rate (100 GbE by default);
-    #: ``float("inf")`` models colocated decode (the GPU-only baseline
-    #: pays no transfer).
+    #: KV hand-off bandwidth override in bytes/s.  The sentinel ``None``
+    #: (the default) means "each decode platform's own ingest rate" --
+    #: :attr:`repro.platform.Platform.kv_ingest_bytes_per_s`, the Ring
+    #: Station's 100 GbE unless the platform overrides it.  A finite
+    #: value pins every hand-off to that rate; ``float("inf")`` models
+    #: colocated decode (the GPU-only baseline pays no transfer).
+    #: Zero/negative/NaN values are rejected.
     kv_transfer_bytes_per_s: float | None = None
     #: KV reservation policy on decode pods.  PAGED (the vLLM block
     #: model) is the fleet default; FULL keeps the conservative
@@ -226,6 +248,24 @@ class ClusterConfig:
     #: Interactive SLO: a completed query counts toward goodput iff its
     #: end-to-end latency is within this bound.
     slo_s: float = INTERACTION_THRESHOLD_S
+    #: Cross-request prefix caching on decode pods (PAGED only):
+    #: requests carrying a ``prefix_id`` reuse resident shared-prefix
+    #: blocks -- skipping their prefill, hand-off transfer and block
+    #: allocation -- and routing prefers pods already holding the
+    #: prefix.  Off by default: disabled runs are bit-identical to the
+    #: pre-kvstore simulator.
+    prefix_caching: bool = False
+    #: What preemption does with a victim's KV: recompute-on-resume
+    #: (NEVER, the default), swap private bytes to the host tier over
+    #: the Ring Station host link (ALWAYS), or pick per victim by the
+    #: transfer-bytes-vs-re-prefill-FLOPs cost model (AUTO).
+    swap_policy: SwapPolicy = SwapPolicy.NEVER
+    #: Host swap-tier capacity per decode pod (bytes); ``None`` models
+    #: unbounded host memory.
+    host_kv_bytes: float | None = None
+    #: Host-link bandwidth for swap traffic (bytes/s).  ``None`` = the
+    #: decode platform's ingest rate (the Ring Station host link).
+    swap_bytes_per_s: float | None = None
 
     def __post_init__(self) -> None:
         if not self.prefill_engines:
@@ -236,6 +276,23 @@ class ClusterConfig:
             raise ValueError("kv_budget_bytes override must be positive")
         if self.slo_s <= 0:
             raise ValueError("slo_s must be positive")
+        if self.kv_transfer_bytes_per_s is not None and not (
+            self.kv_transfer_bytes_per_s > 0
+        ):
+            raise ValueError(
+                "kv_transfer_bytes_per_s must be positive (None = decode "
+                "platform ingest rate, float('inf') = colocated), got "
+                f"{self.kv_transfer_bytes_per_s}"
+            )
+        if self.swap_bytes_per_s is not None and not self.swap_bytes_per_s > 0:
+            raise ValueError(
+                "swap_bytes_per_s must be positive (None = decode platform "
+                f"ingest rate), got {self.swap_bytes_per_s}"
+            )
+        if self.host_kv_bytes is not None and self.host_kv_bytes <= 0:
+            raise ValueError("host_kv_bytes must be positive (or None)")
+        if self.prefix_caching and self.reservation is not Reservation.PAGED:
+            raise ValueError("prefix_caching requires the PAGED reservation")
 
 
 def disaggregated_cluster(
@@ -334,6 +391,12 @@ class RequestRecord:
     #: Times this request was preempted off a decode pod (paged KV);
     #: each preemption re-pays prefill and the KV hand-off.
     num_preemptions: int = 0
+    #: Preemptions resolved by a host swap round trip instead of a
+    #: recompute pass (a subset of ``num_preemptions``).
+    num_swaps: int = 0
+    #: Prefix tokens served from the decode pod's cache on the last
+    #: prefill pass (those tokens skipped prefill and the hand-off).
+    cached_prefix_tokens: int = 0
     #: Decode progress preserved across the last preemption (the
     #: resume recomputes prompt + this many tokens at prefill speed).
     resume_tokens: int = 0
@@ -391,9 +454,26 @@ class PodStats:
     kv_occupancy: float = 0.0
     #: Platform label of the pod's hardware ("" for legacy records).
     platform: str = ""
+    #: Prefix-cache activity (decode pods): tokens looked up / served
+    #: from resident blocks, and shared tails privatized on divergence.
+    prefix_lookup_tokens: int = 0
+    prefix_hit_tokens: int = 0
+    cow_copies: int = 0
+    #: Host swap-tier traffic (decode pods).
+    swap_outs: int = 0
+    swap_ins: int = 0
+    swap_out_bytes: float = 0.0
+    swap_in_bytes: float = 0.0
 
     def utilization(self, elapsed_s: float) -> float:
         return min(self.busy_s / elapsed_s, 1.0) if elapsed_s > 0 else 0.0
+
+    @property
+    def prefix_hit_rate(self) -> float:
+        """Fraction of looked-up prefix tokens served from the cache."""
+        if self.prefix_lookup_tokens == 0:
+            return 0.0
+        return self.prefix_hit_tokens / self.prefix_lookup_tokens
 
 
 @dataclass(frozen=True)
@@ -498,6 +578,32 @@ class ClusterReport:
             return in_window / self.last_arrival_s
         return self.completed_rps
 
+    # -- cache hierarchy ----------------------------------------------
+    @property
+    def prefix_lookup_tokens(self) -> int:
+        return sum(p.prefix_lookup_tokens for p in self.pod_stats)
+
+    @property
+    def prefix_hit_tokens(self) -> int:
+        return sum(p.prefix_hit_tokens for p in self.pod_stats)
+
+    @property
+    def prefix_hit_rate(self) -> float:
+        """Fleet-wide prefix-cache hit rate (tokens served from
+        resident blocks / tokens looked up; 0.0 when caching is off)."""
+        lookups = self.prefix_lookup_tokens
+        return self.prefix_hit_tokens / lookups if lookups else 0.0
+
+    @property
+    def total_swaps(self) -> int:
+        """Preemptions resolved through the host swap tier."""
+        return sum(p.swap_outs for p in self.pod_stats)
+
+    @property
+    def total_swap_bytes(self) -> float:
+        """Bytes that crossed the host link (swap-out + swap-in)."""
+        return sum(p.swap_out_bytes + p.swap_in_bytes for p in self.pod_stats)
+
     # -- paged-KV health ----------------------------------------------
     @property
     def total_preemptions(self) -> int:
@@ -550,6 +656,13 @@ class ClusterReport:
         table.add_row(["decode KV occupancy",
                        f"{self.mean_decode_kv_occupancy:.0%}"])
         table.add_row(["preemptions", f"{self.total_preemptions}"])
+        if self.prefix_lookup_tokens:
+            table.add_row(["prefix cache hit rate",
+                           f"{self.prefix_hit_rate:.0%}"])
+        if self.total_swaps:
+            table.add_row(["KV swaps (host tier)",
+                           f"{self.total_swaps} "
+                           f"({self.total_swap_bytes / 1e9:.1f} GB moved)"])
         table.add_row(["fleet energy (kJ)", f"{self.total_energy_j / 1e3:.1f}"])
         for pod in self.pod_stats:
             label = f"{pod.pod_id} utilization"
@@ -563,7 +676,7 @@ class ClusterReport:
 # ----------------------------------------------------------------------
 # The simulator
 # ----------------------------------------------------------------------
-_ARRIVAL, _PREFILL_DONE, _KV_ARRIVE, _STEP, _RESUME = range(5)
+_ARRIVAL, _PREFILL_DONE, _KV_ARRIVE, _STEP, _RESUME, _SWAP_BACK = range(6)
 
 
 class ClusterSim:
@@ -586,32 +699,85 @@ class ClusterSim:
             for i, engine in enumerate(config.prefill_engines)
         ]
         self.decode_pods = []
+        self._recompute_cache: dict[tuple[str, int, float], float] = {}
         for i, spec in enumerate(config.decode_pods):
             platform = as_platform(spec.engine, warn=True)
             budget = config.kv_budget_bytes or platform.kv_budget_bytes(
                 spec.model, config.weight_dtype
             )
-            self.decode_pods.append(
-                DecodePod(
-                    pod_id=f"decode{i}",
-                    model=spec.model,
-                    platform=platform,
-                    scheduler=ContinuousBatchScheduler(
-                        kv_budget_bytes=budget,
-                        max_batch=config.max_batch,
-                        policy=config.policy,
-                        kv_dtype=config.kv_dtype,
-                        reservation=config.reservation,
-                        block_tokens=config.block_tokens,
-                        chunk_tokens=config.chunk_tokens,
-                        # The cluster re-routes preempted requests
-                        # through a prefill pod (recompute-on-resume).
-                        requeue_preempted=False,
-                    ),
-                    weight_dtype=config.weight_dtype,
+            pod = DecodePod(
+                pod_id=f"decode{i}",
+                model=spec.model,
+                platform=platform,
+                scheduler=ContinuousBatchScheduler(
+                    kv_budget_bytes=budget,
+                    max_batch=config.max_batch,
+                    policy=config.policy,
                     kv_dtype=config.kv_dtype,
-                )
+                    reservation=config.reservation,
+                    block_tokens=config.block_tokens,
+                    chunk_tokens=config.chunk_tokens,
+                    store=KvBlockStore(
+                        budget_bytes=budget,
+                        prefix_caching=config.prefix_caching,
+                        host_capacity_bytes=config.host_kv_bytes,
+                    ),
+                    # The cluster re-routes preempted requests
+                    # through a prefill pod (recompute-on-resume).
+                    requeue_preempted=False,
+                ),
+                weight_dtype=config.weight_dtype,
+                kv_dtype=config.kv_dtype,
             )
+            pod.scheduler.swap_decider = self._swap_decider(pod)
+            self.decode_pods.append(pod)
+
+    # -- swap cost model -----------------------------------------------
+    def _swap_rate(self, pod: DecodePod) -> float:
+        """Host-link bandwidth for ``pod``'s swap traffic."""
+        if self.config.swap_bytes_per_s is not None:
+            return self.config.swap_bytes_per_s
+        return pod.platform.kv_ingest_bytes_per_s
+
+    def _swap_decider(self, pod: DecodePod):
+        """The per-victim swap-vs-recompute choice the scheduler calls
+        at preemption time, per the configured :class:`SwapPolicy`."""
+        policy = self.config.swap_policy
+        if policy is SwapPolicy.NEVER:
+            return None
+        if policy is SwapPolicy.ALWAYS:
+            return lambda entry: True
+
+        def decide(entry) -> bool:
+            context = entry.request.prompt_len + entry.tokens_done
+            swap_s = 2.0 * entry.kv_reserved_bytes / self._swap_rate(pod)
+            return swap_s < self._recompute_estimate(pod, entry.request.model,
+                                                     context)
+
+        return decide
+
+    def _recompute_estimate(
+        self, pod: DecodePod, model: ModelConfig, context_tokens: int
+    ) -> float:
+        """Service time of a recompute resume: re-prefill of the whole
+        context on a prefill platform plus the KV hand-off (queueing
+        excluded -- this is the steady-state cost model)."""
+        handoff = self._kv_ingest_rate(pod)
+        key = (model.name, context_tokens, handoff)
+        cached = self._recompute_cache.get(key)
+        if cached is None:
+            _, cached = swap_recompute_costs(
+                model,
+                context_tokens,
+                0.0,  # swap side unused here
+                prefill_platform=self.prefill_pods[0].platform,
+                kv_dtype=self.config.kv_dtype,
+                handoff_bytes_per_s=handoff,
+                host_bytes_per_s=1.0,
+                weight_dtype=self.config.weight_dtype,
+            )
+            self._recompute_cache[key] = cached
+        return cached
 
     # -- event plumbing ------------------------------------------------
     def _push(self, when: float, kind: int, payload: object) -> None:
@@ -638,14 +804,79 @@ class ClusterSim:
             return None
         return min(hosts, key=lambda pod: (pod.outstanding_tokens(), pod.pod_id))
 
+    def _affinity_pod(self, request: Request) -> DecodePod | None:
+        """Feasible decode pod holding the most resident tokens of the
+        request's prefix (ties broken toward lower load); None when no
+        pod has any of it cached."""
+        best: DecodePod | None = None
+        best_key: tuple[int, int, str] = (0, 0, "")
+        for pod in self.decode_pods:
+            if (
+                pod.model.name != request.model.name
+                or not pod.scheduler.fits_ever(request)
+            ):
+                continue
+            cached = pod.store.peek_prefix(
+                request.model.name, request.prefix_id, request.prefix_len,
+                self.config.block_tokens,
+            )
+            if cached <= 0:
+                continue
+            key = (cached, -pod.outstanding_tokens(), pod.pod_id)
+            if best is None or key > best_key:
+                best, best_key = pod, key
+        return best
+
+    def _acquire_prefix(self, record: RequestRecord) -> int:
+        """Cache-affinity path: pin the resident prefix on the best pod
+        (blocks are ref-counted, so they survive until admission) and
+        route the request there.  Returns the cached token count."""
+        request = record.request
+        if (
+            not self.config.prefix_caching
+            or request.prefix_id is None
+            or request.prefix_len <= 0
+        ):
+            return 0
+        pod = self._affinity_pod(request)
+        if pod is None:
+            # Nothing resident anywhere (e.g. the group founder's
+            # prefill is still in flight -- the cache is consulted at
+            # arrival time).  Count the miss where the request will
+            # land so the reported hit rate is honest.
+            target = self._route_decode(request)
+            if target is not None:
+                target.store.record_prefix_miss(request.prefix_len)
+            return 0
+        cached = pod.store.acquire_prefix(
+            request.request_id, request.model.name, request.prefix_id,
+            request.prefix_len, self.config.block_tokens,
+        )
+        if cached:
+            self._pinned[request.request_id] = pod
+        return cached
+
     # -- event handlers ------------------------------------------------
-    def _dispatch_prefill(self, now: float, record: RequestRecord) -> None:
+    def _dispatch_prefill(
+        self, now: float, record: RequestRecord, *, cached_tokens: int = 0
+    ) -> None:
         """Send the request through the least-busy prefill pod (both
-        fresh arrivals and preemption resumes re-paying prefill)."""
-        pod = min(self.prefill_pods, key=lambda p: (p.busy_until_s, p.pod_id))
+        fresh arrivals and preemption resumes re-paying prefill).
+        ``cached_tokens`` of prefix are already resident on the target
+        decode pod, so only the remainder is prefilled (a fully cached
+        context skips the prefill pods entirely)."""
+        record.cached_prefix_tokens = cached_tokens
+        full_context = record.request.prompt_len + record.resume_tokens
+        if cached_tokens >= full_context:
+            # Whole context served from the prefix cache: no prefill
+            # work, straight to the (empty) hand-off.
+            record.prefill_start_s = record.prefill_end_s = now
+            self._push(now, _PREFILL_DONE, record)
+            return
         context = None
-        if record.resume_tokens:
-            context = record.request.prompt_len + record.resume_tokens
+        if record.resume_tokens or cached_tokens:
+            context = full_context - cached_tokens
+        pod = min(self.prefill_pods, key=lambda p: (p.busy_until_s, p.pod_id))
         start, end = pod.serve(record.request, now, context_tokens=context)
         record.prefill_pod = pod.pod_id
         record.prefill_start_s = start
@@ -657,11 +888,15 @@ class ClusterSim:
         if self._route_decode(record.request) is None:
             record.rejected = True
             return
-        self._dispatch_prefill(now, record)
+        self._dispatch_prefill(
+            now, record, cached_tokens=self._acquire_prefix(record)
+        )
 
     def _on_prefill_done(self, now: float, record: RequestRecord) -> None:
         request = record.request
-        pod = self._route_decode(request)
+        pod = self._pinned.pop(request.request_id, None)
+        if pod is None:
+            pod = self._route_decode(request)
         assert pod is not None  # feasibility was checked at arrival
         context_kv = kv_cache_bytes(
             request.model,
@@ -669,6 +904,13 @@ class ClusterSim:
             1,
             self.config.kv_dtype,
         )
+        if record.cached_prefix_tokens:
+            # Cached prefix blocks are already on the pod; only the
+            # freshly prefilled KV crosses the hand-off link.
+            context_kv -= kv_cache_bytes(
+                request.model, record.cached_prefix_tokens, 1,
+                self.config.kv_dtype,
+            )
         transfer_s = context_kv / self._kv_ingest_rate(pod)
         record.decode_pod = pod.pod_id
         pod.in_transfer_tokens += request.decode_len - record.resume_tokens
@@ -717,19 +959,46 @@ class ClusterSim:
         for entry in finished:
             self._records_by_id[entry.request.request_id].completed_s = end
         for queued in pod.scheduler.take_preempted():
-            # Recompute-on-resume: back through a prefill pod (which
-            # recomputes prompt + generated-so-far) and the KV
-            # hand-off, then re-admission wherever load is lowest.
-            # Dispatched via the heap so the prefill pod is not booked
-            # before events that precede the step's end.
             pod.preemptions += 1
             record = self._records_by_id[queued.request.request_id]
             record.num_preemptions = queued.preemptions
             record.resume_tokens = queued.tokens_done
-            self._push(end, _RESUME, record)
+            if queued.swapped:
+                # Swap-to-host: the victim's private bytes round-trip
+                # the host link and re-enter this pod's queue with KV
+                # intact -- no prefill pod, no hand-off re-transfer.
+                record.num_swaps += 1
+                round_trip_s = 2.0 * queued.swap_bytes / self._swap_rate(pod)
+                self._push(end + round_trip_s, _SWAP_BACK, (pod, record))
+            else:
+                # Recompute-on-resume: back through a prefill pod
+                # (which recomputes prompt + generated-so-far) and the
+                # KV hand-off, then re-admission wherever load is
+                # lowest.  Dispatched via the heap so the prefill pod
+                # is not booked before events that precede the step's
+                # end.
+                self._push(end, _RESUME, record)
         pod.busy_s += step_s
         pod.energy_j += step_j
         self._push(end, _STEP, pod)
+
+    def _on_swap_back(self, now: float, pod: DecodePod, record: RequestRecord) -> None:
+        """A swapped sequence's bytes are back on the pod's doorstep:
+        free the host tier and queue for re-admission with its KV,
+        decode progress and (still-pinned) prefix refs intact."""
+        request = record.request
+        pod.store.swap_in(request.request_id)
+        record.transfer_end_s = now
+        pod.scheduler.enqueue(
+            request,
+            now,
+            needs_prefill=False,
+            preemptions=record.num_preemptions,
+            tokens_done=record.resume_tokens,
+        )
+        if not pod.stepping:
+            pod.stepping = True
+            self._push(now, _STEP, pod)
 
     # -- run -----------------------------------------------------------
     def run(self, requests: list[Request]) -> ClusterReport:
@@ -738,6 +1007,8 @@ class ClusterSim:
         self._build_pods()
         self._events: list[tuple[float, int, int, object]] = []
         self._seq = 0
+        #: Requests routed to a decode pod at arrival (cache affinity).
+        self._pinned: dict[int, DecodePod] = {}
         records = [RequestRecord(request=request) for request in requests]
         self._records_by_id = {r.request.request_id: r for r in records}
         if len(self._records_by_id) != len(records):
@@ -757,7 +1028,15 @@ class ClusterSim:
                 pod, record = payload
                 self._on_kv_arrive(now, pod, record)
             elif kind == _RESUME:
-                self._dispatch_prefill(now, payload)
+                # A recompute resume consults the prefix cache exactly
+                # like a fresh arrival: still-resident prefix blocks
+                # need neither re-prefill nor a re-transfer.
+                self._dispatch_prefill(
+                    now, payload, cached_tokens=self._acquire_prefix(payload)
+                )
+            elif kind == _SWAP_BACK:
+                pod, record = payload
+                self._on_swap_back(now, pod, record)
             else:
                 self._on_step(now, payload)
 
@@ -780,6 +1059,13 @@ class ClusterSim:
                         p.kv_occupancy_s / p.busy_s if p.busy_s else 0.0
                     ),
                     platform=p.platform.name,
+                    prefix_lookup_tokens=p.store.stats.lookup_tokens,
+                    prefix_hit_tokens=p.store.stats.hit_tokens,
+                    cow_copies=p.store.stats.cow_copies,
+                    swap_outs=p.store.stats.swap_outs,
+                    swap_ins=p.store.stats.swap_ins,
+                    swap_out_bytes=p.store.stats.swap_out_bytes,
+                    swap_in_bytes=p.store.stats.swap_in_bytes,
                 )
                 for p in self.decode_pods
             ]

@@ -15,6 +15,13 @@ Two arrival processes are modeled:
   periods, keeping the same *average* rate.  Bursts are what stress a
   continuous-batching scheduler's admission control.
 
+Traffic can carry **shared-prefix structure**: with
+``TrafficClass.prefix_share_prob`` set, arrivals join prefix groups
+(same ``Request.prefix_id``, identical first ``prefix_len`` prompt
+tokens -- agentic fan-out sub-queries, shared system prompts) that a
+prefix-caching KV store (:mod:`repro.serving.kvstore`) can serve from
+resident blocks.
+
 Prompt/decode lengths are sampled log-normally (heavy right tail, like
 production traces), *resampling* out-of-bounds draws (bounded retries)
 rather than clamping them -- clamping piles probability mass onto the
@@ -88,12 +95,25 @@ class Request:
     #: Scheduling priority; under paged KV the *lowest*-priority active
     #: request is preempted first when the block pool runs dry.
     priority: int = 0
+    #: Shared-prefix group identity: requests with the same
+    #: ``prefix_id`` start with identical first ``prefix_len`` prompt
+    #: tokens (a shared system prompt, or an agentic fan-out parent
+    #: context), so a prefix-caching KV store can serve those tokens
+    #: from resident blocks.  ``None`` = no shared structure.
+    prefix_id: int | None = None
+    prefix_len: int = 0
 
     def __post_init__(self) -> None:
         if self.prompt_len < 1:
             raise ValueError(f"prompt_len must be >= 1, got {self.prompt_len}")
         if self.decode_len < 1:
             raise ValueError(f"decode_len must be >= 1, got {self.decode_len}")
+        if self.prefix_len < 0 or self.prefix_len > self.prompt_len:
+            raise ValueError(
+                f"prefix_len must be in [0, prompt_len], got {self.prefix_len}"
+            )
+        if self.prefix_id is None and self.prefix_len > 0:
+            raise ValueError("prefix_len > 0 requires a prefix_id")
 
     @property
     def total_len(self) -> int:
@@ -146,12 +166,29 @@ class TrafficClass:
     #: Priority stamped on every request of this class (paged-KV
     #: preemption evicts the lowest priority first).
     priority: int = 0
+    #: Shared-prefix structure: with probability ``prefix_share_prob``
+    #: an arrival joins the class's open prefix group (same
+    #: ``prefix_id``, identical first ``prefix_len`` prompt tokens)
+    #: instead of minting a fresh prefix; groups close after
+    #: ``prefix_fanout`` members.  The group's shared prefix is
+    #: ``prefix_frac`` of its founder's sampled prompt.  0.0 (the
+    #: default) disables sharing and leaves the generated stream --
+    #: including its RNG consumption -- identical to before.
+    prefix_share_prob: float = 0.0
+    prefix_fanout: int = 8
+    prefix_frac: float = 0.5
 
     def __post_init__(self) -> None:
         if self.weight <= 0:
             raise ValueError(f"weight must be > 0, got {self.weight}")
         if self.prompt_mean < self.min_len or self.decode_mean < self.min_len:
             raise ValueError("mean lengths must be >= min_len")
+        if not 0.0 <= self.prefix_share_prob <= 1.0:
+            raise ValueError("prefix_share_prob must be in [0, 1]")
+        if self.prefix_fanout < 1:
+            raise ValueError("prefix_fanout must be >= 1")
+        if not 0.0 < self.prefix_frac <= 1.0:
+            raise ValueError("prefix_frac must be in (0, 1]")
 
     @property
     def expected_prompt_len(self) -> float:
@@ -266,12 +303,50 @@ class RequestGenerator:
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
+    def _assign_prefix(
+        self,
+        rng: random.Random,
+        groups: dict[int, tuple[int, int, int]],
+        class_index: int,
+        cls: TrafficClass,
+        prompt_len: int,
+        next_group: list[int],
+    ) -> tuple[int | None, int]:
+        """Prefix-group assignment for one arrival of ``cls``.
+
+        With probability ``prefix_share_prob`` the arrival joins the
+        class's open group (sharing its prefix, capped at the member's
+        own prompt); otherwise -- or once the group has fanned out
+        ``prefix_fanout`` members -- it founds a new group whose shared
+        prefix is ``prefix_frac`` of its own prompt.  Only called when
+        sharing is enabled, so the disabled path consumes no RNG.
+        """
+        open_group = groups.get(class_index)
+        if open_group is not None and rng.random() < cls.prefix_share_prob:
+            group_id, prefix_len, members = open_group
+            members += 1
+            if members >= cls.prefix_fanout:
+                del groups[class_index]
+            else:
+                groups[class_index] = (group_id, prefix_len, members)
+            return group_id, min(prefix_len, prompt_len)
+        group_id = next_group[0]
+        next_group[0] += 1
+        prefix_len = round(cls.prefix_frac * prompt_len)
+        if prefix_len < 1:
+            return None, 0
+        groups[class_index] = (group_id, prefix_len, 1)
+        return group_id, prefix_len
+
     def generate(self, duration_s: float) -> list[Request]:
         """All requests arriving in ``[0, duration_s)``, sorted by time."""
         if duration_s <= 0:
             raise ValueError(f"duration_s must be > 0, got {duration_s}")
         rng = random.Random(self.seed)
         requests = []
+        groups: dict[int, tuple[int, int, int]] = {}
+        next_group = [0]
+        class_index = {id(cls): i for i, cls in enumerate(self.classes)}
         for index, arrival in enumerate(self._arrival_times(rng, duration_s)):
             cls = self._pick_class(rng)
             prompt = self._sample_length(
@@ -280,6 +355,12 @@ class RequestGenerator:
             decode = self._sample_length(
                 rng, cls.decode_mean, cls.decode_sigma, cls.min_len, cls.max_decode
             )
+            prefix_id: int | None = None
+            prefix_len = 0
+            if cls.prefix_share_prob > 0.0:
+                prefix_id, prefix_len = self._assign_prefix(
+                    rng, groups, class_index[id(cls)], cls, prompt, next_group
+                )
             requests.append(
                 Request(
                     request_id=index,
@@ -288,6 +369,8 @@ class RequestGenerator:
                     prompt_len=prompt,
                     decode_len=decode,
                     priority=cls.priority,
+                    prefix_id=prefix_id,
+                    prefix_len=prefix_len,
                 )
             )
         return requests

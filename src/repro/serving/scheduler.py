@@ -54,9 +54,11 @@ from __future__ import annotations
 import enum
 import math
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.models.dtypes import DType
 from repro.models.kv_cache import kv_bytes_per_token, kv_cache_bytes
+from repro.serving.kvstore import KvBlockStore
 from repro.serving.requests import Request
 
 #: Slack for float-dust comparisons against the KV budget (bytes).
@@ -109,6 +111,10 @@ class QueuedRequest:
     #: Decode progress to resume from (generated tokens survive a
     #: preemption; only their KV must be recomputed).
     tokens_done: int = 0
+    #: Set on preempted requests whose KV went to the host swap tier
+    #: instead of being freed (resume pays the link, not a re-prefill).
+    swapped: bool = False
+    swap_bytes: float = 0.0
 
     @property
     def resume_context(self) -> int:
@@ -133,6 +139,11 @@ class ActiveRequest:
     blocks_held: int = 0
     bytes_per_block: float = 0.0
     preemptions: int = 0
+    #: Shared prefix-cache blocks this sequence references (their bytes
+    #: are charged once in the store, not in ``kv_reserved_bytes``).
+    shared_blocks: int = 0
+    #: Guard so a sequence publishes its prefix into the cache once.
+    prefix_registered: bool = False
 
     @property
     def remaining_tokens(self) -> int:
@@ -177,6 +188,15 @@ class ContinuousBatchScheduler:
     (``requeue_preempted=True``, the standalone recompute model) or
     handed back to the caller via :meth:`take_preempted` for re-routing
     (the cluster model: re-pay prefill on a prefill pod).
+
+    Pool accounting lives in a :class:`~repro.serving.kvstore.KvBlockStore`
+    (one is created privately unless ``store`` is passed in).  With the
+    store's prefix caching enabled, admission pins resident shared-prefix
+    blocks (no allocation, no ingest for those tokens) and sequences
+    publish their prefix blocks once resident; ``swap_decider`` (set by
+    the cluster from its :class:`~repro.serving.kvstore.SwapPolicy`)
+    lets preemption swap a victim's private KV to the host tier instead
+    of freeing it for recompute-on-resume.
     """
 
     kv_budget_bytes: float
@@ -189,9 +209,13 @@ class ContinuousBatchScheduler:
     chunk_tokens: int = 512
     watermark_frac: float = 0.01
     requeue_preempted: bool = True
+    #: Block pool + prefix cache + swap tier; private store by default.
+    store: KvBlockStore | None = None
+    #: Should this preemption victim swap to host instead of recompute?
+    #: ``None`` never swaps (the pre-swap behavior).
+    swap_decider: Callable[[ActiveRequest], bool] | None = None
     queue: list[QueuedRequest] = field(default_factory=list)
     active: list[ActiveRequest] = field(default_factory=list)
-    kv_in_use_bytes: float = 0.0
     num_preemptions: int = 0
     _preempted: list[QueuedRequest] = field(default_factory=list, repr=False)
 
@@ -206,6 +230,19 @@ class ContinuousBatchScheduler:
             raise ValueError("chunk_tokens must be >= 1")
         if not 0.0 <= self.watermark_frac < 1.0:
             raise ValueError("watermark_frac must be in [0, 1)")
+        if self.store is None:
+            self.store = KvBlockStore(self.kv_budget_bytes)
+        elif self.store.budget_bytes != self.kv_budget_bytes:
+            raise ValueError(
+                "store budget must match kv_budget_bytes "
+                f"({self.store.budget_bytes} != {self.kv_budget_bytes})"
+            )
+
+    @property
+    def kv_in_use_bytes(self) -> float:
+        """Bytes held by private leases (the pool ledger the admission
+        checks and occupancy stats are built on)."""
+        return self.store.bytes_in_use
 
     # ------------------------------------------------------------------
     # Reservation accounting
@@ -230,17 +267,22 @@ class ContinuousBatchScheduler:
     def _admission_bytes(self, queued: QueuedRequest) -> float:
         """KV that must be allocated to admit ``queued``: the resident
         context (prompt, plus resumed decode progress) -- never the
-        full-context reservation under PAGED."""
+        full-context reservation under PAGED.  Shared prefix blocks the
+        request already pins in the store need no allocation."""
         request = queued.request
         if self.reservation is Reservation.FULL:
             return self.reservation_bytes(request)
         blocks = self._blocks_for(queued.resume_context)
+        blocks = max(blocks - self.store.pinned_full_blocks(request.request_id), 0)
         return blocks * self.bytes_per_block_for(request)
 
     @property
     def kv_occupancy(self) -> float:
-        """Fraction of the KV budget currently allocated."""
-        return self.kv_in_use_bytes / self.kv_budget_bytes
+        """Fraction of the KV budget currently resident (private leases
+        plus referenced/cached prefix blocks)."""
+        return (
+            self.kv_in_use_bytes + self.store.resident_overhead_bytes
+        ) / self.kv_budget_bytes
 
     # ------------------------------------------------------------------
     # Queue management
@@ -283,18 +325,41 @@ class ContinuousBatchScheduler:
                           preemptions=preemptions, tokens_done=tokens_done)
         )
 
+    def _fits(self, need: float, watermark: float = 0.0) -> bool:
+        """Would allocating ``need`` more bytes stay within budget,
+        reclaiming cached (ref-0) prefix blocks if that is what it
+        takes?  Reclaim only happens when eviction can actually cover
+        the shortfall -- a doomed admissibility probe must not flush
+        the cache as a side effect.  The overhead term is exactly 0.0
+        with prefix caching disabled, so the comparison is
+        bit-identical to the pre-store
+        ``kv_in_use + need + watermark <= budget`` check."""
+        while True:
+            total = (
+                self.kv_in_use_bytes + self.store.resident_overhead_bytes
+                + need + watermark
+            )
+            if total <= self.kv_budget_bytes:
+                return True
+            shortfall = total - self.kv_budget_bytes
+            if self.store.cached_bytes < shortfall:
+                return False
+            if not self.store.reclaim_cached(shortfall):
+                return False
+
     def _admissible(self, queued: QueuedRequest) -> bool:
         if len(self.active) >= self.max_batch:
             return False
         need = self._admission_bytes(queued)
         if self.reservation is Reservation.FULL:
-            return self.kv_in_use_bytes + need <= self.kv_budget_bytes
+            return self._fits(need)
         watermark = self.watermark_frac * self.kv_budget_bytes
-        if self.kv_in_use_bytes + need + watermark <= self.kv_budget_bytes:
+        if self._fits(need, watermark):
             return True
         # An idle pool bypasses the watermark so a budget-filling
-        # request is not stranded forever.
-        return not self.active and need <= self.kv_budget_bytes
+        # request is not stranded forever (with an empty batch the pool
+        # ledger is zero, so this degenerates to need <= budget).
+        return not self.active and self._fits(need)
 
     def admit(self, now: float) -> list[ActiveRequest]:
         """Move waiting requests into the batch (called at each step
@@ -325,24 +390,55 @@ class ContinuousBatchScheduler:
         reserved = self._admission_bytes(queued)
         blocks = 0
         bytes_per_block = 0.0
+        shared_blocks = 0
+        pinned_tokens = 0
         if self.reservation is Reservation.PAGED:
             bytes_per_block = self.bytes_per_block_for(request)
             blocks = round(reserved / bytes_per_block)
+            shared_blocks = self.store.pinned_full_blocks(request.request_id)
+            pinned_tokens = self.store.pinned_tokens(request.request_id)
         entry = ActiveRequest(
             request=request,
             kv_reserved_bytes=reserved,
             admitted_s=now,
             tokens_done=queued.tokens_done,
+            # Cached prefix tokens are already resident on the pod, so
+            # only the remainder of the context streams in.
             prefill_remaining=(
-                queued.resume_context if queued.needs_prefill else 0
+                max(queued.resume_context - pinned_tokens, 0)
+                if queued.needs_prefill
+                else 0
             ),
             blocks_held=blocks,
             bytes_per_block=bytes_per_block,
+            shared_blocks=shared_blocks,
             preemptions=queued.preemptions,
         )
-        self.kv_in_use_bytes += reserved
+        self.store.admit(request.request_id, reserved, blocks, bytes_per_block)
         self.active.append(entry)
+        if not entry.is_prefilling:
+            self._register_prefix(entry)
         return entry
+
+    def _register_prefix(self, entry: ActiveRequest) -> None:
+        """Publish a sequence's resident prefix into the store's index
+        once its context KV is on the pod (PAGED + caching only).
+        Donated blocks move from the private lease to the shared pool,
+        so the entry's private accounting shrinks by as many blocks."""
+        if entry.prefix_registered or self.reservation is not Reservation.PAGED:
+            return
+        entry.prefix_registered = True
+        request = entry.request
+        if request.prefix_id is None or request.prefix_len <= 0:
+            return
+        donated = self.store.register_prefix(
+            request.request_id, request.model.name, request.prefix_id,
+            request.prefix_len, self.block_tokens,
+        )
+        if donated:
+            entry.blocks_held -= donated
+            entry.shared_blocks += donated
+            entry.kv_reserved_bytes = entry.blocks_held * entry.bytes_per_block
 
     # ------------------------------------------------------------------
     # Preemption (PAGED only)
@@ -359,13 +455,28 @@ class ContinuousBatchScheduler:
 
     def _preempt(self, entry: ActiveRequest, now: float, gone: set[int]) -> None:
         self.active.remove(entry)
-        self.kv_in_use_bytes -= entry.kv_reserved_bytes
         self.num_preemptions += 1
-        gone.add(entry.request.request_id)
+        request_id = entry.request.request_id
+        gone.add(request_id)
+        swapped = False
+        swap_bytes = 0.0
+        if (
+            self.swap_decider is not None
+            and self.store.can_swap(entry.kv_reserved_bytes)
+            and self.swap_decider(entry)
+        ):
+            # Swap-to-host: private bytes cross the host link and come
+            # back verbatim on resume -- no re-prefill.  Shared prefix
+            # refs drop to the cache and are re-acquired on resume.
+            swap_bytes = self.store.swap_out(request_id)
+            swapped = True
+        else:
+            self.store.release(request_id)
         queued = QueuedRequest(
-            now, entry.request, needs_prefill=True,
+            now, entry.request, needs_prefill=not swapped,
             preemptions=entry.preemptions + 1,
             tokens_done=entry.tokens_done,
+            swapped=swapped, swap_bytes=swap_bytes,
         )
         if self.requeue_preempted:
             # Resume-first: recompute locally ahead of fresh arrivals.
@@ -376,16 +487,22 @@ class ContinuousBatchScheduler:
     def _make_room(
         self, entry: ActiveRequest, nbytes: float, now: float, gone: set[int]
     ) -> bool:
-        """Free pool space for ``entry`` to grow by ``nbytes``,
-        preempting strictly lower-ordered victims.  If ``entry`` is
-        itself the lowest-ordered active request, it yields (is
-        preempted) instead; returns False in that case.
+        """Free pool space for ``entry`` to grow by ``nbytes``:
+        reclaiming cached prefix blocks first, then preempting strictly
+        lower-ordered victims.  If ``entry`` is itself the
+        lowest-ordered active request, it yields (is preempted)
+        instead; returns False in that case.
 
         Progress guarantee: the highest-ordered active request can
         evict everyone else, and its full footprint fits the budget
         (``fits_ever``), so it always runs to completion.
         """
-        while self.kv_budget_bytes - self.kv_in_use_bytes < nbytes - _EPS_BYTES:
+        while (
+            self.kv_budget_bytes - self.kv_in_use_bytes
+            - self.store.resident_overhead_bytes
+        ) < nbytes - _EPS_BYTES:
+            if self.store.reclaim_cached(nbytes):
+                continue
             my_order = self._victim_order(entry)
             victims = [
                 v for v in self.active
@@ -429,8 +546,10 @@ class ContinuousBatchScheduler:
         return max(1, round(total / len(self.active)))
 
     def _needs_block(self, entry: ActiveRequest) -> bool:
-        """Does emitting the next token overflow the held blocks?"""
-        return entry.context_len > entry.blocks_held * self.block_tokens
+        """Does emitting the next token overflow the held blocks
+        (private plus shared prefix blocks)?"""
+        capacity = (entry.shared_blocks + entry.blocks_held) * self.block_tokens
+        return entry.context_len > capacity
 
     def _ingest_chunk(self, entry: ActiveRequest) -> None:
         """Stream the next context chunk into the pool (chunked
@@ -453,6 +572,10 @@ class ContinuousBatchScheduler:
                 continue
             if entry.is_prefilling:
                 self._ingest_chunk(entry)
+                if not entry.is_prefilling:
+                    # Context fully resident: publish the prefix so
+                    # siblings arriving from now on hit the cache.
+                    self._register_prefix(entry)
                 continue
             if self.reservation is Reservation.PAGED and self._needs_block(entry):
                 if not self._make_room(
@@ -461,7 +584,7 @@ class ContinuousBatchScheduler:
                     continue  # entry itself was preempted
                 entry.blocks_held += 1
                 entry.kv_reserved_bytes = entry.blocks_held * entry.bytes_per_block
-                self.kv_in_use_bytes += entry.bytes_per_block
+                self.store.grow(entry.request.request_id)
             entry.tokens_done += 1
             if entry.first_token_s is None:
                 entry.first_token_s = step_end_s
@@ -471,9 +594,9 @@ class ContinuousBatchScheduler:
                 # a preemption victim within this same step.
                 finished.append(entry)
                 self.active.remove(entry)
-                self.kv_in_use_bytes -= entry.kv_reserved_bytes
+                self.store.release(entry.request.request_id)
         if not self.active:
             # Zero out float dust: positive residue would otherwise block
             # a future budget-filling request forever.
-            self.kv_in_use_bytes = 0.0
+            self.store.reset_pool_dust()
         return finished

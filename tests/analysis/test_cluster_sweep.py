@@ -117,3 +117,56 @@ class TestIsoPowerComparison:
         """The RPU pool was sized to the GPU decode pods' TDP."""
         assert versus.decode_pod_tdp_w == pytest.approx(1400.0)
         assert versus.rpu_cus_per_pod >= 1
+
+
+class TestPrefixHitSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        from repro.analysis.cluster_sweep import prefix_hit_sweep
+
+        return prefix_hit_sweep(
+            LLAMA3_70B,
+            share_probs=(0.0, 0.9),
+            rate_rps=4.0,
+            duration_s=12.0,
+        )
+
+    def test_hit_rate_rises_with_sharing(self, sweep):
+        no_share, high_share = sweep
+        assert no_share.share_prob == 0.0 and no_share.hit_rate == 0.0
+        assert high_share.hit_rate > no_share.hit_rate
+
+    def test_caching_never_loses_at_equal_budget(self, sweep):
+        for p in sweep:
+            assert p.completed_cached == p.completed_uncached
+            assert p.goodput_cached >= p.goodput_uncached
+
+    def test_hits_lower_ttft(self, sweep):
+        high_share = sweep[-1]
+        assert high_share.ttft_p50_cached_s < high_share.ttft_p50_uncached_s
+
+
+class TestSwapCrossoverSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        from repro.analysis.cluster_sweep import swap_crossover_sweep
+
+        return swap_crossover_sweep(
+            LLAMA3_70B,
+            host_link_gbps=(100.0, 1.5),
+            duration_s=15.0,
+        )
+
+    def test_crossover_exists_along_the_link_axis(self, sweep):
+        fast, slow = sweep
+        assert fast.swap_wins and not slow.swap_wins
+        # Recompute cost does not depend on the host link.
+        assert fast.recompute_s == pytest.approx(slow.recompute_s)
+
+    def test_auto_tracks_the_cheaper_branch(self, sweep):
+        fast, slow = sweep
+        assert fast.preemptions > 0 and slow.preemptions > 0
+        assert fast.auto_swap_fraction == 1.0
+        assert slow.auto_swap_fraction == 0.0
+        # On the slow link AUTO must not pay the swap penalty.
+        assert slow.e2e_p95_auto_s <= slow.e2e_p95_swap_s + 1e-9

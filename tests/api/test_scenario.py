@@ -274,3 +274,67 @@ class TestTopLevelExports:
 
         for module in ("repro.platform", "repro.api", "repro.serving"):
             assert module in repro.__doc__
+
+
+class TestKvHierarchyKnobs:
+    def test_knobs_thread_through_to_cluster_config(self):
+        from repro.serving.kvstore import SwapPolicy
+
+        entry = Scenario(
+            model=LLAMA3_70B,
+            prefix_caching=True,
+            swap_policy=SwapPolicy.AUTO,
+            host_kv_bytes=32e9,
+            swap_bytes_per_s=25e9 / 8,
+        )
+        config = entry.cluster()
+        assert config.prefix_caching is True
+        assert config.swap_policy is SwapPolicy.AUTO
+        assert config.host_kv_bytes == 32e9
+        assert config.swap_bytes_per_s == 25e9 / 8
+
+    def test_defaults_are_off(self):
+        from repro.serving.kvstore import SwapPolicy
+
+        config = Scenario(model=LLAMA3_70B).cluster()
+        assert config.prefix_caching is False
+        assert config.swap_policy is SwapPolicy.NEVER
+
+    def test_traffic_spec_threads_prefix_structure(self):
+        spec = TrafficSpec(
+            prefix_share_prob=0.8, prefix_fanout=6, prefix_frac=0.6
+        )
+        (cls,) = spec.traffic_classes(LLAMA3_70B)
+        assert cls.prefix_share_prob == 0.8
+        assert cls.prefix_fanout == 6
+        assert cls.prefix_frac == 0.6
+
+    def test_agentic_fanout_preset_shares_prefixes(self):
+        entry = scenario("agentic_fanout", LLAMA3_70B)
+        assert entry.prefix_caching is True
+        assert entry.traffic.prefix_share_prob > 0.5
+        requests = scenario(
+            "agentic_fanout",
+            LLAMA3_70B,
+            traffic=TrafficSpec(
+                rate_rps=4.0, duration_s=10.0, prefix_share_prob=0.85
+            ),
+        ).requests()
+        assert any(r.prefix_id is not None for r in requests)
+
+    def test_agentic_fanout_caching_pays_at_equal_budget(self):
+        """The acceptance scenario: identical fan-out traffic, equal KV
+        budget, caching off vs on -- measurably higher goodput and
+        lower TTFT with the cache."""
+        kwargs = dict(
+            kv_budget_bytes=2e9, prefill=(PodGroup("gpu", count=1),)
+        )
+        cached_scenario = scenario("agentic_fanout", LLAMA3_70B, **kwargs)
+        requests = cached_scenario.requests()
+        uncached = scenario(
+            "agentic_fanout", LLAMA3_70B, prefix_caching=False, **kwargs
+        ).run(requests)
+        cached = cached_scenario.run(requests)
+        assert cached.prefix_hit_rate > 0.0
+        assert cached.goodput > uncached.goodput + 0.02
+        assert cached.ttft_percentile(50) < uncached.ttft_percentile(50)

@@ -353,6 +353,50 @@ class TestPrefillDtypeThreading:
         assert workload.kv_dtype is DType.BF16
 
 
+class TestConfigValidation:
+    """Fleet knob validation, incl. the kv_transfer sentinel contract:
+    None = decode platform ingest rate, inf = colocated, and zero /
+    negative / NaN rates are configuration errors."""
+
+    def config(self, **overrides):
+        import dataclasses
+
+        base = disaggregated_cluster(LLAMA3_70B)
+        return dataclasses.replace(base, **overrides)
+
+    def test_kv_transfer_rejects_nonpositive(self):
+        for bad in (0.0, -1.0, float("nan")):
+            with pytest.raises(ValueError):
+                self.config(kv_transfer_bytes_per_s=bad)
+
+    def test_kv_transfer_accepts_sentinels(self):
+        assert self.config().kv_transfer_bytes_per_s is None
+        assert self.config(
+            kv_transfer_bytes_per_s=float("inf")
+        ).kv_transfer_bytes_per_s == float("inf")
+        self.config(kv_transfer_bytes_per_s=12.5e9)  # plain override ok
+
+    def test_none_sentinel_charges_platform_ingest_rate(self):
+        sim = ClusterSim(self.config())
+        pod = sim.decode_pods[0]
+        assert sim._kv_ingest_rate(pod) == pod.platform.kv_ingest_bytes_per_s
+
+    def test_swap_rate_rejects_nonpositive(self):
+        for bad in (0.0, -2.0, float("nan")):
+            with pytest.raises(ValueError):
+                self.config(swap_bytes_per_s=bad)
+
+    def test_host_capacity_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            self.config(host_kv_bytes=0.0)
+
+    def test_prefix_caching_requires_paged(self):
+        with pytest.raises(ValueError):
+            self.config(
+                reservation=Reservation.FULL, prefix_caching=True
+            )
+
+
 class TestReviewRegressions:
     def test_sim_instance_is_reusable(self, traffic_70b):
         """Two runs on one ClusterSim must match (pod state resets)."""

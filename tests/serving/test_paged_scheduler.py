@@ -40,6 +40,13 @@ def check_invariants(scheduler):
     assert scheduler.kv_in_use_bytes == pytest.approx(
         sum(e.kv_reserved_bytes for e in scheduler.active)
     )
+    # The store's ledgers mirror the scheduler's view exactly: with
+    # prefix caching off (today's path) there is no resident overhead,
+    # every active entry holds exactly one lease, and total residency
+    # respects the budget.
+    assert scheduler.store.resident_overhead_bytes == 0.0
+    assert scheduler.store.device_bytes == scheduler.kv_in_use_bytes
+    assert scheduler.store.num_leases == scheduler.batch_size
     for entry in scheduler.active:
         if scheduler.reservation is Reservation.PAGED:
             assert entry.blocks_held >= 1
@@ -131,6 +138,40 @@ class TestPoolInvariants:
         assert not scheduler.fits_ever(request)
         with pytest.raises(ValueError):
             scheduler.enqueue(request, 0.0)
+
+    @pytest.mark.parametrize(
+        "reservation", [Reservation.FULL, Reservation.PAGED]
+    )
+    def test_no_leaked_blocks_after_storm(self, reservation):
+        """Baseline the ref-counted store must preserve: after a
+        completion/preemption storm on today's (no-cache) path, every
+        block returns to the pool -- zero occupancy, zero leases, zero
+        host bytes."""
+        rng = random.Random(13)
+        requests = [decode_heavy_request(rng, i) for i in range(35)]
+        scheduler = ContinuousBatchScheduler(
+            kv_budget_bytes=2.5 * max(request_kv_bytes(r) for r in requests),
+            max_batch=12,
+            reservation=reservation,
+            block_tokens=128,
+        )
+        drive(scheduler, requests)
+        assert scheduler.kv_in_use_bytes == 0.0
+        assert scheduler.kv_occupancy == 0.0
+        store = scheduler.store
+        assert store.idle
+        assert store.num_leases == 0
+        assert store.device_bytes == 0.0
+        assert store.host_bytes == 0.0
+
+    def test_store_budget_mismatch_rejected(self):
+        from repro.serving.kvstore import KvBlockStore
+
+        with pytest.raises(ValueError):
+            ContinuousBatchScheduler(
+                kv_budget_bytes=2 * GB,
+                store=KvBlockStore(budget_bytes=1 * GB),
+            )
 
 
 class TestAdmissionDepth:

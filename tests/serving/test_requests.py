@@ -154,6 +154,90 @@ class TestLengthsAndMix:
         assert share == pytest.approx(0.75, abs=0.08)
 
 
+class TestPrefixGroups:
+    def shared_class(self, **overrides):
+        defaults = dict(
+            prompt_mean=1024, prefix_share_prob=0.9, prefix_fanout=4,
+            prefix_frac=0.75,
+        )
+        defaults.update(overrides)
+        return TrafficClass(LLAMA3_70B, **defaults)
+
+    def test_disabled_by_default_and_stream_unchanged(self):
+        """share_prob = 0 must not touch the RNG: arrivals and lengths
+        are identical to a generator without any prefix knobs."""
+        plain = make_generator().generate(50.0)
+        explicit = make_generator(
+            classes=(
+                TrafficClass(
+                    LLAMA3_70B, prompt_mean=2048, decode_mean=4096,
+                    prefix_share_prob=0.0,
+                ),
+            )
+        ).generate(50.0)
+        assert all(r.prefix_id is None and r.prefix_len == 0 for r in plain)
+        assert [(r.arrival_s, r.prompt_len, r.decode_len) for r in plain] == [
+            (r.arrival_s, r.prompt_len, r.decode_len) for r in explicit
+        ]
+
+    def test_arrivals_unchanged_when_sharing_enabled(self):
+        """The prefix coin is drawn after the lengths, so arrival times
+        (drawn up front) and the first request's lengths never move."""
+        off = make_generator().generate(50.0)
+        on = make_generator(classes=(self.shared_class(
+            prompt_mean=2048, decode_mean=4096),)).generate(50.0)
+        assert [r.arrival_s for r in off] == [r.arrival_s for r in on]
+        assert (off[0].prompt_len, off[0].decode_len) == (
+            on[0].prompt_len, on[0].decode_len
+        )
+
+    def test_groups_share_prefix_and_respect_fanout(self):
+        requests = make_generator(
+            classes=(self.shared_class(),), rate_rps=4.0
+        ).generate(200.0)
+        groups: dict[int, list] = {}
+        for r in requests:
+            assert 0 <= r.prefix_len <= r.prompt_len
+            if r.prefix_id is not None:
+                assert r.prefix_len > 0
+                groups.setdefault(r.prefix_id, []).append(r)
+        sizes = [len(members) for members in groups.values()]
+        assert max(sizes) <= 4  # prefix_fanout caps group size
+        assert any(size > 1 for size in sizes)  # sharing actually occurs
+        for members in groups.values():
+            # Every member shares the group prefix, capped at its own
+            # (possibly shorter) prompt.
+            longest = max(m.prefix_len for m in members)
+            for m in members:
+                assert m.prefix_len == min(longest, m.prompt_len)
+
+    def test_deterministic_with_sharing(self):
+        a = make_generator(classes=(self.shared_class(),)).generate(50.0)
+        b = make_generator(classes=(self.shared_class(),)).generate(50.0)
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self.shared_class(prefix_share_prob=1.5)
+        with pytest.raises(ValueError):
+            self.shared_class(prefix_fanout=0)
+        with pytest.raises(ValueError):
+            self.shared_class(prefix_frac=0.0)
+        with pytest.raises(ValueError):
+            self.shared_class(prefix_frac=1.2)
+
+    def test_request_prefix_validation(self):
+        with pytest.raises(ValueError):
+            Request(0, 0.0, LLAMA3_70B, prompt_len=100, decode_len=10,
+                    prefix_id=1, prefix_len=200)
+        with pytest.raises(ValueError):
+            Request(0, 0.0, LLAMA3_70B, prompt_len=100, decode_len=10,
+                    prefix_len=50)  # prefix_len without a prefix_id
+        ok = Request(0, 0.0, LLAMA3_70B, prompt_len=100, decode_len=10,
+                     prefix_id=1, prefix_len=100)
+        assert ok.prefix_len == 100
+
+
 class TestValidation:
     def test_request_workload_roundtrip(self):
         request = Request(0, 1.0, LLAMA3_70B, prompt_len=2048, decode_len=1024)
