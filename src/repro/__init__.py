@@ -47,6 +47,7 @@ from repro.serving import (
     ClusterConfig,
     ClusterReport,
     KvBlockStore,
+    PrefillPolicy,
     SwapPolicy,
     disaggregated_cluster,
     gpu_only_cluster,
@@ -65,6 +66,7 @@ __all__ = [
     "Package",
     "Platform",
     "PodGroup",
+    "PrefillPolicy",
     "ReasoningCore",
     "RpuPlatform",
     "RpuSystem",

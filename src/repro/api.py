@@ -42,6 +42,7 @@ from repro.serving.cluster import (
     ClusterConfig,
     ClusterReport,
     DecodePodSpec,
+    PrefillPolicy,
     simulate,
 )
 from repro.serving.disaggregated import INTERACTION_THRESHOLD_S
@@ -77,6 +78,12 @@ class TrafficSpec:
     prompt_sigma: float = 0.6
     decode_sigma: float = 0.6
     priority: int = 0
+    #: Priority *mix*: when non-empty, the single traffic class is
+    #: split into one equal-weight copy per listed priority (so the
+    #: PRIORITY prefill policy and the paged preempter have contrast to
+    #: act on).  Overrides :attr:`priority`; ignored with explicit
+    #: ``classes``.
+    priorities: tuple[int, ...] = ()
     burst_factor: float = 4.0
     burst_dwell_s: float = 5.0
     #: Shared-prefix structure (see :class:`TrafficClass`): probability
@@ -90,18 +97,20 @@ class TrafficSpec:
     def traffic_classes(self, model: ModelConfig) -> tuple[TrafficClass, ...]:
         if self.classes is not None:
             return self.classes
-        return (
+        priorities = self.priorities or (self.priority,)
+        return tuple(
             TrafficClass(
                 model,
                 prompt_mean=self.prompt_mean,
                 decode_mean=self.decode_mean,
                 prompt_sigma=self.prompt_sigma,
                 decode_sigma=self.decode_sigma,
-                priority=self.priority,
+                priority=priority,
                 prefix_share_prob=self.prefix_share_prob,
                 prefix_fanout=self.prefix_fanout,
                 prefix_frac=self.prefix_frac,
-            ),
+            )
+            for priority in priorities
         )
 
     def generator(self, model: ModelConfig) -> RequestGenerator:
@@ -167,6 +176,14 @@ class Scenario:
     #: Interactive SLO (``float("inf")`` scores pure throughput runs).
     slo_s: float = INTERACTION_THRESHOLD_S
     policy: Policy = Policy.FIFO
+    #: Shared prefill service queue: drain order, whether prefix-cache
+    #: hits bind at service start (late binding, the default) or at
+    #: arrival (the ablation baseline), plus the PREFIX_AFFINE deferral
+    #: window and PRIORITY aging rate.
+    prefill_policy: PrefillPolicy = PrefillPolicy.FIFO
+    late_binding: bool = True
+    affine_defer_s: float = 2.0
+    prefill_aging_s: float = 10.0
     max_batch: int = 128
     weight_dtype: DType = DType.MXFP4
     kv_dtype: DType = DType.FP8
@@ -216,6 +233,10 @@ class Scenario:
             prefill_engines=prefill,
             decode_pods=decode,
             policy=self.policy,
+            prefill_policy=self.prefill_policy,
+            late_binding=self.late_binding,
+            affine_defer_s=self.affine_defer_s,
+            prefill_aging_s=self.prefill_aging_s,
             max_batch=self.max_batch,
             weight_dtype=self.weight_dtype,
             kv_dtype=self.kv_dtype,

@@ -8,10 +8,14 @@ GPU and RPU models into that end-to-end query pipeline -- one query at a
 time in :mod:`repro.serving.disaggregated`, and full fleet traffic with
 continuous batching in :mod:`repro.serving.cluster` -- and reports the
 interactive-latency metrics the paper motivates (TTFT, TPOT, goodput
-against the ~10 s interaction threshold).  Decode-pod KV lives in
-:mod:`repro.serving.kvstore`: a block store with a ref-counted prefix
-cache (shared system prompts / agentic fan-out reuse resident blocks)
-and a host swap tier for preempted sequences.
+against the ~10 s interaction threshold).  Prefill pods pull from one
+shared service queue (:class:`PrefillPolicy`: FIFO / SJF / aged
+priority / prefix-affine) and prefix-cache hits are bound at *service
+start*, so fan-out siblings queued behind their founder recover the
+hit.  Decode-pod KV lives in :mod:`repro.serving.kvstore`: a block
+store with a ref-counted prefix cache (shared system prompts / agentic
+fan-out reuse resident blocks) and a host swap tier for preempted
+sequences.
 """
 
 from repro.serving.cluster import (
@@ -19,6 +23,8 @@ from repro.serving.cluster import (
     ClusterReport,
     ClusterSim,
     DecodePodSpec,
+    PrefillPolicy,
+    PrefillQueueStats,
     disaggregated_cluster,
     gpu_only_cluster,
     simulate,
@@ -39,7 +45,9 @@ from repro.serving.requests import (
     Request,
     RequestGenerator,
     TrafficClass,
+    prefix_founders,
     reasoning_traffic,
+    sibling_ttft_mean,
     truncated_lognormal_mean,
 )
 from repro.serving.scheduler import (
@@ -60,6 +68,8 @@ __all__ = [
     "KvBlockStore",
     "KvStoreStats",
     "Policy",
+    "PrefillPolicy",
+    "PrefillQueueStats",
     "QueryResult",
     "Request",
     "RequestGenerator",
@@ -68,7 +78,9 @@ __all__ = [
     "TrafficClass",
     "disaggregated_cluster",
     "gpu_only_cluster",
+    "prefix_founders",
     "reasoning_traffic",
+    "sibling_ttft_mean",
     "simulate",
     "swap_recompute_costs",
     "truncated_lognormal_mean",

@@ -5,8 +5,12 @@ module scales that pipeline to datacenter traffic (the paper's Section I
 deployment: disaggregated prefill/decode at fleet scale, following
 Splitwise/Dynamo).  A cluster is
 
-- **N prefill pods** -- each serving one prompt at a time in FIFO order
-  (prefill is compute-bound, so batching prompts buys little);
+- **N prefill pods** pulling from one **shared service queue**.
+  Arrivals (and preemption resumes) enqueue a prefill *job*; whenever a
+  pod is idle it pulls the next job in :class:`PrefillPolicy` order
+  (FIFO, shortest-prompt-first, aged priority, or prefix-affine
+  deferral).  Prefill is compute-bound, so each pod still serves one
+  prompt at a time -- batching prompts buys little;
 - **M decode pods** -- each hosting one model's weights and running
   continuous batching under a KV-capacity budget
   (:mod:`repro.serving.scheduler`).  The default reservation policy is
@@ -21,15 +25,31 @@ Splitwise/Dynamo).  A cluster is
 Each decode pod's block pool is a :class:`repro.serving.kvstore.KvBlockStore`
 -- a two-tier cache hierarchy.  With ``prefix_caching`` enabled,
 requests sharing a prompt prefix (``Request.prefix_id``; agentic
-fan-out, shared system prompts) are routed to the pod already holding
-the prefix, pin its resident ref-counted blocks at arrival, and skip
-the prefill, the hand-off transfer and the block allocation for those
-tokens.  With a ``swap_policy`` other than ``NEVER``, preemption can
-swap a victim's private KV to the host tier over the Ring Station host
-link instead of recomputing it on resume -- ``SwapPolicy.AUTO`` picks
-per victim by the transfer-bytes-vs-re-prefill cost model.  Both
-features default off, in which case results are bit-identical to the
-pre-hierarchy simulator.
+fan-out, shared system prompts) reuse the pod already holding the
+prefix: resident ref-counted blocks are pinned and those tokens skip
+the prefill, the hand-off transfer and the block allocation.
+
+**Prefix hits are late-bound.**  The cache is consulted when a job
+*starts service*, not when it arrives: the lifecycle is arrival ->
+queue -> (re-)check cache at service start -> prefill the uncached
+remainder -> hand-off -> chunked ingest on the decode pod -> prefix
+registration -> decode.  A fan-out sibling that arrives while its group
+founder's prefill is still queued therefore *recovers* the hit once the
+founder lands (a "late-bound hit", counted separately in the stats) --
+exactly the saturation regime where arrival-time checking misses most.
+A job whose whole context is resident at service start skips the
+prefill pods entirely and drains straight into the (empty) hand-off.
+``late_binding=False`` restores the PR 4 arrival-time binding as an
+ablation baseline.
+
+With a ``swap_policy`` other than ``NEVER``, preemption can swap a
+victim's private KV to the host tier over the Ring Station host link
+instead of recomputing it on resume -- ``SwapPolicy.AUTO`` picks per
+victim by the transfer-bytes-vs-re-prefill cost model.  Caching and
+swapping default off, in which case results are bit-identical to the
+pre-hierarchy simulator (and the FIFO service queue reproduces the old
+per-arrival greedy pod booking exactly: serving jobs in arrival order
+at the earliest pod availability is the same schedule).
 
 Every pod consumes the hardware-agnostic
 :class:`repro.platform.Platform` interface, so *any* platform can fill
@@ -53,6 +73,7 @@ utilization and energy.
 
 from __future__ import annotations
 
+import enum
 import heapq
 from dataclasses import dataclass, field
 
@@ -77,12 +98,43 @@ from repro.util.tables import Table
 STEP_CONTEXT_BUCKET = 512
 
 
+class PrefillPolicy(enum.Enum):
+    """Order the shared prefill service queue is drained in.
+
+    Whatever the policy, a job whose whole context is resident in a
+    decode pod's prefix cache at service start needs no prefill pod and
+    is always forwarded first (it contends with nobody).
+    """
+
+    #: Strict arrival order -- reproduces the pre-queue greedy booking
+    #: exactly, so it is the regression-pinned default.
+    FIFO = "fifo"
+    #: Shortest remaining prefill first (prompt + resumed context minus
+    #: cached tokens).  Degenerates to FIFO when all prompts are equal.
+    SJF = "sjf"
+    #: Highest :attr:`Request.priority` first, aged by queue wait
+    #: (``prefill_aging_s`` buys one level) and by preemption count --
+    #: mirroring the decode preempter's aging, so resumes and old jobs
+    #: cannot starve.
+    PRIORITY = "priority"
+    #: FIFO, but a fan-out sibling whose group founder is already in
+    #: flight is deferred (up to ``affine_defer_s``) so the founder's
+    #: prefix lands first and the siblings drain as late-bound cache
+    #: hits instead of re-prefilling the shared context.  Requires late
+    #: binding (deferral waits for the service-start re-check) and only
+    #: differs from FIFO with ``prefix_caching`` on.
+    PREFIX_AFFINE = "prefix_affine"
+
+
 # ----------------------------------------------------------------------
 # Pods
 # ----------------------------------------------------------------------
 @dataclass
 class PrefillPod:
-    """One platform running prompts FIFO."""
+    """One platform serving one prompt at a time.
+
+    Pods do not own a queue: the cluster holds a single shared service
+    queue and an idle pod pulls the next job in policy order."""
 
     pod_id: str
     platform: Platform
@@ -103,10 +155,12 @@ class PrefillPod:
     def serve(
         self, request: Request, now: float, *, context_tokens: int | None = None
     ) -> tuple[float, float]:
-        """Queue ``request``; returns (start, end) of its prefill.
+        """Run ``request``'s prefill; returns (start, end).
 
-        ``context_tokens`` overrides the prefilled context -- a
-        preemption resume recomputes prompt *plus* generated-so-far
+        Under the shared service queue the cluster only hands jobs to
+        idle pods, so ``start == now``; ``max`` is kept for direct
+        callers.  ``context_tokens`` overrides the prefilled context --
+        a preemption resume recomputes prompt *plus* generated-so-far
         tokens, not just the prompt.
         """
         start = max(now, self.busy_until_s)
@@ -224,6 +278,22 @@ class ClusterConfig:
     prefill_engines: tuple[Platform | GpuSystem | RpuSystem, ...]
     decode_pods: tuple[DecodePodSpec, ...]
     policy: Policy = Policy.FIFO
+    #: Order the shared prefill service queue is drained in (decode
+    #: admission order is :attr:`policy` above).  FIFO reproduces the
+    #: pre-queue per-arrival booking exactly.
+    prefill_policy: PrefillPolicy = PrefillPolicy.FIFO
+    #: Consult the prefix cache when a job *starts service* (True, the
+    #: default: siblings queued behind their group founder recover the
+    #: hit) or at arrival (False -- the PR 4 behavior, kept as the
+    #: ablation baseline the late-binding win is measured against).
+    late_binding: bool = True
+    #: PREFIX_AFFINE only: the longest a fan-out sibling may be held
+    #: back waiting for its founder's prefix to land before it is
+    #: prefilled anyway.
+    affine_defer_s: float = 2.0
+    #: PRIORITY only: queue wait that buys one effective-priority level
+    #: (aging, mirroring the decode preempter's preemption-count aging).
+    prefill_aging_s: float = 10.0
     max_batch: int = 128
     weight_dtype: DType = DType.MXFP4
     kv_dtype: DType = DType.FP8
@@ -293,6 +363,27 @@ class ClusterConfig:
             raise ValueError("host_kv_bytes must be positive (or None)")
         if self.prefix_caching and self.reservation is not Reservation.PAGED:
             raise ValueError("prefix_caching requires the PAGED reservation")
+        if not 0.0 <= self.affine_defer_s < float("inf"):
+            # Finite only: the deferral deadline is a heap event, so an
+            # infinite window would stall the clock at time inf.
+            raise ValueError(
+                f"affine_defer_s must be finite and >= 0, "
+                f"got {self.affine_defer_s}"
+            )
+        if (
+            self.prefill_policy is PrefillPolicy.PREFIX_AFFINE
+            and not self.late_binding
+        ):
+            # Deferral waits for a prefix to *land*; with arrival-time
+            # binding nothing is ever re-checked, so the policy would
+            # silently degenerate to FIFO and poison ablations.
+            raise ValueError(
+                "PREFIX_AFFINE requires late binding (late_binding=True)"
+            )
+        if not self.prefill_aging_s > 0.0:
+            raise ValueError(
+                f"prefill_aging_s must be positive, got {self.prefill_aging_s}"
+            )
 
 
 def disaggregated_cluster(
@@ -304,6 +395,7 @@ def disaggregated_cluster(
     cus_per_pod: int = 128,
     sizing_batch: int = 32,
     policy: Policy = Policy.FIFO,
+    prefill_policy: PrefillPolicy = PrefillPolicy.FIFO,
     max_batch: int = 128,
     reservation: Reservation = Reservation.PAGED,
     block_tokens: int = 128,
@@ -323,6 +415,7 @@ def disaggregated_cluster(
             DecodePodSpec(pod_platform, model) for _ in range(num_decode_pods)
         ),
         policy=policy,
+        prefill_policy=prefill_policy,
         max_batch=max_batch,
         reservation=reservation,
         block_tokens=block_tokens,
@@ -391,6 +484,11 @@ class RequestRecord:
     #: Times this request was preempted off a decode pod (paged KV);
     #: each preemption re-pays prefill and the KV hand-off.
     num_preemptions: int = 0
+    #: Counted in the cluster's in-flight tally of its prefix group
+    #: (set at first service start, cleared at completion); while any
+    #: member is in flight, PREFIX_AFFINE defers cache-missing
+    #: siblings.
+    group_inflight: bool = False
     #: Preemptions resolved by a host swap round trip instead of a
     #: recompute pass (a subset of ``num_preemptions``).
     num_swaps: int = 0
@@ -440,6 +538,48 @@ class RequestRecord:
         return self.done and self.end_to_end_s <= INTERACTION_THRESHOLD_S
 
 
+@dataclass
+class PrefillJob:
+    """One unit of queued prefill work (a fresh arrival or a preemption
+    resume) waiting in the cluster's shared service queue."""
+
+    record: RequestRecord
+    enqueued_s: float
+    #: Enqueue order -- the FIFO key and every policy's tie-break.
+    seq: int
+    #: Prefix tokens resident on some feasible pod at enqueue time
+    #: (a peek, nothing pinned).  0 here plus a hit at service start is
+    #: a *late-bound* hit: arrival-time checking would have missed.
+    arrival_resident: int = 0
+    #: Arrival-bound mode (``late_binding=False``): tokens already
+    #: pinned at enqueue.  ``None`` means "bind at service start".
+    acquired: int | None = None
+    #: PREFIX_AFFINE: this sibling was held back at least once waiting
+    #: for its group founder's prefix to land.
+    deferred: bool = False
+    #: Residency memo: peeked cached tokens, valid while the fleet's
+    #: prefix epoch (registrations + reclaims) is unchanged.
+    cached_epoch: int = -2
+    cached_tokens: int = 0
+
+
+@dataclass(frozen=True)
+class PrefillQueueStats:
+    """Shared prefill service queue activity over one run."""
+
+    #: Jobs that entered the queue (arrivals + preemption resumes).
+    jobs: int = 0
+    peak_depth: int = 0
+    #: Time-weighted mean depth over the whole run.
+    mean_depth: float = 0.0
+    #: PREFIX_AFFINE: siblings held back for their founder at least
+    #: once, and the total queue time those jobs spent inside their
+    #: deferral window (wait beyond the deadline is ordinary pod
+    #: scarcity and is not booked here).
+    founder_deferrals: int = 0
+    founder_wait_s: float = 0.0
+
+
 @dataclass(frozen=True)
 class PodStats:
     """Activity summary of one pod over the run."""
@@ -458,6 +598,11 @@ class PodStats:
     #: from resident blocks, and shared tails privatized on divergence.
     prefix_lookup_tokens: int = 0
     prefix_hit_tokens: int = 0
+    #: The subset of hits recovered by late binding: the prefix was not
+    #: resident anywhere when the request arrived, only when its
+    #: prefill job started service (hits/tokens).
+    late_hits: int = 0
+    late_hit_tokens: int = 0
     cow_copies: int = 0
     #: Host swap-tier traffic (decode pods).
     swap_outs: int = 0
@@ -493,6 +638,8 @@ class ClusterReport:
     last_arrival_s: float = 0.0
     #: Interactive SLO the run was scored against.
     slo_s: float = INTERACTION_THRESHOLD_S
+    #: Shared prefill service-queue activity (depth, founder deferrals).
+    prefill_queue: PrefillQueueStats = PrefillQueueStats()
 
     @property
     def num_submitted(self) -> int:
@@ -595,6 +742,16 @@ class ClusterReport:
         return self.prefix_hit_tokens / lookups if lookups else 0.0
 
     @property
+    def late_hits(self) -> int:
+        """Hits recovered by late binding: requests whose prefix was
+        resident nowhere at arrival but had landed by service start."""
+        return sum(p.late_hits for p in self.pod_stats)
+
+    @property
+    def late_hit_tokens(self) -> int:
+        return sum(p.late_hit_tokens for p in self.pod_stats)
+
+    @property
     def total_swaps(self) -> int:
         """Preemptions resolved through the host swap tier."""
         return sum(p.swap_outs for p in self.pod_stats)
@@ -656,9 +813,28 @@ class ClusterReport:
         table.add_row(["decode KV occupancy",
                        f"{self.mean_decode_kv_occupancy:.0%}"])
         table.add_row(["preemptions", f"{self.total_preemptions}"])
+        table.add_row(["prefill queue depth (mean / peak)",
+                       f"{self.prefill_queue.mean_depth:.1f} / "
+                       f"{self.prefill_queue.peak_depth}"])
         if self.prefix_lookup_tokens:
             table.add_row(["prefix cache hit rate",
                            f"{self.prefix_hit_rate:.0%}"])
+            table.add_row(["late-bound prefix hits",
+                           f"{self.late_hits} "
+                           f"({self.late_hit_tokens:,} tok)"])
+        else:
+            # Zero lookups means the rate is undefined, not 0%: render
+            # n/a (the zero-completion latency rows get the same
+            # treatment above).
+            table.add_row(["prefix cache hit rate", "n/a"])
+        if self.prefill_queue.founder_deferrals:
+            mean_wait = (
+                self.prefill_queue.founder_wait_s
+                / self.prefill_queue.founder_deferrals
+            )
+            table.add_row(["founder deferrals (mean wait)",
+                           f"{self.prefill_queue.founder_deferrals} "
+                           f"({mean_wait:.2f} s)"])
         if self.total_swaps:
             table.add_row(["KV swaps (host tier)",
                            f"{self.total_swaps} "
@@ -676,7 +852,8 @@ class ClusterReport:
 # ----------------------------------------------------------------------
 # The simulator
 # ----------------------------------------------------------------------
-_ARRIVAL, _PREFILL_DONE, _KV_ARRIVE, _STEP, _RESUME, _SWAP_BACK = range(6)
+(_ARRIVAL, _PREFILL_DONE, _KV_ARRIVE, _STEP, _RESUME, _SWAP_BACK,
+ _PREFILL_WAKE) = range(7)
 
 
 class ClusterSim:
@@ -804,10 +981,10 @@ class ClusterSim:
             return None
         return min(hosts, key=lambda pod: (pod.outstanding_tokens(), pod.pod_id))
 
-    def _affinity_pod(self, request: Request) -> DecodePod | None:
+    def _affinity_pod(self, request: Request) -> tuple[DecodePod | None, int]:
         """Feasible decode pod holding the most resident tokens of the
-        request's prefix (ties broken toward lower load); None when no
-        pod has any of it cached."""
+        request's prefix, and that token count (ties broken toward
+        lower load); (None, 0) when no pod has any of it cached."""
         best: DecodePod | None = None
         best_key: tuple[int, int, str] = (0, 0, "")
         for pod in self.decode_pods:
@@ -825,7 +1002,7 @@ class ClusterSim:
             key = (cached, -pod.outstanding_tokens(), pod.pod_id)
             if best is None or key > best_key:
                 best, best_key = pod, key
-        return best
+        return best, best_key[0]
 
     def _acquire_prefix(self, record: RequestRecord) -> int:
         """Cache-affinity path: pin the resident prefix on the best pod
@@ -838,12 +1015,11 @@ class ClusterSim:
             or request.prefix_len <= 0
         ):
             return 0
-        pod = self._affinity_pod(request)
+        pod, _ = self._affinity_pod(request)
         if pod is None:
             # Nothing resident anywhere (e.g. the group founder's
-            # prefill is still in flight -- the cache is consulted at
-            # arrival time).  Count the miss where the request will
-            # land so the reported hit rate is honest.
+            # prefill is still in flight).  Count the miss where the
+            # request will land so the reported hit rate is honest.
             target = self._route_decode(request)
             if target is not None:
                 target.store.record_prefix_miss(request.prefix_len)
@@ -856,41 +1032,252 @@ class ClusterSim:
             self._pinned[request.request_id] = pod
         return cached
 
-    # -- event handlers ------------------------------------------------
-    def _dispatch_prefill(
-        self, now: float, record: RequestRecord, *, cached_tokens: int = 0
+    # -- the shared prefill service queue ------------------------------
+    def _resident_prefix_tokens(self, request: Request) -> int:
+        """Most resident tokens of the request's prefix on any feasible
+        pod right now (a peek -- nothing is pinned)."""
+        _, cached = self._affinity_pod(request)
+        return cached
+
+    def _wants_prefix(self, request: Request) -> bool:
+        return (
+            self.config.prefix_caching
+            and request.prefix_id is not None
+            and request.prefix_len > 0
+        )
+
+    def _note_queue_depth(self, now: float) -> None:
+        """Accumulate the depth integral up to ``now`` (call before any
+        enqueue/dequeue mutation)."""
+        self._depth_integral += len(self._queue) * (now - self._depth_t)
+        self._depth_t = now
+
+    def _enqueue_prefill(self, now: float, record: RequestRecord) -> None:
+        """Queue a prefill job (fresh arrival or preemption resume).
+
+        With late binding (the default) the prefix cache is only
+        *peeked* here, to remember what arrival-time checking would
+        have seen; pinning waits until the job starts service.  With
+        ``late_binding=False`` the cache is acquired now, reproducing
+        the PR 4 arrival-time behavior."""
+        job = PrefillJob(record=record, enqueued_s=now, seq=self._job_seq)
+        self._job_seq += 1
+        if self._wants_prefix(record.request):
+            if self.config.late_binding:
+                job.arrival_resident = self._resident_prefix_tokens(
+                    record.request
+                )
+            else:
+                job.acquired = self._acquire_prefix(record)
+        self._note_queue_depth(now)
+        self._queue.append(job)
+        if len(self._queue) > self._queue_peak:
+            self._queue_peak = len(self._queue)
+        self._jobs_enqueued += 1
+        # A fresh job may already be fully cached: invalidate the
+        # bypass watermark so the next all-pods-busy drain rescans.
+        self._bypass_epoch = -1
+
+    def _cached_now(self, job: PrefillJob, epoch: int) -> int:
+        """Prefix tokens this job would be served from the cache if it
+        started service now.  Peeks are memoized against ``epoch``
+        (:meth:`_prefix_epoch`): residency can only change when a block
+        is registered or reclaimed, so a queue scan per event does not
+        re-walk every trie."""
+        if job.acquired is not None:
+            return job.acquired
+        if not self._wants_prefix(job.record.request):
+            return 0
+        if job.cached_epoch != epoch:
+            job.cached_epoch = epoch
+            job.cached_tokens = self._resident_prefix_tokens(
+                job.record.request
+            )
+        return job.cached_tokens
+
+    def _deferred(self, job: PrefillJob, now: float, cached: int) -> bool:
+        """PREFIX_AFFINE: hold a fan-out sibling back (briefly) while
+        another member of its group is in flight, so it drains as a
+        late-bound hit instead of re-prefilling the shared context.
+        A group with no member between service start and completion
+        has nobody about to (re-)publish the prefix, so nothing is
+        deferred on its behalf -- e.g. after the blocks were evicted."""
+        if self.config.prefill_policy is not PrefillPolicy.PREFIX_AFFINE:
+            return False
+        request = job.record.request
+        if not self._wants_prefix(request) or not self.config.late_binding:
+            return False
+        if cached > 0:
+            return False  # the prefix landed: serve it as a hit
+        key = (request.model.name, request.prefix_id)
+        inflight = self._group_inflight.get(key, 0)
+        if job.record.group_inflight:
+            # A preemption resume counts in its own group's tally;
+            # don't wait for yourself to publish the prefix.
+            inflight -= 1
+        if inflight <= 0:
+            return False  # nobody in flight -- this job founds the group
+        deadline = job.enqueued_s + self.config.affine_defer_s
+        if now >= deadline:
+            return False  # waited long enough: prefill it after all
+        if not job.deferred:
+            job.deferred = True
+            self._founder_deferrals += 1
+            # Wake the queue at the deadline; other events (prefill
+            # completions, decode steps registering the prefix) drain
+            # it earlier.
+            self._push(deadline, _PREFILL_WAKE, None)
+        return True
+
+    def _policy_key(self, job: PrefillJob, now: float, cached: int) -> tuple:
+        policy = self.config.prefill_policy
+        if policy is PrefillPolicy.SJF:
+            record = job.record
+            remaining = (
+                record.request.prompt_len + record.resume_tokens - cached
+            )
+            return (remaining, job.seq)
+        if policy is PrefillPolicy.PRIORITY:
+            aged = (
+                job.record.request.priority
+                + job.record.num_preemptions
+                + int((now - job.enqueued_s) / self.config.prefill_aging_s)
+            )
+            return (-aged, job.seq)
+        # FIFO; PREFIX_AFFINE drains in arrival order too (deferral is
+        # an eligibility filter, not an ordering).
+        return (0, job.seq)
+
+    def _next_job(
+        self, now: float, have_idle: bool, epoch: int
+    ) -> PrefillJob | None:
+        """The job to pull now, in policy order.  Jobs whose whole
+        context is resident in a prefix cache sort first regardless of
+        policy -- they need no pod, so they contend with nobody -- and
+        are the only eligible jobs when every pod is busy.
+
+        Deferral (PREFIX_AFFINE) is tested lazily, on the would-be
+        winner only: a sibling that loses the policy order anyway was
+        not displaced by deferral, so it must not enter the deferral
+        counters (or cost a wake event)."""
+        passed_over: set[int] = set()
+        while True:
+            best: PrefillJob | None = None
+            best_key: tuple | None = None
+            best_cached = 0
+            for job in self._queue:
+                if job.seq in passed_over:
+                    continue
+                cached = self._cached_now(job, epoch)
+                record = job.record
+                full_context = (
+                    record.request.prompt_len + record.resume_tokens
+                )
+                fully_cached = cached >= full_context
+                if not fully_cached and not have_idle:
+                    continue
+                key = (0 if fully_cached else 1,
+                       *self._policy_key(job, now, cached))
+                if best_key is None or key < best_key:
+                    best, best_key, best_cached = job, key, cached
+            if best is None:
+                return None
+            if best_key[0] == 1 and self._deferred(best, now, best_cached):
+                passed_over.add(best.seq)
+                continue
+            return best
+
+    def _prefix_epoch(self) -> int:
+        """Monotone counter of fleet-wide prefix-residency changes
+        (block publications + reclaims).  Peeked residency is constant
+        while it holds still, so queue scans memoize against it
+        instead of re-walking every trie at every event -- and the
+        all-pods-busy bypass scan is skipped entirely when it has not
+        advanced."""
+        return sum(
+            p.store.stats.registered_blocks + p.store.stats.reclaimed_blocks
+            for p in self.decode_pods
+        )
+
+    def _drain_prefill_queue(self, now: float) -> None:
+        """Pull queued jobs into service (called after every event).
+        Each loop iteration forwards one fully cached job for free or
+        books one idle pod; fully cached jobs drain even while every
+        pod is busy, since they need no pod at all."""
+        # Invariant across the whole drain: pulling jobs pins blocks
+        # and books pods, but never registers or reclaims trie blocks.
+        epoch = self._prefix_epoch() if self._bypass_enabled else -1
+        while self._queue:
+            idle = [p for p in self.prefill_pods if p.busy_until_s <= now]
+            if not idle:
+                if not self._bypass_enabled:
+                    return
+                if epoch == self._bypass_epoch:
+                    return  # nothing newly resident since the last scan
+            job = self._next_job(now, have_idle=bool(idle), epoch=epoch)
+            if job is None:
+                if not idle:
+                    self._bypass_epoch = epoch
+                return
+            self._note_queue_depth(now)
+            self._queue.remove(job)
+            self._start_prefill(now, job, idle)
+
+    def _start_prefill(
+        self, now: float, job: PrefillJob, idle: list[PrefillPod]
     ) -> None:
-        """Send the request through the least-busy prefill pod (both
-        fresh arrivals and preemption resumes re-paying prefill).
-        ``cached_tokens`` of prefix are already resident on the target
-        decode pod, so only the remainder is prefilled (a fully cached
-        context skips the prefill pods entirely)."""
-        record.cached_prefix_tokens = cached_tokens
-        full_context = record.request.prompt_len + record.resume_tokens
-        if cached_tokens >= full_context:
+        """Service start: (re-)bind the prefix cache, then prefill the
+        uncached remainder on an idle pod -- or skip the pods entirely
+        when the whole context is resident."""
+        record = job.record
+        request = record.request
+        if job.acquired is not None:
+            cached = job.acquired  # bound at arrival (PR 4 semantics)
+        else:
+            cached = self._acquire_prefix(record)
+            if cached > 0 and job.arrival_resident == 0:
+                # Recovered by late binding: the founder's prefix landed
+                # while this job queued.
+                stats = self._pinned[request.request_id].store.stats
+                stats.late_hits += 1
+                stats.late_hit_tokens += cached
+        if self._wants_prefix(request) and not record.group_inflight:
+            record.group_inflight = True
+            key = (request.model.name, request.prefix_id)
+            self._group_inflight[key] = self._group_inflight.get(key, 0) + 1
+        if job.deferred:
+            # Book only the time inside the deferral window: deferral
+            # cannot delay a job past its deadline, so anything beyond
+            # is ordinary pod scarcity, not founder wait.
+            self._founder_wait_s += min(
+                now - job.enqueued_s, self.config.affine_defer_s
+            )
+        record.cached_prefix_tokens = cached
+        record.queue_wait_s += now - job.enqueued_s
+        full_context = request.prompt_len + record.resume_tokens
+        if cached >= full_context:
             # Whole context served from the prefix cache: no prefill
             # work, straight to the (empty) hand-off.
+            record.prefill_pod = ""
             record.prefill_start_s = record.prefill_end_s = now
             self._push(now, _PREFILL_DONE, record)
             return
         context = None
-        if record.resume_tokens or cached_tokens:
-            context = full_context - cached_tokens
-        pod = min(self.prefill_pods, key=lambda p: (p.busy_until_s, p.pod_id))
-        start, end = pod.serve(record.request, now, context_tokens=context)
+        if record.resume_tokens or cached:
+            context = full_context - cached
+        pod = min(idle, key=lambda p: (p.busy_until_s, p.pod_id))
+        start, end = pod.serve(request, now, context_tokens=context)
         record.prefill_pod = pod.pod_id
         record.prefill_start_s = start
         record.prefill_end_s = end
-        record.queue_wait_s += start - now
         self._push(end, _PREFILL_DONE, record)
 
+    # -- event handlers ------------------------------------------------
     def _on_arrival(self, now: float, record: RequestRecord) -> None:
         if self._route_decode(record.request) is None:
             record.rejected = True
             return
-        self._dispatch_prefill(
-            now, record, cached_tokens=self._acquire_prefix(record)
-        )
+        self._enqueue_prefill(now, record)
 
     def _on_prefill_done(self, now: float, record: RequestRecord) -> None:
         request = record.request
@@ -957,7 +1344,17 @@ class ClusterSim:
             if record.first_token_s is None:
                 record.first_token_s = entry.first_token_s
         for entry in finished:
-            self._records_by_id[entry.request.request_id].completed_s = end
+            record = self._records_by_id[entry.request.request_id]
+            record.completed_s = end
+            if record.group_inflight:
+                # The group's in-flight tally drops: once it reaches
+                # zero nobody is left to (re-)publish the prefix, so
+                # PREFIX_AFFINE stops deferring siblings for it.
+                record.group_inflight = False
+                key = (record.request.model.name, record.request.prefix_id)
+                self._group_inflight[key] -= 1
+                if not self._group_inflight[key]:
+                    del self._group_inflight[key]
         for queued in pod.scheduler.take_preempted():
             pod.preemptions += 1
             record = self._records_by_id[queued.request.request_id]
@@ -1007,8 +1404,29 @@ class ClusterSim:
         self._build_pods()
         self._events: list[tuple[float, int, int, object]] = []
         self._seq = 0
-        #: Requests routed to a decode pod at arrival (cache affinity).
+        #: Requests holding pinned prefix blocks on a decode pod (cache
+        #: affinity routes them there at hand-off time).
         self._pinned: dict[int, DecodePod] = {}
+        #: The shared prefill service queue and its stats.
+        self._queue: list[PrefillJob] = []
+        self._job_seq = 0
+        self._jobs_enqueued = 0
+        self._queue_peak = 0
+        self._depth_integral = 0.0
+        self._depth_t = 0.0
+        #: Members per prefix group between service start and
+        #: completion (PREFIX_AFFINE defers cache-missing siblings only
+        #: while this is non-zero).
+        self._group_inflight: dict[tuple[str, int], int] = {}
+        self._founder_deferrals = 0
+        self._founder_wait_s = 0.0
+        #: All-pods-busy bypass scan gating (fully cached jobs).  Also
+        #: on in arrival-bound mode: PR 4 forwarded a fully cached
+        #: request at arrival without waiting for a pod, and the
+        #: ablation baseline must keep that semantics (its scans are
+        #: O(1) per job anyway -- the pinned count is precomputed).
+        self._bypass_enabled = self.config.prefix_caching
+        self._bypass_epoch = -1
         records = [RequestRecord(request=request) for request in requests]
         self._records_by_id = {r.request.request_id: r for r in records}
         if len(self._records_by_id) != len(records):
@@ -1019,6 +1437,12 @@ class ClusterSim:
         last_time = 0.0
         while self._events:
             now, _, kind, payload = heapq.heappop(self._events)
+            if kind == _PREFILL_WAKE and not self._queue:
+                # Stale deadline: the deferred job was served early
+                # (its founder's prefix landed).  Skip before touching
+                # the clock, or an idle tail would inflate duration_s
+                # and every per-duration metric.
+                continue
             last_time = max(last_time, now)
             if kind == _ARRIVAL:
                 self._on_arrival(now, payload)
@@ -1028,18 +1452,31 @@ class ClusterSim:
                 pod, record = payload
                 self._on_kv_arrive(now, pod, record)
             elif kind == _RESUME:
-                # A recompute resume consults the prefix cache exactly
-                # like a fresh arrival: still-resident prefix blocks
-                # need neither re-prefill nor a re-transfer.
-                self._dispatch_prefill(
-                    now, payload, cached_tokens=self._acquire_prefix(payload)
-                )
+                # A recompute resume re-enters the shared queue like a
+                # fresh arrival; at service start it consults the
+                # prefix cache the same way (still-resident prefix
+                # blocks need neither re-prefill nor a re-transfer).
+                self._enqueue_prefill(now, payload)
             elif kind == _SWAP_BACK:
                 pod, record = payload
                 self._on_swap_back(now, pod, record)
-            else:
+            elif kind == _STEP:
                 self._on_step(now, payload)
+            # _PREFILL_WAKE carries no payload: it only advances the
+            # clock to a deferral deadline so the drain below runs.
+            self._drain_prefill_queue(now)
 
+        assert not self._queue, "prefill service queue did not drain"
+        self._note_queue_depth(last_time)
+        queue_stats = PrefillQueueStats(
+            jobs=self._jobs_enqueued,
+            peak_depth=self._queue_peak,
+            mean_depth=(
+                self._depth_integral / last_time if last_time > 0.0 else 0.0
+            ),
+            founder_deferrals=self._founder_deferrals,
+            founder_wait_s=self._founder_wait_s,
+        )
         pod_stats = tuple(
             [
                 PodStats(
@@ -1061,6 +1498,8 @@ class ClusterSim:
                     platform=p.platform.name,
                     prefix_lookup_tokens=p.store.stats.lookup_tokens,
                     prefix_hit_tokens=p.store.stats.hit_tokens,
+                    late_hits=p.store.stats.late_hits,
+                    late_hit_tokens=p.store.stats.late_hit_tokens,
                     cow_copies=p.store.stats.cow_copies,
                     swap_outs=p.store.stats.swap_outs,
                     swap_ins=p.store.stats.swap_ins,
@@ -1079,6 +1518,7 @@ class ClusterSim:
                 (r.request.arrival_s for r in records), default=0.0
             ),
             slo_s=self.config.slo_s,
+            prefill_queue=queue_stats,
         )
 
 

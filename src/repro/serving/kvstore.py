@@ -106,6 +106,13 @@ class KvStoreStats:
     #: after a swap round trip).
     lookup_tokens: int = 0
     hit_tokens: int = 0
+    #: Hits recovered by late binding (stamped by the cluster's prefill
+    #: service queue): the prefix was resident nowhere when the request
+    #: *arrived* -- only when its prefill job started service, because
+    #: the group founder landed while it queued.  A subset of
+    #: ``hit_tokens``.
+    late_hits: int = 0
+    late_hit_tokens: int = 0
     #: Shared tail blocks privatized on divergence (each skipped up to
     #: ``block_tokens - 1`` tokens of recompute for one device copy).
     cow_copies: int = 0

@@ -38,6 +38,7 @@ import enum
 import math
 import random
 from dataclasses import dataclass
+from typing import Iterable
 
 from repro.models.config import ModelConfig
 from repro.models.dtypes import DType
@@ -140,6 +141,53 @@ class Request:
             weight_dtype=weight_dtype or self.weight_dtype,
             kv_dtype=kv_dtype or self.kv_dtype,
         )
+
+
+def sibling_ttft_mean(records: Iterable, founders: set[int]) -> float:
+    """Mean TTFT over completed *sibling* records: shared-prefix
+    requests that are not their group's founder (see
+    :func:`prefix_founders`).
+
+    ``records`` are completed
+    :class:`~repro.serving.cluster.RequestRecord` rows (anything with
+    ``.request`` and ``.ttft_s``).  Siblings are the requests a
+    late-binding prefix cache serves from resident blocks, so their
+    TTFT isolates the benefit.  Returns 0.0 with no siblings.
+    """
+    values = [
+        record.ttft_s
+        for record in records
+        if record.request.prefix_id is not None
+        and record.request.request_id not in founders
+    ]
+    return sum(values) / len(values) if values else 0.0
+
+
+def prefix_founders(requests: Iterable[Request]) -> set[int]:
+    """Request ids of each prefix group's *founder* (its first-arriving
+    member).
+
+    The founder is the request that pays the shared prefix's prefill;
+    every later group member (a *sibling*) can be served from the
+    prefix cache.  Splitting a report along this line is how the
+    late-binding analyses measure sibling TTFT separately from founder
+    TTFT.  Requests without a ``prefix_id`` are neither.  Groups are
+    keyed by ``(model, prefix_id)``, matching the simulator's prefix
+    index, so hand-built traffic reusing an id across models gets one
+    founder per model.
+    """
+    seen: set[tuple[str, int]] = set()
+    founders: set[int] = set()
+    for request in sorted(
+        requests, key=lambda r: (r.arrival_s, r.request_id)
+    ):
+        if request.prefix_id is None:
+            continue
+        key = (request.model.name, request.prefix_id)
+        if key not in seen:
+            seen.add(key)
+            founders.add(request.request_id)
+    return founders
 
 
 @dataclass(frozen=True)

@@ -170,3 +170,54 @@ class TestSwapCrossoverSweep:
         assert slow.auto_swap_fraction == 0.0
         # On the slow link AUTO must not pay the swap penalty.
         assert slow.e2e_p95_auto_s <= slow.e2e_p95_swap_s + 1e-9
+
+
+class TestPrefillPolicySweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        from repro.analysis.cluster_sweep import prefill_policy_sweep
+
+        return prefill_policy_sweep(
+            LLAMA3_70B,
+            rates_rps=(2.0, 8.0),
+            duration_s=10.0,
+        )
+
+    def test_every_policy_completes_everything(self, sweep):
+        from repro.serving.cluster import PrefillPolicy
+
+        assert {p.policy for p in sweep} == set(PrefillPolicy)
+        by_rate = {}
+        for p in sweep:
+            by_rate.setdefault(p.rate_rps, set()).add(p.completed)
+        # Identical traffic at each rate: every policy completes the
+        # same request count.
+        for counts in by_rate.values():
+            assert len(counts) == 1
+
+    def test_late_binding_recovers_hits_under_saturation(self, sweep):
+        saturated = [p for p in sweep if p.rate_rps == 8.0]
+        for p in saturated:
+            assert p.hit_rate > p.hit_rate_arrival
+            assert p.late_hit_tokens > 0
+            assert p.recovered_hit_rate > 0.0
+            assert p.sibling_ttft_mean_s < p.sibling_ttft_mean_arrival_s
+
+    def test_gap_widens_with_load(self, sweep):
+        """The recovered hit rate grows as the prefill pool saturates
+        -- at low load the queue is empty and both bindings agree."""
+        low = [p for p in sweep if p.rate_rps == 2.0]
+        high = [p for p in sweep if p.rate_rps == 8.0]
+        assert max(p.recovered_hit_rate for p in low) < min(
+            p.recovered_hit_rate for p in high
+        )
+
+    def test_affine_beats_fifo_hit_rate_at_saturation(self, sweep):
+        from repro.serving.cluster import PrefillPolicy
+
+        by_policy = {p.policy: p for p in sweep if p.rate_rps == 8.0}
+        assert (
+            by_policy[PrefillPolicy.PREFIX_AFFINE].hit_rate
+            >= by_policy[PrefillPolicy.FIFO].hit_rate
+        )
+        assert by_policy[PrefillPolicy.PREFIX_AFFINE].queue_peak_depth >= 1

@@ -338,3 +338,72 @@ class TestKvHierarchyKnobs:
         assert cached.prefix_hit_rate > 0.0
         assert cached.goodput > uncached.goodput + 0.02
         assert cached.ttft_percentile(50) < uncached.ttft_percentile(50)
+
+
+class TestPrefillQueueKnobs:
+    """PR 5: the prefill service queue plumbs through Scenario and
+    TrafficSpec."""
+
+    def test_scenario_threads_queue_knobs(self):
+        from repro.serving.cluster import PrefillPolicy
+
+        entry = Scenario(
+            model=LLAMA3_70B,
+            prefill_policy=PrefillPolicy.PREFIX_AFFINE,
+            affine_defer_s=0.5,
+            prefill_aging_s=3.0,
+        )
+        config = entry.cluster()
+        assert config.prefill_policy is PrefillPolicy.PREFIX_AFFINE
+        assert config.affine_defer_s == 0.5
+        assert config.prefill_aging_s == 3.0
+        arrival = Scenario(model=LLAMA3_70B, late_binding=False).cluster()
+        assert arrival.late_binding is False
+        # The silently-degenerate combo is rejected at cluster build.
+        with pytest.raises(ValueError):
+            Scenario(
+                model=LLAMA3_70B,
+                prefill_policy=PrefillPolicy.PREFIX_AFFINE,
+                late_binding=False,
+            ).cluster()
+
+    def test_defaults_are_fifo_late_bound(self):
+        from repro.serving.cluster import PrefillPolicy
+
+        config = Scenario(model=LLAMA3_70B).cluster()
+        assert config.prefill_policy is PrefillPolicy.FIFO
+        assert config.late_binding is True
+
+    def test_traffic_spec_priority_mix(self):
+        spec = TrafficSpec(priorities=(0, 2, 5))
+        classes = spec.traffic_classes(LLAMA3_70B)
+        assert [cls.priority for cls in classes] == [0, 2, 5]
+        assert len({cls.weight for cls in classes}) == 1  # equal weight
+        # The mix reaches the generated requests.
+        requests = TrafficSpec(
+            priorities=(0, 5), rate_rps=8.0, duration_s=10.0, seed=1
+        ).requests(LLAMA3_70B)
+        assert {r.priority for r in requests} == {0, 5}
+
+    def test_priority_mix_defaults_to_single_class(self):
+        spec = TrafficSpec(priority=3)
+        (cls,) = spec.traffic_classes(LLAMA3_70B)
+        assert cls.priority == 3
+
+    def test_late_binding_recovers_hits_on_agentic_fanout(self):
+        """The PR 5 acceptance scenario at API level: identical
+        prefill-bound fan-out traffic, hits bound at service start vs
+        at arrival."""
+        kwargs = dict(
+            kv_budget_bytes=2e9, prefill=(PodGroup("gpu", count=1),)
+        )
+        late_scenario = scenario("agentic_fanout", LLAMA3_70B, **kwargs)
+        requests = late_scenario.requests()
+        arrival = scenario(
+            "agentic_fanout", LLAMA3_70B, late_binding=False, **kwargs
+        ).run(requests)
+        late = late_scenario.run(requests)
+        assert late.prefix_hit_rate > arrival.prefix_hit_rate
+        assert late.late_hits > 0
+        assert arrival.late_hits == 0
+        assert len(late.completed) == len(arrival.completed)

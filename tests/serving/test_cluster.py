@@ -1,4 +1,7 @@
-"""Fleet simulator: single-request limit, conservation, routing, SLOs."""
+"""Fleet simulator: single-request limit, conservation, routing, SLOs,
+and the shared prefill service queue (policies, late-bound hits)."""
+
+import dataclasses
 
 import pytest
 
@@ -10,12 +13,19 @@ from repro.serving.cluster import (
     ClusterConfig,
     ClusterSim,
     DecodePodSpec,
+    PrefillPolicy,
     disaggregated_cluster,
     gpu_only_cluster,
     simulate,
 )
 from repro.serving.disaggregated import DisaggregatedSystem
-from repro.serving.requests import Request, RequestGenerator, reasoning_traffic
+from repro.serving.requests import (
+    Request,
+    RequestGenerator,
+    TrafficClass,
+    prefix_founders,
+    reasoning_traffic,
+)
 from repro.serving.scheduler import Policy, Reservation
 
 
@@ -445,3 +455,551 @@ class TestReviewRegressions:
         report = simulate(config, burst)
         pods = {r.decode_pod for r in report.completed}
         assert pods == {"decode0", "decode1"}
+
+
+# ----------------------------------------------------------------------
+# The shared prefill service queue (PR 5)
+# ----------------------------------------------------------------------
+class TestPrefillQueueRegression:
+    """Digests captured on the PR 4 checkout (per-arrival greedy pod
+    booking, arrival-time cache binding).  With the default knobs --
+    FIFO service order, prefix caching off -- the event-driven queue
+    serves jobs in arrival order at the earliest pod availability,
+    which is the same schedule, so these must match to near machine
+    precision.  Multi-pod and preemption-heavy on purpose: resumes
+    re-enter the queue."""
+
+    DIGESTS = {
+        Reservation.FULL: (
+            34.18886242401182, 71, 0, 1202.837290018014,
+            1047.3834898880261, 399.3442865874941, 91162.89496130616,
+            0.8200741165935838,
+        ),
+        Reservation.PAGED: (
+            24.111887658602285, 71, 64, 913.0464670562149,
+            680.7634173863541, 81.17722702445074, 99905.24898366275,
+            0.7607098476289832,
+        ),
+    }
+
+    @pytest.fixture(scope="class")
+    def traffic(self):
+        generator = RequestGenerator(
+            classes=(reasoning_traffic(LLAMA3_70B),), rate_rps=3.0, seed=7
+        )
+        return generator.generate(20.0)
+
+    @pytest.mark.parametrize("reservation", list(Reservation))
+    def test_pinned_digest(self, traffic, reservation):
+        config = disaggregated_cluster(
+            LLAMA3_70B, num_prefill_pods=2, num_decode_pods=2,
+            reservation=reservation, kv_budget_bytes=3e9,
+        )
+        report = simulate(config, traffic)
+        digest = (
+            report.duration_s,
+            len(report.completed),
+            report.total_preemptions,
+            sum(r.completed_s for r in report.completed),
+            sum(r.first_token_s for r in report.completed),
+            sum(r.queue_wait_s for r in report.completed),
+            report.total_energy_j,
+            report.mean_decode_kv_occupancy,
+        )
+        expected = self.DIGESTS[reservation]
+        assert digest[1] == expected[1] and digest[2] == expected[2]
+        for got, want in zip(digest, expected):
+            assert got == pytest.approx(want, rel=1e-12)
+
+
+class TestDegeneratePolicyEquivalence:
+    """Each fancier policy must collapse onto FIFO when its
+    discriminating signal is flat (the FULL==PAGED-style pin)."""
+
+    def queued_requests(self, *, prompt_len=2048, priorities=None):
+        """Arrivals fast enough to queue behind one prefill pod."""
+        priorities = priorities or [0] * 12
+        return [
+            Request(
+                i, 0.05 * i, LLAMA3_70B,
+                prompt_len=prompt_len,
+                decode_len=64 + 32 * (i % 5),
+                priority=priorities[i],
+            )
+            for i in range(len(priorities))
+        ]
+
+    def run(self, requests, **overrides):
+        config = dataclasses.replace(
+            disaggregated_cluster(
+                LLAMA3_70B, num_prefill_pods=1, num_decode_pods=1
+            ),
+            **overrides,
+        )
+        return simulate(config, requests)
+
+    @staticmethod
+    def signature(report):
+        return (
+            [r.prefill_start_s for r in report.completed],
+            [r.first_token_s for r in report.completed],
+            [r.completed_s for r in report.completed],
+            report.total_energy_j,
+        )
+
+    def test_sjf_equals_fifo_with_equal_prompts(self):
+        requests = self.queued_requests()
+        fifo = self.run(requests, prefill_policy=PrefillPolicy.FIFO)
+        sjf = self.run(requests, prefill_policy=PrefillPolicy.SJF)
+        assert self.signature(fifo) == self.signature(sjf)
+
+    def test_priority_equals_fifo_with_equal_priorities(self):
+        requests = self.queued_requests()
+        fifo = self.run(requests, prefill_policy=PrefillPolicy.FIFO)
+        prio = self.run(requests, prefill_policy=PrefillPolicy.PRIORITY)
+        assert self.signature(fifo) == self.signature(prio)
+
+    def test_affine_equals_fifo_without_prefix_traffic(self):
+        requests = self.queued_requests()
+        fifo = self.run(requests, prefill_policy=PrefillPolicy.FIFO)
+        affine = self.run(
+            requests, prefill_policy=PrefillPolicy.PREFIX_AFFINE
+        )
+        assert self.signature(fifo) == self.signature(affine)
+
+    def test_sjf_serves_short_prompt_first(self):
+        requests = [
+            Request(0, 0.00, LLAMA3_70B, prompt_len=2048, decode_len=64),
+            Request(1, 0.01, LLAMA3_70B, prompt_len=4096, decode_len=64),
+            Request(2, 0.02, LLAMA3_70B, prompt_len=512, decode_len=64),
+        ]
+        report = self.run(requests, prefill_policy=PrefillPolicy.SJF)
+        starts = {
+            r.request.request_id: r.prefill_start_s for r in report.completed
+        }
+        # 1 and 2 queue behind 0; the short prompt jumps the long one.
+        assert starts[2] < starts[1]
+
+    def test_priority_serves_high_priority_first(self):
+        requests = [
+            Request(0, 0.00, LLAMA3_70B, 2048, 64, priority=0),
+            Request(1, 0.01, LLAMA3_70B, 2048, 64, priority=0),
+            Request(2, 0.02, LLAMA3_70B, 2048, 64, priority=5),
+        ]
+        report = self.run(requests, prefill_policy=PrefillPolicy.PRIORITY)
+        starts = {
+            r.request.request_id: r.prefill_start_s for r in report.completed
+        }
+        assert starts[2] < starts[1]
+
+    def test_priority_aging_prevents_starvation(self):
+        """A low-priority job queued behind a busy pod outwaits the
+        aging window and overtakes fresher high-priority arrivals."""
+        occupier = Request(0, 0.0, LLAMA3_70B, 4096, 64, priority=9)
+        victim = Request(1, 0.01, LLAMA3_70B, 2048, 64, priority=0)
+        competitors = [
+            Request(i, 0.02 + 0.05 * (i - 2), LLAMA3_70B, 2048, 64,
+                    priority=1)
+            for i in range(2, 11)
+        ]
+        requests = [occupier, victim] + competitors
+        aged = self.run(
+            requests,
+            prefill_policy=PrefillPolicy.PRIORITY,
+            prefill_aging_s=0.01,  # waiting 10 ms buys a level
+        )
+        starved = self.run(
+            requests,
+            prefill_policy=PrefillPolicy.PRIORITY,
+            prefill_aging_s=1e9,  # aging effectively off
+        )
+        start = {
+            run: next(
+                r.prefill_start_s
+                for r in report.completed
+                if r.request.request_id == 1
+            )
+            for run, report in (("aged", aged), ("starved", starved))
+        }
+        # Aging: the victim's head start in the queue outweighs the
+        # +1 priority of later arrivals.  Without aging it waits for
+        # every priority-1 job.
+        assert start["aged"] < start["starved"]
+
+
+class TestLateBoundHits:
+    """The deterministic founder + N siblings scenario the refactor
+    exists for: siblings arrive while the founder's prefill is in
+    flight (so arrival-time checking sees nothing), defer briefly under
+    PREFIX_AFFINE, and drain as service-start cache hits."""
+
+    N = 4
+    PREFIX_LEN = 4096
+
+    def scenario(self, **overrides):
+        settings: dict = dict(
+            prefix_caching=True,
+            prefill_policy=PrefillPolicy.PREFIX_AFFINE,
+        )
+        settings.update(overrides)
+        config = dataclasses.replace(
+            disaggregated_cluster(
+                LLAMA3_70B, num_prefill_pods=1, num_decode_pods=1
+            ),
+            **settings,
+        )
+        founder = Request(
+            0, 0.0, LLAMA3_70B, prompt_len=self.PREFIX_LEN, decode_len=32,
+            prefix_id=1, prefix_len=self.PREFIX_LEN,
+        )
+        siblings = [
+            Request(
+                i + 1, 0.01, LLAMA3_70B, prompt_len=self.PREFIX_LEN,
+                decode_len=32, prefix_id=1, prefix_len=self.PREFIX_LEN,
+            )
+            for i in range(self.N)
+        ]
+        return config, [founder] + siblings
+
+    def test_stale_deferral_wake_does_not_inflate_duration(self):
+        """The wake pushed at a sibling's deferral deadline must not
+        extend the run clock when the sibling was served early --
+        duration_s (and every per-duration metric) ends at the last
+        real completion, not at an idle deadline."""
+        config, requests = self.scenario(affine_defer_s=100.0)
+        report = simulate(config, requests)
+        assert report.duration_s == max(
+            r.completed_s for r in report.completed
+        )
+
+    def test_exactly_n_service_start_hits_and_zero_at_arrival(self):
+        config, requests = self.scenario()
+        report = simulate(config, requests)
+        assert len(report.completed) == self.N + 1
+        # Every hit token was recovered at service start: nothing was
+        # resident when the siblings arrived.
+        assert report.late_hits == self.N
+        assert report.late_hit_tokens == self.N * self.PREFIX_LEN
+        assert report.prefix_hit_tokens == report.late_hit_tokens
+        # Founder misses, N siblings look up and hit in full.
+        assert report.prefix_lookup_tokens == (self.N + 1) * self.PREFIX_LEN
+        assert report.prefill_queue.founder_deferrals == self.N
+        assert report.prefill_queue.founder_wait_s > 0.0
+
+    def test_siblings_skip_prefill_and_beat_founder_ttft(self):
+        config, requests = self.scenario()
+        report = simulate(config, requests)
+        records = {r.request.request_id: r for r in report.completed}
+        founder = records[0]
+        for i in range(1, self.N + 1):
+            sibling = records[i]
+            assert sibling.cached_prefix_tokens == self.PREFIX_LEN
+            assert sibling.prefill_pod == ""  # never touched a pod
+            assert sibling.prefill_start_s == sibling.prefill_end_s
+            assert sibling.ttft_s < founder.ttft_s
+
+    def test_arrival_binding_misses_all_of_them(self):
+        """The PR 4 baseline on the identical scenario: every sibling
+        arrives before the founder's prefix is resident, so the cache
+        serves nothing and everyone pays a full prefill."""
+        config, requests = self.scenario(
+            late_binding=False, prefill_policy=PrefillPolicy.FIFO
+        )
+        report = simulate(config, requests)
+        assert len(report.completed) == self.N + 1
+        assert report.prefix_hit_tokens == 0
+        assert report.late_hits == 0
+        assert all(
+            r.cached_prefix_tokens == 0 and r.prefill_pod == "prefill0"
+            for r in report.completed
+        )
+
+    def test_affine_deferral_is_bounded(self):
+        """With a zero deferral window PREFIX_AFFINE degenerates to
+        FIFO: siblings are never held back."""
+        config, requests = self.scenario(affine_defer_s=0.0)
+        report = simulate(config, requests)
+        assert report.prefill_queue.founder_deferrals == 0
+        assert len(report.completed) == self.N + 1
+
+    def test_fully_cached_job_bypasses_busy_pods(self):
+        """A job whose whole context is resident needs no prefill pod:
+        it must drain the moment the prefix lands, even while every
+        pod is busy with unrelated work."""
+        config, _ = self.scenario(prefill_policy=PrefillPolicy.FIFO)
+        founder = Request(
+            0, 0.0, LLAMA3_70B, prompt_len=1024, decode_len=32,
+            prefix_id=1, prefix_len=1024,
+        )
+        # Occupies the only prefill pod long past the founder's ingest.
+        long_job = Request(1, 0.01, LLAMA3_70B, prompt_len=16384,
+                           decode_len=32)
+        sibling = Request(
+            2, 0.02, LLAMA3_70B, prompt_len=1024, decode_len=32,
+            prefix_id=1, prefix_len=1024,
+        )
+        report = simulate(config, [founder, long_job, sibling])
+        records = {r.request.request_id: r for r in report.completed}
+        assert records[2].prefill_pod == ""  # never touched a pod
+        assert records[2].cached_prefix_tokens == 1024
+        # It started service while the long prefill was still running.
+        assert records[2].prefill_start_s < records[1].prefill_end_s
+        assert report.late_hits == 1
+
+    def test_arrival_bound_fully_cached_job_skips_pods_too(self):
+        """PR 4 forwarded a fully cached request at arrival without
+        waiting for a prefill pod; the arrival-bound ablation baseline
+        must keep that semantics or the late-binding comparison is
+        rigged."""
+        config, _ = self.scenario(
+            late_binding=False, prefill_policy=PrefillPolicy.FIFO
+        )
+        founder = Request(
+            0, 0.0, LLAMA3_70B, prompt_len=1024, decode_len=32,
+            prefix_id=1, prefix_len=1024,
+        )
+        long_job = Request(1, 5.0, LLAMA3_70B, prompt_len=16384,
+                           decode_len=32)
+        # Arrives mid-long-prefill with its prefix already resident.
+        sibling = Request(
+            2, 5.5, LLAMA3_70B, prompt_len=1024, decode_len=32,
+            prefix_id=1, prefix_len=1024,
+        )
+        report = simulate(config, [founder, long_job, sibling])
+        records = {r.request.request_id: r for r in report.completed}
+        assert records[2].cached_prefix_tokens == 1024
+        assert records[2].prefill_pod == ""
+        # Forwarded at arrival, not when the long prefill finished.
+        assert records[2].prefill_start_s == 5.5
+        assert report.late_hits == 0  # resident at arrival: not "late"
+
+    def test_preempted_lone_founder_never_defers_on_itself(self):
+        """A preempted group member's own record keeps the group's
+        in-flight tally non-zero; its resume must not be deferred
+        waiting for itself to publish the prefix."""
+        config = dataclasses.replace(
+            disaggregated_cluster(
+                LLAMA3_70B, num_prefill_pods=2, num_decode_pods=1,
+                kv_budget_bytes=2e9,  # tight: fillers preempt the founder
+            ),
+            prefix_caching=True,
+            prefill_policy=PrefillPolicy.PREFIX_AFFINE,
+            affine_defer_s=5.0,
+        )
+        founder = Request(0, 0.0, LLAMA3_70B, prompt_len=2048,
+                          decode_len=2048, priority=0,
+                          prefix_id=1, prefix_len=1024)
+        fillers = [
+            Request(i, 0.2 + 0.05 * i, LLAMA3_70B, prompt_len=2048,
+                    decode_len=2048, priority=5)
+            for i in range(1, 5)
+        ]
+        report = simulate(config, [founder] + fillers)
+        record = next(
+            r for r in report.completed if r.request.request_id == 0
+        )
+        assert record.num_preemptions > 0  # the resume happened
+        assert report.prefill_queue.founder_deferrals == 0
+        assert report.prefill_queue.founder_wait_s == 0.0
+
+    def test_group_inflight_tally_drains(self):
+        """PREFIX_AFFINE's in-flight tally empties once every group
+        member completes, so later cache-missing members of a finished
+        group are not deferred waiting for a publisher that is gone."""
+        config, requests = self.scenario()
+        sim = ClusterSim(config)
+        report = sim.run(requests)
+        assert len(report.completed) == self.N + 1
+        assert sim._group_inflight == {}
+
+
+class TestPrefillQueueProperties:
+    """Hypothesis-style conservation sweep: shared-prefix traffic with
+    mixed priorities under a preemption storm, across every prefill
+    policy -- nothing lost, nothing duplicated, no KV-pool overflow."""
+
+    def storm_traffic(self, seed):
+        classes = tuple(
+            TrafficClass(
+                LLAMA3_70B, prompt_mean=2048, decode_mean=2048,
+                priority=priority, prefix_share_prob=0.8,
+                prefix_fanout=6, prefix_frac=0.75,
+            )
+            for priority in (0, 2)
+        )
+        return RequestGenerator(
+            classes=classes, rate_rps=3.0, seed=seed
+        ).generate(12.0)
+
+    @pytest.mark.parametrize("policy", list(PrefillPolicy))
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_conservation_and_no_overflow(self, policy, seed):
+        requests = self.storm_traffic(seed)
+        config = dataclasses.replace(
+            disaggregated_cluster(
+                LLAMA3_70B, num_prefill_pods=1, num_decode_pods=1,
+                kv_budget_bytes=2e9,  # tight: forces a storm
+            ),
+            prefix_caching=True,
+            prefill_policy=policy,
+        )
+        sim = ClusterSim(config)
+        report = sim.run(requests)
+        # Conservation: every request completes or is rejected, never
+        # both, never lost.
+        assert report.total_preemptions > 0  # the storm happened
+        assert len(report.completed) + len(report.rejected) == len(requests)
+        done = {r.request.request_id for r in report.completed}
+        rejected = {r.request.request_id for r in report.rejected}
+        assert not done & rejected
+        assert done | rejected == {r.request_id for r in requests}
+        for record in report.completed:
+            # Stage timestamps reflect the *last* pass through the
+            # pipeline; the first token may come from an earlier pass
+            # of a preempted request, so it is only bounded globally.
+            assert (
+                record.request.arrival_s
+                <= record.prefill_start_s
+                <= record.prefill_end_s
+                <= record.transfer_end_s
+                <= record.admitted_s
+                <= record.completed_s
+            )
+            assert (
+                record.request.arrival_s
+                < record.first_token_s
+                <= record.completed_s
+            )
+            if record.num_preemptions == 0:
+                assert record.admitted_s < record.first_token_s
+        # No overflow: occupancy stays within the budget and the pools
+        # drain clean (cached ref-0 prefix blocks may stay resident).
+        assert 0.0 <= report.mean_decode_kv_occupancy <= 1.0
+        for pod in sim.decode_pods:
+            store = pod.scheduler.store
+            assert store.bytes_in_use == 0.0
+            assert store.host_bytes == 0.0
+            assert store.device_bytes <= store.budget_bytes + 1e-3
+            assert store.idle
+        # Hit accounting is internally consistent.
+        assert (
+            0
+            <= report.late_hit_tokens
+            <= report.prefix_hit_tokens
+            <= report.prefix_lookup_tokens
+        )
+
+    def test_deterministic_across_policies(self):
+        requests = self.storm_traffic(3)
+        for policy in PrefillPolicy:
+            config = dataclasses.replace(
+                disaggregated_cluster(
+                    LLAMA3_70B, num_prefill_pods=1, num_decode_pods=1,
+                    kv_budget_bytes=3e9,
+                ),
+                prefix_caching=True,
+                prefill_policy=policy,
+            )
+            a = simulate(config, requests)
+            b = simulate(config, requests)
+            assert [r.completed_s for r in a.completed] == [
+                r.completed_s for r in b.completed
+            ]
+            assert a.late_hit_tokens == b.late_hit_tokens
+
+
+class TestPrefillQueueReport:
+    def test_queue_depth_reported(self):
+        requests = [
+            Request(i, 0.02 * i, LLAMA3_70B, prompt_len=2048, decode_len=64)
+            for i in range(8)
+        ]
+        config = disaggregated_cluster(
+            LLAMA3_70B, num_prefill_pods=1, num_decode_pods=1
+        )
+        report = simulate(config, requests)
+        assert report.prefill_queue.jobs == 8
+        assert report.prefill_queue.peak_depth >= 1
+        assert 0.0 < report.prefill_queue.mean_depth
+        rendered = report.summary_table().render()
+        assert "prefill queue depth" in rendered
+
+    def test_hit_rate_renders_na_with_zero_lookups(self):
+        """Zero lookups = undefined rate: the summary must say n/a, not
+        0% (the zero-completion bug class)."""
+        request = Request(0, 0.0, LLAMA3_70B, prompt_len=512, decode_len=64)
+        report = simulate(single_pod_config(LLAMA3_70B), [request])
+        assert report.prefix_lookup_tokens == 0
+        for line in report.summary_table().render().splitlines():
+            if "prefix cache hit rate" in line:
+                assert "n/a" in line
+                assert "0%" not in line
+                break
+        else:
+            raise AssertionError("hit-rate row missing from summary")
+
+    def test_validation_of_queue_knobs(self):
+        base = disaggregated_cluster(LLAMA3_70B)
+        with pytest.raises(ValueError):
+            dataclasses.replace(base, affine_defer_s=-1.0)
+        with pytest.raises(ValueError):
+            dataclasses.replace(base, affine_defer_s=float("nan"))
+        for bad in (0.0, -2.0, float("nan")):
+            with pytest.raises(ValueError):
+                dataclasses.replace(base, prefill_aging_s=bad)
+        # The deferral deadline is a heap event: an infinite window
+        # would stall the clock at time inf.
+        with pytest.raises(ValueError):
+            dataclasses.replace(base, affine_defer_s=float("inf"))
+        # PREFIX_AFFINE + arrival binding would silently degenerate to
+        # FIFO and poison ablations: reject it.
+        with pytest.raises(ValueError):
+            dataclasses.replace(
+                base,
+                prefill_policy=PrefillPolicy.PREFIX_AFFINE,
+                late_binding=False,
+            )
+
+    def test_founder_wait_capped_by_deferral_window(self):
+        """Deferral cannot delay a job past its deadline: wait beyond
+        it is ordinary pod scarcity, so the booked founder wait per
+        deferral never exceeds affine_defer_s."""
+        config = dataclasses.replace(
+            disaggregated_cluster(
+                LLAMA3_70B, num_prefill_pods=2, num_decode_pods=1
+            ),
+            prefix_caching=True,
+            prefill_policy=PrefillPolicy.PREFIX_AFFINE,
+            affine_defer_s=0.05,
+        )
+        founder = Request(0, 0.0, LLAMA3_70B, prompt_len=4096, decode_len=32,
+                          prefix_id=1, prefix_len=4096)
+        # Deferred at 0.01 (second pod is idle, founder in flight)...
+        sibling = Request(1, 0.01, LLAMA3_70B, prompt_len=4096,
+                          decode_len=32, prefix_id=1, prefix_len=4096)
+        # ... then the filler takes that pod, so the sibling's service
+        # start lands long after its 0.06 deadline.
+        filler = Request(2, 0.02, LLAMA3_70B, prompt_len=16384,
+                         decode_len=32)
+        report = simulate(config, [founder, sibling, filler])
+        queue = report.prefill_queue
+        assert queue.founder_deferrals == 1
+        assert 0.0 < queue.founder_wait_s <= 0.05 + 1e-9
+        # The sibling really waited much longer than the window.
+        record = next(
+            r for r in report.completed if r.request.request_id == 1
+        )
+        assert record.queue_wait_s > 0.05
+
+    def test_prefix_founders_helper(self):
+        requests = [
+            Request(0, 0.0, LLAMA3_70B, 512, 64, prefix_id=1, prefix_len=256),
+            Request(1, 0.1, LLAMA3_70B, 512, 64, prefix_id=1, prefix_len=256),
+            Request(2, 0.2, LLAMA3_70B, 512, 64),
+            Request(3, 0.3, LLAMA3_70B, 512, 64, prefix_id=2, prefix_len=128),
+            # Same id on another model is a *different* group (the
+            # simulator's prefix index keys on (model, prefix_id)).
+            Request(4, 0.4, LLAMA3_8B, 512, 64, prefix_id=1, prefix_len=256),
+        ]
+        assert prefix_founders(requests) == {0, 3, 4}
+        assert prefix_founders([]) == set()

@@ -498,8 +498,17 @@ class TestClusterPrefixCaching:
 
     def test_summary_reports_hit_rate(self, fleets):
         _, uncached, cached = fleets
-        assert "prefix cache hit rate" in cached.summary_table().render()
-        assert "prefix cache hit rate" not in uncached.summary_table().render()
+        rendered = cached.summary_table().render()
+        assert "prefix cache hit rate" in rendered
+        assert "late-bound prefix hits" in rendered
+        # Zero lookups = rate undefined: the row renders n/a, not a
+        # misleading 0% (same bug class as the zero-completion fix).
+        for line in uncached.summary_table().render().splitlines():
+            if "prefix cache hit rate" in line:
+                assert "n/a" in line
+                break
+        else:
+            raise AssertionError("hit-rate row missing from summary")
 
     def test_deterministic(self, fleets):
         requests, _, cached = fleets
