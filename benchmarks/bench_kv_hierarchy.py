@@ -138,13 +138,11 @@ def test_kv_hierarchy(benchmark):
             }
             for p in crossover
         ],
+        # Full reports via ClusterReport.to_json() instead of
+        # hand-rolled metric dicts.
         "agentic_fanout": {
-            "goodput_uncached": uncached.goodput,
-            "goodput_cached": cached.goodput,
-            "ttft_p50_uncached_s": uncached.ttft_percentile(50),
-            "ttft_p50_cached_s": cached.ttft_percentile(50),
-            "hit_rate": cached.prefix_hit_rate,
-            "swap_bytes": cached.total_swap_bytes,
+            "uncached": uncached.to_json(),
+            "cached": cached.to_json(),
         },
     }, indent=2) + "\n")
     emit(f"wrote {JSON_PATH.name}")

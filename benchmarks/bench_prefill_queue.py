@@ -138,15 +138,17 @@ def test_prefill_queue(benchmark):
             }
             for p in points
         ],
+        # Full reports via ClusterReport.to_json(); only the
+        # founder-relative sibling TTFT needs computing out-of-band.
         "agentic_fanout": {
-            "hit_rate_arrival": arrival.prefix_hit_rate,
-            "hit_rate_late": late.prefix_hit_rate,
-            "late_hits": late.late_hits,
-            "late_hit_tokens": late.late_hit_tokens,
-            "sibling_ttft_arrival_s": sibling_ttft_mean(arrival.completed, founders),
-            "sibling_ttft_late_s": sibling_ttft_mean(late.completed, founders),
-            "goodput_arrival": arrival.goodput,
-            "goodput_late": late.goodput,
+            "arrival": arrival.to_json(),
+            "late": late.to_json(),
+            "sibling_ttft_arrival_s": sibling_ttft_mean(
+                arrival.completed, founders
+            ),
+            "sibling_ttft_late_s": sibling_ttft_mean(
+                late.completed, founders
+            ),
         },
     }, indent=2) + "\n")
     emit(f"wrote {JSON_PATH.name}")

@@ -44,23 +44,40 @@ from repro.arch import ComputeUnit, Package, ReasoningCore, RpuSystem
 from repro.models import LLAMA3_70B, MODELS, Workload, get_model
 from repro.platform import GpuPlatform, Platform, RpuPlatform
 from repro.serving import (
+    AdmissionConfig,
+    ArrivalTrace,
+    AutoscalerConfig,
     ClusterConfig,
     ClusterReport,
+    CostModel,
     KvBlockStore,
     PrefillPolicy,
+    SloClass,
     SwapPolicy,
+    TenantSpec,
     disaggregated_cluster,
     gpu_only_cluster,
     simulate,
 )
-from repro.api import PodGroup, Scenario, TrafficSpec, scenario
+from repro.api import (
+    PodGroup,
+    Scenario,
+    TrafficSpec,
+    register_scenario,
+    scenario,
+    scenario_names,
+)
 
 __all__ = [
     "LLAMA3_70B",
     "MODELS",
+    "AdmissionConfig",
+    "ArrivalTrace",
+    "AutoscalerConfig",
     "ClusterConfig",
     "ClusterReport",
     "ComputeUnit",
+    "CostModel",
     "GpuPlatform",
     "KvBlockStore",
     "Package",
@@ -71,13 +88,17 @@ __all__ = [
     "RpuPlatform",
     "RpuSystem",
     "Scenario",
+    "SloClass",
     "SwapPolicy",
+    "TenantSpec",
     "TrafficSpec",
     "Workload",
     "disaggregated_cluster",
     "get_model",
     "gpu_only_cluster",
+    "register_scenario",
     "scenario",
+    "scenario_names",
     "simulate",
     "__version__",
 ]

@@ -45,7 +45,19 @@ Three experiments over :mod:`repro.serving.cluster`:
   behavior).  As load saturates the prefill pool, queues deepen and
   arrival-time checking misses every sibling whose founder is still
   queued -- late binding recovers exactly those hits, so the gap in
-  hit rate (and sibling TTFT) *widens* with load.
+  hit rate (and sibling TTFT) *widens* with load;
+- **tenant_contention_sweep**: interactive and batch tenants sharing
+  one fleet as offered load rises, with admission control off and on.
+  Without shedding the batch tenant's long generations crowd the KV
+  pool and the interactive tenant's attainment sinks with load; with
+  per-tenant token buckets the low-weight batch tenant is shed first
+  once fleet pressure crosses the floor, holding the interactive
+  tenant's attainment and the fairness ratio;
+- **autoscaler_sweep**: static peak-provisioned fleet vs an elastic
+  fleet under the same flash-crowd trace at each spike multiple.  The
+  elastic fleet starts at the floor, scales up through the spike and
+  drains back down, so it delivers comparable goodput at a fraction of
+  the static fleet's $/1e6-token cost.
 """
 
 from __future__ import annotations
@@ -70,13 +82,22 @@ from repro.serving.cluster import (
 from repro.serving.kvstore import SwapPolicy, swap_recompute_costs
 from repro.serving.requests import (
     ArrivalProcess,
+    ArrivalTrace,
     RequestGenerator,
     TrafficClass,
+    merge_requests,
     prefix_founders,
     reasoning_traffic,
     sibling_ttft_mean,
 )
 from repro.serving.scheduler import Policy, Reservation
+from repro.serving.tenancy import (
+    BATCH,
+    INTERACTIVE,
+    AdmissionConfig,
+    AutoscalerConfig,
+    TenantSpec,
+)
 
 
 @dataclass(frozen=True)
@@ -683,3 +704,192 @@ def gpu_vs_disaggregated(
         decode_pod_tdp_w=gpu_pod.tdp_w,
         rpu_cus_per_pod=rpu_pod.num_cus,
     )
+
+
+@dataclass(frozen=True)
+class TenantContentionPoint:
+    """One tenant's outcome at one offered-load multiple."""
+
+    load_scale: float
+    shedding: bool
+    tenant: str
+    offered: int
+    shed: int
+    attainment: float
+    ttft_p95_s: float
+    #: Fleet-wide max/min attainment ratio for this run (repeated on
+    #: every tenant row of the run so each point is self-describing).
+    fleet_fairness: float
+
+
+def tenant_contention_sweep(
+    model: ModelConfig,
+    *,
+    load_scales: tuple[float, ...] = (0.5, 1.0, 2.0),
+    base_rate_rps: float = 1.0,
+    duration_s: float = 30.0,
+    num_prefill_pods: int = 2,
+    num_decode_pods: int = 2,
+    cus_per_pod: int = 128,
+    kv_budget_gb: float = 3.0,
+    seed: int = 0,
+) -> list[TenantContentionPoint]:
+    """Interactive + batch tenants on one fleet as offered load rises,
+    with admission control off and on at each load.
+
+    The interactive tenant sends short chats (tight TTFT/TPOT SLO,
+    weight 2); the batch tenant sends long offline generations (no
+    latency SLO, weight 0.5).  Without shedding, batch decode tokens
+    crowd the shared KV pool and the interactive tenant's attainment
+    sinks as load rises.  With per-tenant token buckets the batch
+    tenant is throttled first once fleet pressure crosses the floor,
+    holding interactive attainment -- visible as the elastic run's
+    fairness ratio staying near 1 while the no-shed run's diverges.
+    """
+    tenants = (
+        TenantSpec("interactive", slo=INTERACTIVE, priority=2, weight=2.0),
+        TenantSpec("batch", slo=BATCH, priority=0, weight=0.5),
+    )
+    base = disaggregated_cluster(
+        model,
+        num_prefill_pods=num_prefill_pods,
+        num_decode_pods=num_decode_pods,
+        cus_per_pod=cus_per_pod,
+        prefill_policy=PrefillPolicy.PRIORITY,
+        kv_budget_bytes=kv_budget_gb * 1e9,
+    )
+    points = []
+    for scale in load_scales:
+        interactive = RequestGenerator(
+            classes=(TrafficClass(model, prompt_mean=512, decode_mean=256),),
+            rate_rps=2.0 * base_rate_rps * scale,
+            seed=seed + 1,
+        ).generate(duration_s)
+        batch = RequestGenerator(
+            classes=(TrafficClass(model, prompt_mean=1024, decode_mean=4096),),
+            rate_rps=base_rate_rps * scale,
+            seed=seed + 2,
+        ).generate(duration_s)
+        requests = merge_requests(
+            tuple(
+                dataclasses.replace(r, tenant="interactive", priority=2)
+                for r in interactive
+            ),
+            tuple(dataclasses.replace(r, tenant="batch") for r in batch),
+        )
+        for shedding in (False, True):
+            config = dataclasses.replace(
+                base,
+                tenants=tenants,
+                admission=AdmissionConfig(enabled=shedding),
+            )
+            report = simulate(config, requests)
+            for name, tenant in sorted(report.per_tenant().items()):
+                points.append(
+                    TenantContentionPoint(
+                        load_scale=scale,
+                        shedding=shedding,
+                        tenant=name,
+                        offered=tenant.offered,
+                        shed=tenant.shed,
+                        attainment=tenant.attainment,
+                        ttft_p95_s=tenant.ttft_p95_s,
+                        fleet_fairness=report.fairness,
+                    )
+                )
+    return points
+
+
+@dataclass(frozen=True)
+class AutoscalerPoint:
+    """Static vs elastic fleet at one flash-crowd spike multiple."""
+
+    peak_scale: float
+    elastic: bool
+    goodput: float
+    ttft_p95_s: float
+    completed: int
+    scale_ups: int
+    scale_downs: int
+    cost_usd: float
+    usd_per_mtok: float
+
+
+def autoscaler_sweep(
+    model: ModelConfig,
+    *,
+    peak_scales: tuple[float, ...] = (2.0, 4.0, 8.0),
+    base_rps: float = 0.5,
+    duration_s: float = 40.0,
+    num_prefill_pods: int = 2,
+    max_decode_pods: int = 4,
+    min_decode_pods: int = 1,
+    cus_per_pod: int = 128,
+    kv_budget_gb: float = 3.0,
+    seed: int = 0,
+) -> list[AutoscalerPoint]:
+    """Static peak-provisioned fleet vs an elastic fleet on the same
+    flash-crowd trace, at each spike multiple.
+
+    The static fleet keeps ``max_decode_pods`` active for the whole run
+    and pays for them; the elastic fleet starts at ``min_decode_pods``,
+    scales up through the spike on the control-loop tick, and drains
+    back down afterwards.  Goodput should stay comparable while the
+    elastic fleet's $/1e6-token cost drops -- the fleet-operations
+    argument for the autoscaler.
+    """
+    points = []
+    for peak in peak_scales:
+        trace = ArrivalTrace.flash_crowd(
+            base_rps,
+            duration_s,
+            peak_rps=base_rps * peak,
+            seed=seed,
+        )
+        requests = RequestGenerator(
+            classes=(reasoning_traffic(model),), seed=seed
+        ).replay(trace)
+        static = disaggregated_cluster(
+            model,
+            num_prefill_pods=num_prefill_pods,
+            num_decode_pods=max_decode_pods,
+            cus_per_pod=cus_per_pod,
+            kv_budget_bytes=kv_budget_gb * 1e9,
+        )
+        elastic = dataclasses.replace(
+            disaggregated_cluster(
+                model,
+                num_prefill_pods=num_prefill_pods,
+                num_decode_pods=min_decode_pods,
+                cus_per_pod=cus_per_pod,
+                kv_budget_bytes=kv_budget_gb * 1e9,
+            ),
+            autoscaler=AutoscalerConfig(
+                min_decode_pods=min_decode_pods,
+                max_decode_pods=max_decode_pods,
+                min_prefill_pods=num_prefill_pods,
+                max_prefill_pods=num_prefill_pods,
+            ),
+        )
+        for is_elastic, config in ((False, static), (True, elastic)):
+            report = simulate(config, requests)
+            ups = sum(
+                1 for e in report.scaling_events if e.action == "up"
+            )
+            downs = sum(
+                1 for e in report.scaling_events if e.action == "down"
+            )
+            points.append(
+                AutoscalerPoint(
+                    peak_scale=peak,
+                    elastic=is_elastic,
+                    goodput=report.goodput,
+                    ttft_p95_s=report.ttft_percentile(95),
+                    completed=len(report.completed),
+                    scale_ups=ups,
+                    scale_downs=downs,
+                    cost_usd=report.cost_usd,
+                    usd_per_mtok=report.usd_per_mtok,
+                )
+            )
+    return points

@@ -24,15 +24,26 @@ deployment, an all-GPU baseline, an inverted RPU-prefill fleet, a
 
 Named presets cover the paper's motivating workloads:
 ``chatbot`` (short interactive turns), ``agentic_fanout`` (bursty
-tool-calling sub-queries) and ``batch_offline`` (throughput-oriented,
-no interactive SLO); build them via :func:`scenario` or the preset
-functions directly.
+tool-calling sub-queries), ``batch_offline`` (throughput-oriented, no
+interactive SLO) and ``multi_tenant_prod`` (all three as tenants of one
+fleet, with admission control and the autoscaler on); build them via
+:func:`scenario`, or register your own with :func:`register_scenario`
+(mirroring :func:`repro.platform.register_platform`).
+
+A :class:`TrafficSpec` is either one flat mix (the ergonomic
+single-tenant path -- unchanged) or a roster of
+:class:`~repro.serving.tenancy.TenantSpec` rows, each carrying its own
+nested ``TrafficSpec``, SLO class, priority and admission weight; each
+tenant's stream generates independently (own seed, own trace) and the
+fleet sees the merged arrival order.  Arrivals can replay an
+:class:`~repro.serving.requests.ArrivalTrace` (JSON/CSV file, diurnal
+or flash-crowd shape) instead of the Poisson/bursty samplers.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Mapping
+from dataclasses import dataclass, field, replace
+from typing import Callable, Mapping
 
 from repro.models.config import ModelConfig
 from repro.models.dtypes import DType
@@ -49,11 +60,22 @@ from repro.serving.disaggregated import INTERACTION_THRESHOLD_S
 from repro.serving.kvstore import SwapPolicy
 from repro.serving.requests import (
     ArrivalProcess,
+    ArrivalTrace,
     Request,
     RequestGenerator,
     TrafficClass,
+    merge_requests,
 )
 from repro.serving.scheduler import Policy, Reservation
+from repro.serving.tenancy import (
+    BATCH,
+    INTERACTIVE,
+    STANDARD,
+    AdmissionConfig,
+    AutoscalerConfig,
+    CostModel,
+    TenantSpec,
+)
 from repro.util.tables import Table
 
 
@@ -93,6 +115,55 @@ class TrafficSpec:
     prefix_fanout: int = 8
     prefix_frac: float = 0.5
     classes: tuple[TrafficClass, ...] | None = None
+    #: Replay this arrival schedule instead of sampling Poisson/bursty
+    #: arrivals (``duration_s`` and ``rate_rps`` are then ignored for
+    #: timing; lengths the trace leaves unspecified still come from the
+    #: class statistics above).
+    trace: ArrivalTrace | None = None
+    #: Multi-tenant form: when non-empty, this spec is purely a roster
+    #: -- each tenant's own nested ``TrafficSpec`` generates its stream
+    #: (own seed/trace/lengths), requests are tagged with the tenant's
+    #: name and priority offset, and the fleet sees the merged arrival
+    #: order.  The flat single-mix knobs above are the one-tenant
+    #: shorthand for the same thing (and stay byte-identical to the
+    #: pre-tenancy generator -- no merge, no tagging).
+    tenants: tuple[TenantSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.tenants:
+            return
+        names = [tenant.name for tenant in self.tenants]
+        if len(set(names)) != len(names):
+            raise ValueError(f"tenant names must be unique, got {names}")
+        if any(not name for name in names):
+            raise ValueError(
+                "roster tenants need non-empty names (the empty name is "
+                "the anonymous single-tenant default)"
+            )
+        for tenant in self.tenants:
+            if not isinstance(tenant.traffic, TrafficSpec):
+                raise ValueError(
+                    f"tenant {tenant.name!r} needs a TrafficSpec as its "
+                    f"traffic, got {tenant.traffic!r}"
+                )
+            if tenant.traffic.tenants:
+                raise ValueError(
+                    f"tenant {tenant.name!r} nests its own tenants; "
+                    "rosters are one level deep"
+                )
+        if self.trace is not None:
+            raise ValueError(
+                "a tenant roster cannot carry a top-level trace; give "
+                "each tenant's TrafficSpec its own"
+            )
+
+    def as_tenants(self) -> tuple[TenantSpec, ...]:
+        """The roster this spec denotes: its ``tenants``, or the flat
+        mix wrapped as one default tenant (the degenerate one-tenant
+        mapping the flat signature is shorthand for)."""
+        if self.tenants:
+            return self.tenants
+        return (TenantSpec("", traffic=self),)
 
     def traffic_classes(self, model: ModelConfig) -> tuple[TrafficClass, ...]:
         if self.classes is not None:
@@ -123,8 +194,30 @@ class TrafficSpec:
             burst_dwell_s=self.burst_dwell_s,
         )
 
+    def _stream(self, model: ModelConfig) -> list[Request]:
+        """One flat mix's request stream (trace replay or sampled)."""
+        generator = self.generator(model)
+        if self.trace is not None:
+            return generator.replay(self.trace)
+        return generator.generate(self.duration_s)
+
     def requests(self, model: ModelConfig) -> list[Request]:
-        return self.generator(model).generate(self.duration_s)
+        if not self.tenants:
+            # The single-mix path stays byte-identical to the
+            # pre-tenancy generator: no tagging, no merge/renumber.
+            return self._stream(model)
+        streams = [
+            [
+                replace(
+                    request,
+                    tenant=tenant.name,
+                    priority=request.priority + tenant.priority,
+                )
+                for request in tenant.traffic._stream(model)
+            ]
+            for tenant in self.tenants
+        ]
+        return merge_requests(*streams)
 
 
 # ----------------------------------------------------------------------
@@ -183,6 +276,7 @@ class Scenario:
     prefill_policy: PrefillPolicy = PrefillPolicy.FIFO
     late_binding: bool = True
     affine_defer_s: float = 2.0
+    affine_adaptive: bool = True
     prefill_aging_s: float = 10.0
     max_batch: int = 128
     weight_dtype: DType = DType.MXFP4
@@ -202,6 +296,12 @@ class Scenario:
     #: hand-off; disaggregated fleets pay each decode platform's
     #: ingest rate.
     colocated: bool = False
+    #: Fleet operations (see :mod:`repro.serving.tenancy`): load
+    #: shedding, the autoscaler control loop, and $/pod-hour pricing.
+    #: All default off/static -- the single-tenant path is unchanged.
+    admission: AdmissionConfig = AdmissionConfig()
+    autoscaler: AutoscalerConfig | None = None
+    cost_model: CostModel = CostModel()
     #: Representative workload the pod builders size memory SKUs and
     #: ISO-TDP scale against.
     sizing_batch: int = 32
@@ -236,6 +336,7 @@ class Scenario:
             prefill_policy=self.prefill_policy,
             late_binding=self.late_binding,
             affine_defer_s=self.affine_defer_s,
+            affine_adaptive=self.affine_adaptive,
             prefill_aging_s=self.prefill_aging_s,
             max_batch=self.max_batch,
             weight_dtype=self.weight_dtype,
@@ -250,6 +351,10 @@ class Scenario:
             swap_policy=self.swap_policy,
             host_kv_bytes=self.host_kv_bytes,
             swap_bytes_per_s=self.swap_bytes_per_s,
+            tenants=self.traffic.tenants,
+            admission=self.admission,
+            autoscaler=self.autoscaler,
+            cost_model=self.cost_model,
         )
 
     def requests(self) -> list[Request]:
@@ -328,11 +433,106 @@ def batch_offline(model: ModelConfig, **overrides: object) -> Scenario:
     return Scenario(**settings)
 
 
-SCENARIOS = {
-    "chatbot": chatbot,
-    "agentic_fanout": agentic_fanout,
-    "batch_offline": batch_offline,
-}
+def multi_tenant_prod(model: ModelConfig, **overrides: object) -> Scenario:
+    """A production multi-tenant fleet: an interactive chat tenant on a
+    diurnal arrival trace, an agentic fan-out tenant and an offline
+    batch tenant sharing the pods -- with admission control shedding
+    lowest-weight work under pressure and the autoscaler reallocating
+    pods between the prefill and decode pools on a 1 s control period.
+    """
+    duration_s = 40.0
+    tenants = (
+        TenantSpec(
+            "interactive",
+            traffic=TrafficSpec(
+                prompt_mean=512,
+                decode_mean=256,
+                seed=11,
+                trace=ArrivalTrace.diurnal(2.0, duration_s, seed=11),
+            ),
+            slo=INTERACTIVE,
+            priority=2,
+            weight=2.0,
+        ),
+        TenantSpec(
+            "agentic",
+            traffic=TrafficSpec(
+                prompt_mean=2048,
+                decode_mean=512,
+                seed=12,
+                prefix_share_prob=0.85,
+                prefix_fanout=8,
+                prefix_frac=0.75,
+                trace=ArrivalTrace.diurnal(1.5, duration_s, seed=12),
+            ),
+            slo=STANDARD,
+            priority=1,
+            weight=1.0,
+        ),
+        TenantSpec(
+            "batch",
+            traffic=TrafficSpec(
+                rate_rps=0.75,
+                duration_s=duration_s,
+                prompt_mean=1024,
+                decode_mean=4096,
+                seed=13,
+            ),
+            slo=BATCH,
+            priority=0,
+            weight=0.5,
+        ),
+    )
+    settings: dict = dict(
+        model=model,
+        name="multi_tenant_prod",
+        traffic=TrafficSpec(tenants=tenants),
+        prefill=(PodGroup("gpu", count=2),),
+        decode=(PodGroup("rpu", count=2),),
+        prefill_policy=PrefillPolicy.PRIORITY,
+        prefix_caching=True,
+        admission=AdmissionConfig(enabled=True),
+        autoscaler=AutoscalerConfig(),
+    )
+    settings.update(overrides)
+    return Scenario(**settings)
+
+
+#: The scenario registry: name -> builder ``(model, **overrides) ->
+#: Scenario``.  Mutate via :func:`register_scenario`; ``SCENARIOS`` is
+#: the live dict (kept under its historical name for direct iteration).
+SCENARIOS: dict[str, Callable[..., Scenario]] = {}
+
+
+def register_scenario(
+    name: str,
+    builder: Callable[..., Scenario],
+    *,
+    overwrite: bool = False,
+) -> None:
+    """Register a scenario preset under ``name`` (mirroring
+    :func:`repro.platform.register_platform`): ``builder(model,
+    **overrides)`` must return a :class:`Scenario`.  Re-registration
+    needs an explicit ``overwrite=True``."""
+    if not name:
+        raise ValueError("scenario name must be non-empty")
+    if name in SCENARIOS and not overwrite:
+        raise ValueError(
+            f"scenario {name!r} is already registered "
+            "(pass overwrite=True to replace it)"
+        )
+    SCENARIOS[name] = builder
+
+
+def scenario_names() -> tuple[str, ...]:
+    """Registered scenario names, sorted."""
+    return tuple(sorted(SCENARIOS))
+
+
+register_scenario("chatbot", chatbot)
+register_scenario("agentic_fanout", agentic_fanout)
+register_scenario("batch_offline", batch_offline)
+register_scenario("multi_tenant_prod", multi_tenant_prod)
 
 
 def scenario(name: str, model: ModelConfig, **overrides: object) -> Scenario:
@@ -340,7 +540,7 @@ def scenario(name: str, model: ModelConfig, **overrides: object) -> Scenario:
     try:
         preset = SCENARIOS[name]
     except KeyError:
-        known = ", ".join(sorted(SCENARIOS))
+        known = ", ".join(scenario_names())
         raise ValueError(f"unknown scenario {name!r} (known: {known})") from None
     return preset(model, **overrides)
 

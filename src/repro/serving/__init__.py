@@ -42,9 +42,12 @@ from repro.serving.kvstore import (
 )
 from repro.serving.requests import (
     ArrivalProcess,
+    ArrivalTrace,
     Request,
     RequestGenerator,
+    TraceRow,
     TrafficClass,
+    merge_requests,
     prefix_founders,
     reasoning_traffic,
     sibling_ttft_mean,
@@ -55,10 +58,39 @@ from repro.serving.scheduler import (
     Policy,
     Reservation,
 )
+from repro.serving.tenancy import (
+    BATCH,
+    INTERACTIVE,
+    STANDARD,
+    AdmissionConfig,
+    AutoscalerConfig,
+    CostModel,
+    ScalingEvent,
+    SloClass,
+    TenantReport,
+    TenantSpec,
+    TokenBucket,
+    fairness,
+)
 
 __all__ = [
+    "AdmissionConfig",
     "ArrivalProcess",
+    "ArrivalTrace",
+    "AutoscalerConfig",
+    "BATCH",
     "ClusterConfig",
+    "CostModel",
+    "INTERACTIVE",
+    "STANDARD",
+    "ScalingEvent",
+    "SloClass",
+    "TenantReport",
+    "TenantSpec",
+    "TokenBucket",
+    "TraceRow",
+    "fairness",
+    "merge_requests",
     "ClusterReport",
     "ClusterSim",
     "ContinuousBatchScheduler",

@@ -69,12 +69,27 @@ The report answers the serving questions the paper motivates: TTFT/TPOT
 tail percentiles, goodput against the configured SLO (the ~10 s
 interaction threshold by default), queueing delay, and per-pod
 utilization and energy.
+
+**Multi-tenant fleet operations** (:mod:`repro.serving.tenancy`): a
+config can carry N :class:`~repro.serving.tenancy.TenantSpec` rows,
+enable admission control (per-tenant token buckets charged only while
+the fleet-pressure signal -- prefill queue depth, decode KV occupancy
+-- says goodput is collapsing; refused arrivals are *shed*, tracked
+separately from infeasible rejections), and run an autoscaler control
+loop that on a fixed tick drains or provisions pods per pool (or
+reallocates between prefill and decode under a ``max_total_pods``
+hardware budget) against a $/pod-hour cost model.  The report then
+carries per-tenant SLO attainment, the max/min fairness ratio, shed
+counts, scaling events, and $/1e6 decode tokens.  All of it defaults
+off: a config with no tenants, no admission and no autoscaler is
+bit-identical to the single-tenant simulator.
 """
 
 from __future__ import annotations
 
 import enum
 import heapq
+import math
 from dataclasses import dataclass, field
 
 from repro.analysis.perf_model import system_for
@@ -89,6 +104,16 @@ from repro.serving.disaggregated import INTERACTION_THRESHOLD_S
 from repro.serving.kvstore import KvBlockStore, SwapPolicy, swap_recompute_costs
 from repro.serving.requests import Request
 from repro.serving.scheduler import ContinuousBatchScheduler, Policy, Reservation
+from repro.serving.tenancy import (
+    AdmissionConfig,
+    AutoscalerConfig,
+    CostModel,
+    ScalingEvent,
+    SloClass,
+    TenantReport,
+    TenantSpec,
+)
+from repro.serving.tenancy import fairness as _attainment_fairness
 from repro.util.stats import mean, percentile
 from repro.util.tables import Table
 
@@ -146,6 +171,18 @@ class PrefillPod:
     busy_until_s: float = 0.0
     busy_s: float = 0.0
     energy_j: float = 0.0
+    #: Autoscaler lifecycle.  ``active`` pods take work; ``draining``
+    #: pods finish their current prompt then deactivate;
+    #: ``provisioning`` pods are spinning up (weights push) and take
+    #: work once their ``_POD_READY`` event fires.  Without an
+    #: autoscaler every pod stays active for the whole run.
+    active: bool = True
+    draining: bool = False
+    provisioning: bool = False
+    activated_s: float = 0.0
+    #: Accumulated active wall-clock from *completed* active spans
+    #: (the span still open at run end is added by the report builder).
+    active_s: float = 0.0
 
     @property
     def engine(self) -> object:
@@ -206,6 +243,14 @@ class DecodePod:
     #: Integral of KV-pool occupancy over stepping time (occupancy
     #: time-weighted by step latency; divide by ``busy_s`` for the mean).
     kv_occupancy_s: float = 0.0
+    #: Autoscaler lifecycle (see :class:`PrefillPod`).  A draining
+    #: decode pod takes no new routes and deactivates once its last
+    #: sequence, transfer and pinned prefix reference are gone.
+    active: bool = True
+    draining: bool = False
+    provisioning: bool = False
+    activated_s: float = 0.0
+    active_s: float = 0.0
     _step_cache: dict[tuple[int, int], tuple[float, float]] = field(
         default_factory=dict, repr=False
     )
@@ -289,8 +334,17 @@ class ClusterConfig:
     late_binding: bool = True
     #: PREFIX_AFFINE only: the longest a fan-out sibling may be held
     #: back waiting for its founder's prefix to land before it is
-    #: prefilled anyway.
+    #: prefilled anyway.  0.0 disables deferral outright (degenerates
+    #: to FIFO), adaptive or not.
     affine_defer_s: float = 2.0
+    #: PREFIX_AFFINE only: extend each sibling's deferral deadline to
+    #: the in-flight founder's *estimated completion* (prefill end +
+    #: hand-off + chunked-ingest margin) when that estimate is later
+    #: than the fixed ``affine_defer_s`` window -- so the window tracks
+    #: the actual prefix-landing time instead of a guessed constant.
+    #: The fixed knob stays as the floor and as the whole story with
+    #: ``affine_adaptive=False``.
+    affine_adaptive: bool = True
     #: PRIORITY only: queue wait that buys one effective-priority level
     #: (aging, mirroring the decode preempter's preemption-count aging).
     prefill_aging_s: float = 10.0
@@ -336,6 +390,19 @@ class ClusterConfig:
     #: Host-link bandwidth for swap traffic (bytes/s).  ``None`` = the
     #: decode platform's ingest rate (the Ring Station host link).
     swap_bytes_per_s: float | None = None
+    #: Tenants sharing the fleet (their SLO classes drive the report's
+    #: per-tenant attainment and the admission buckets' weights).  The
+    #: empty default means one anonymous tenant scored against
+    #: ``slo_s`` -- the single-tenant simulator, unchanged.
+    tenants: tuple[TenantSpec, ...] = ()
+    #: Load shedding (off by default -- see
+    #: :class:`~repro.serving.tenancy.AdmissionConfig`).
+    admission: AdmissionConfig = AdmissionConfig()
+    #: Fleet control loop (``None`` = static fleet -- see
+    #: :class:`~repro.serving.tenancy.AutoscalerConfig`).
+    autoscaler: AutoscalerConfig | None = None
+    #: $/pod-hour pricing behind the report's ``usd_per_mtok``.
+    cost_model: CostModel = CostModel()
 
     def __post_init__(self) -> None:
         if not self.prefill_engines:
@@ -383,6 +450,14 @@ class ClusterConfig:
         if not self.prefill_aging_s > 0.0:
             raise ValueError(
                 f"prefill_aging_s must be positive, got {self.prefill_aging_s}"
+            )
+        names = [tenant.name for tenant in self.tenants]
+        if len(set(names)) != len(names):
+            raise ValueError(f"tenant names must be unique, got {names}")
+        if any(not name for name in names):
+            raise ValueError(
+                "roster tenants need non-empty names (the empty name is "
+                "the anonymous single-tenant default)"
             )
 
 
@@ -473,6 +548,10 @@ class RequestRecord:
 
     request: Request
     rejected: bool = False
+    #: Dropped at the door by admission control (tenant bucket empty
+    #: under fleet pressure) -- distinct from ``rejected``, which means
+    #: the request could never fit any pod.
+    shed: bool = False
     prefill_pod: str = ""
     decode_pod: str = ""
     prefill_start_s: float = 0.0
@@ -561,6 +640,11 @@ class PrefillJob:
     #: prefix epoch (registrations + reclaims) is unchanged.
     cached_epoch: int = -2
     cached_tokens: int = 0
+    #: PREFIX_AFFINE: deferral deadline the pending wake event targets
+    #: (-1 = no wake pushed yet).  Adaptive deferral can *extend* the
+    #: deadline after the first wake fired, so a later wake is pushed
+    #: whenever the deadline moves past this watermark.
+    wake_s: float = -1.0
 
 
 @dataclass(frozen=True)
@@ -609,6 +693,11 @@ class PodStats:
     swap_ins: int = 0
     swap_out_bytes: float = 0.0
     swap_in_bytes: float = 0.0
+    #: Wall-clock this pod was active (provisioned and not yet drained;
+    #: the whole run for a static fleet) and what those pod-hours cost
+    #: under the cluster's :class:`~repro.serving.tenancy.CostModel`.
+    active_s: float = 0.0
+    cost_usd: float = 0.0
 
     def utilization(self, elapsed_s: float) -> float:
         return min(self.busy_s / elapsed_s, 1.0) if elapsed_s > 0 else 0.0
@@ -640,10 +729,17 @@ class ClusterReport:
     slo_s: float = INTERACTION_THRESHOLD_S
     #: Shared prefill service-queue activity (depth, founder deferrals).
     prefill_queue: PrefillQueueStats = PrefillQueueStats()
+    #: Requests dropped by admission control (empty without shedding).
+    shed: tuple[RequestRecord, ...] = ()
+    #: Tenant roster the run was scored against (per-tenant SLO
+    #: classes); empty = one anonymous tenant scored on ``slo_s``.
+    tenants: tuple[TenantSpec, ...] = ()
+    #: Autoscaler audit trail (empty for a static fleet).
+    scaling_events: tuple[ScalingEvent, ...] = ()
 
     @property
     def num_submitted(self) -> int:
-        return len(self.completed) + len(self.rejected)
+        return len(self.completed) + len(self.rejected) + len(self.shed)
 
     # -- latency -------------------------------------------------------
     def ttft_percentile(self, q: float) -> float:
@@ -784,12 +880,189 @@ class ClusterReport:
     def energy_per_token_j(self) -> float:
         return self.total_energy_j / self.decode_tokens if self.decode_tokens else 0.0
 
-    def summary_table(self, title: str = "Cluster SLO report") -> Table:
+    # -- cost ----------------------------------------------------------
+    @property
+    def cost_usd(self) -> float:
+        """Fleet cost: each pod's active pod-hours at its platform's
+        $/pod-hour rate (elastic fleets pay only for provisioned time)."""
+        return sum(p.cost_usd for p in self.pod_stats)
+
+    @property
+    def usd_per_mtok(self) -> float:
+        """$ per million decode tokens -- the operator's unit economics."""
+        if not self.decode_tokens:
+            return 0.0
+        return self.cost_usd / self.decode_tokens * 1e6
+
+    # -- tenants -------------------------------------------------------
+    def per_tenant(self) -> dict[str, TenantReport]:
+        """Per-tenant slices, keyed by tenant name.
+
+        Tenants come from the roster when one was configured; otherwise
+        every request's ``tenant`` tag ("" for untagged single-tenant
+        traffic) forms a pseudo-tenant scored against the run's
+        ``slo_s`` as an end-to-end-only SLO class.  Shed and rejected
+        requests count against their tenant's offered load.
+        """
+        slos = {t.name: t.slo for t in self.tenants}
+        default_slo = SloClass("default", e2e_s=self.slo_s)
+        names = sorted(
+            {r.request.tenant for r in self.completed}
+            | {r.request.tenant for r in self.rejected}
+            | {r.request.tenant for r in self.shed}
+            | set(slos)
+        )
+        out: dict[str, TenantReport] = {}
+        for name in names:
+            slo = slos.get(name, default_slo)
+            done = [r for r in self.completed if r.request.tenant == name]
+            shed = sum(1 for r in self.shed if r.request.tenant == name)
+            rejected = sum(
+                1 for r in self.rejected if r.request.tenant == name
+            )
+            out[name] = TenantReport(
+                name=name,
+                slo=slo,
+                offered=len(done) + shed + rejected,
+                completed=len(done),
+                shed=shed,
+                rejected=rejected,
+                attained=sum(
+                    1 for r in done
+                    if slo.attained(r.ttft_s, r.tpot_s, r.end_to_end_s)
+                ),
+                decode_tokens=sum(r.request.decode_len for r in done),
+                ttft_p95_s=(
+                    percentile([r.ttft_s for r in done], 95) if done else 0.0
+                ),
+                mean_tpot_s=mean([r.tpot_s for r in done]) if done else 0.0,
+            )
+        return out
+
+    @property
+    def fairness(self) -> float:
+        """Max/min SLO-attainment ratio across tenants that were
+        offered any load (1.0 = perfectly fair)."""
+        return _attainment_fairness(
+            {
+                name: report.attainment
+                for name, report in self.per_tenant().items()
+                if report.offered
+            }
+        )
+
+    # -- serialization -------------------------------------------------
+    def to_json(self) -> dict:
+        """The report as one JSON-safe dict (non-finite floats become
+        ``None``) -- the structure ``bench_*.py`` scripts emit instead
+        of hand-rolling metric dicts."""
+
+        def safe(value: float) -> float | None:
+            return value if math.isfinite(value) else None
+
+        latency: dict[str, float] = {}
+        if self.completed:
+            latency = {
+                "ttft_p50_s": self.ttft_percentile(50),
+                "ttft_p95_s": self.ttft_percentile(95),
+                "ttft_p99_s": self.ttft_percentile(99),
+                "tpot_p50_s": self.tpot_percentile(50),
+                "tpot_p99_s": self.tpot_percentile(99),
+                "mean_queueing_delay_s": self.mean_queueing_delay_s,
+            }
+        return {
+            "duration_s": self.duration_s,
+            "last_arrival_s": self.last_arrival_s,
+            "slo_s": safe(self.slo_s),
+            "submitted": self.num_submitted,
+            "completed": len(self.completed),
+            "rejected": len(self.rejected),
+            "shed": len(self.shed),
+            "goodput": self.goodput,
+            **latency,
+            "decode_tokens": self.decode_tokens,
+            "tokens_per_s": self.tokens_per_s,
+            "arrival_window_tokens_per_s": self.arrival_window_tokens_per_s,
+            "mean_decode_kv_occupancy": self.mean_decode_kv_occupancy,
+            "preemptions": self.total_preemptions,
+            "prefix_hit_rate": self.prefix_hit_rate,
+            "late_hits": self.late_hits,
+            "late_hit_tokens": self.late_hit_tokens,
+            "swaps": self.total_swaps,
+            "swap_bytes": self.total_swap_bytes,
+            "energy_j": self.total_energy_j,
+            "energy_per_token_j": self.energy_per_token_j,
+            "cost_usd": self.cost_usd,
+            "usd_per_mtok": self.usd_per_mtok,
+            "fairness": safe(self.fairness),
+            "prefill_queue": {
+                "jobs": self.prefill_queue.jobs,
+                "peak_depth": self.prefill_queue.peak_depth,
+                "mean_depth": self.prefill_queue.mean_depth,
+                "founder_deferrals": self.prefill_queue.founder_deferrals,
+                "founder_wait_s": self.prefill_queue.founder_wait_s,
+            },
+            "pods": [
+                {
+                    "pod_id": p.pod_id,
+                    "kind": p.kind,
+                    "platform": p.platform,
+                    "busy_s": p.busy_s,
+                    "utilization": p.utilization(self.duration_s),
+                    "energy_j": p.energy_j,
+                    "preemptions": p.preemptions,
+                    "kv_occupancy": p.kv_occupancy,
+                    "active_s": p.active_s,
+                    "cost_usd": p.cost_usd,
+                }
+                for p in self.pod_stats
+            ],
+            "tenants": {
+                name: {
+                    "slo": report.slo.name,
+                    "offered": report.offered,
+                    "completed": report.completed,
+                    "shed": report.shed,
+                    "rejected": report.rejected,
+                    "attained": report.attained,
+                    "attainment": report.attainment,
+                    "shed_fraction": report.shed_fraction,
+                    "decode_tokens": report.decode_tokens,
+                    "ttft_p95_s": report.ttft_p95_s,
+                    "mean_tpot_s": report.mean_tpot_s,
+                }
+                for name, report in self.per_tenant().items()
+            },
+            "scaling_events": [
+                {
+                    "t_s": e.t_s,
+                    "pool": e.pool,
+                    "action": e.action,
+                    "pod_id": e.pod_id,
+                    "pressure": e.pressure,
+                }
+                for e in self.scaling_events
+            ],
+        }
+
+    def summary_table(
+        self,
+        title: str = "Cluster SLO report",
+        group_by: str | None = None,
+    ) -> Table:
+        if group_by == "tenant":
+            return self._tenant_table(title)
+        if group_by is not None:
+            raise ValueError(
+                f"group_by must be None or 'tenant', got {group_by!r}"
+            )
         table = Table(title, ["metric", "value"])
         table.add_row(["queries completed / submitted",
                        f"{len(self.completed)} / {self.num_submitted}"])
         slo = "inf" if self.slo_s == float("inf") else f"{self.slo_s:g} s"
         table.add_row([f"goodput (<= {slo})", f"{self.goodput:.1%}"])
+        if self.shed:
+            table.add_row(["shed (admission control)", f"{len(self.shed)}"])
         if self.completed:
             # Latency rows are undefined with zero completions; "n/a"
             # beats a misleading 0.00 s.
@@ -840,6 +1113,15 @@ class ClusterReport:
                            f"{self.total_swaps} "
                            f"({self.total_swap_bytes / 1e9:.1f} GB moved)"])
         table.add_row(["fleet energy (kJ)", f"{self.total_energy_j / 1e3:.1f}"])
+        if self.scaling_events:
+            ups = sum(1 for e in self.scaling_events if e.action == "up")
+            downs = len(self.scaling_events) - ups
+            table.add_row(["autoscaler actions (up / down)",
+                           f"{ups} / {downs}"])
+        if self.tenants or self.scaling_events or self.shed:
+            table.add_row(["fleet cost ($, $/Mtok)",
+                           f"{self.cost_usd:.2f}, "
+                           f"{self.usd_per_mtok:.2f}"])
         for pod in self.pod_stats:
             label = f"{pod.pod_id} utilization"
             if pod.platform:
@@ -848,12 +1130,41 @@ class ClusterReport:
                            f"{pod.utilization(self.duration_s):.0%}"])
         return table
 
+    def _tenant_table(self, title: str) -> Table:
+        """``summary_table(group_by="tenant")``: one row per tenant
+        plus fleet fairness and unit-economics footers."""
+        table = Table(
+            title,
+            ["tenant", "SLO class", "offered", "done", "shed",
+             "attainment", "TTFT p95 (s)", "TPOT (ms)"],
+        )
+        for name, report in self.per_tenant().items():
+            table.add_row([
+                name or "(default)",
+                report.slo.name,
+                f"{report.offered}",
+                f"{report.completed}",
+                f"{report.shed}",
+                f"{report.attainment:.1%}",
+                f"{report.ttft_p95_s:.2f}",
+                f"{report.mean_tpot_s * 1e3:.2f}",
+            ])
+        fair = self.fairness
+        table.add_row([
+            "fleet", "", f"{self.num_submitted}", f"{len(self.completed)}",
+            f"{len(self.shed)}",
+            "inf" if fair == float("inf") else f"fair {fair:.2f}",
+            f"${self.cost_usd:.2f}",
+            f"${self.usd_per_mtok:.2f}/Mtok",
+        ])
+        return table
+
 
 # ----------------------------------------------------------------------
 # The simulator
 # ----------------------------------------------------------------------
 (_ARRIVAL, _PREFILL_DONE, _KV_ARRIVE, _STEP, _RESUME, _SWAP_BACK,
- _PREFILL_WAKE) = range(7)
+ _PREFILL_WAKE, _AUTOSCALE, _POD_READY) = range(9)
 
 
 class ClusterSim:
@@ -878,36 +1189,42 @@ class ClusterSim:
         self.decode_pods = []
         self._recompute_cache: dict[tuple[str, int, float], float] = {}
         for i, spec in enumerate(config.decode_pods):
-            platform = as_platform(spec.engine, warn=True)
-            budget = config.kv_budget_bytes or platform.kv_budget_bytes(
-                spec.model, config.weight_dtype
-            )
-            pod = DecodePod(
-                pod_id=f"decode{i}",
-                model=spec.model,
-                platform=platform,
-                scheduler=ContinuousBatchScheduler(
-                    kv_budget_bytes=budget,
-                    max_batch=config.max_batch,
-                    policy=config.policy,
-                    kv_dtype=config.kv_dtype,
-                    reservation=config.reservation,
-                    block_tokens=config.block_tokens,
-                    chunk_tokens=config.chunk_tokens,
-                    store=KvBlockStore(
-                        budget_bytes=budget,
-                        prefix_caching=config.prefix_caching,
-                        host_capacity_bytes=config.host_kv_bytes,
-                    ),
-                    # The cluster re-routes preempted requests
-                    # through a prefill pod (recompute-on-resume).
-                    requeue_preempted=False,
-                ),
-                weight_dtype=config.weight_dtype,
+            self.decode_pods.append(self._make_decode_pod(f"decode{i}", spec))
+
+    def _make_decode_pod(self, pod_id: str, spec: DecodePodSpec) -> DecodePod:
+        """One decode pod per the config's serving point (also the
+        autoscaler's factory when it grows the pool past the roster)."""
+        config = self.config
+        platform = as_platform(spec.engine, warn=True)
+        budget = config.kv_budget_bytes or platform.kv_budget_bytes(
+            spec.model, config.weight_dtype
+        )
+        pod = DecodePod(
+            pod_id=pod_id,
+            model=spec.model,
+            platform=platform,
+            scheduler=ContinuousBatchScheduler(
+                kv_budget_bytes=budget,
+                max_batch=config.max_batch,
+                policy=config.policy,
                 kv_dtype=config.kv_dtype,
-            )
-            pod.scheduler.swap_decider = self._swap_decider(pod)
-            self.decode_pods.append(pod)
+                reservation=config.reservation,
+                block_tokens=config.block_tokens,
+                chunk_tokens=config.chunk_tokens,
+                store=KvBlockStore(
+                    budget_bytes=budget,
+                    prefix_caching=config.prefix_caching,
+                    host_capacity_bytes=config.host_kv_bytes,
+                ),
+                # The cluster re-routes preempted requests
+                # through a prefill pod (recompute-on-resume).
+                requeue_preempted=False,
+            ),
+            weight_dtype=config.weight_dtype,
+            kv_dtype=config.kv_dtype,
+        )
+        pod.scheduler.swap_decider = self._swap_decider(pod)
+        return pod
 
     # -- swap cost model -----------------------------------------------
     def _swap_rate(self, pod: DecodePod) -> float:
@@ -970,13 +1287,24 @@ class ClusterSim:
 
     def _route_decode(self, request: Request) -> DecodePod | None:
         """Least-loaded decode pod hosting the request's model, or None
-        if no pod could ever hold its KV."""
+        if no pod could ever hold its KV.  Draining/parked pods take no
+        new routes; a fleet drained mid-flight (every host inactive)
+        falls back to any capable pod so in-flight work still lands."""
         hosts = [
             pod
             for pod in self.decode_pods
-            if pod.model.name == request.model.name
+            if pod.active
+            and not pod.draining
+            and pod.model.name == request.model.name
             and pod.scheduler.fits_ever(request)
         ]
+        if not hosts:
+            hosts = [
+                pod
+                for pod in self.decode_pods
+                if pod.model.name == request.model.name
+                and pod.scheduler.fits_ever(request)
+            ]
         if not hosts:
             return None
         return min(hosts, key=lambda pod: (pod.outstanding_tokens(), pod.pod_id))
@@ -989,7 +1317,9 @@ class ClusterSim:
         best_key: tuple[int, int, str] = (0, 0, "")
         for pod in self.decode_pods:
             if (
-                pod.model.name != request.model.name
+                not pod.active
+                or pod.draining
+                or pod.model.name != request.model.name
                 or not pod.scheduler.fits_ever(request)
             ):
                 continue
@@ -1104,6 +1434,8 @@ class ClusterSim:
         deferred on its behalf -- e.g. after the blocks were evicted."""
         if self.config.prefill_policy is not PrefillPolicy.PREFIX_AFFINE:
             return False
+        if self.config.affine_defer_s == 0.0:
+            return False  # a zero window disables deferral outright
         request = job.record.request
         if not self._wants_prefix(request) or not self.config.late_binding:
             return False
@@ -1118,14 +1450,25 @@ class ClusterSim:
         if inflight <= 0:
             return False  # nobody in flight -- this job founds the group
         deadline = job.enqueued_s + self.config.affine_defer_s
+        if self.config.affine_adaptive:
+            # Track the in-flight founder's estimated prefix-landing
+            # time instead of the fixed guess (which stays the floor).
+            eta = self._group_eta.get(key)
+            if eta is not None and eta > deadline:
+                deadline = eta
         if now >= deadline:
             return False  # waited long enough: prefill it after all
         if not job.deferred:
             job.deferred = True
             self._founder_deferrals += 1
+        if deadline > job.wake_s:
             # Wake the queue at the deadline; other events (prefill
             # completions, decode steps registering the prefix) drain
-            # it earlier.
+            # it earlier.  Adaptive deferral can *extend* the deadline
+            # after the first wake was pushed (the founder's ETA is
+            # refined at prefill completion), so push again whenever it
+            # moves -- stale earlier wakes are skipped by the loop.
+            job.wake_s = deadline
             self._push(deadline, _PREFILL_WAKE, None)
         return True
 
@@ -1208,7 +1551,10 @@ class ClusterSim:
         # and books pods, but never registers or reclaims trie blocks.
         epoch = self._prefix_epoch() if self._bypass_enabled else -1
         while self._queue:
-            idle = [p for p in self.prefill_pods if p.busy_until_s <= now]
+            idle = [
+                p for p in self.prefill_pods
+                if p.busy_until_s <= now and p.active and not p.draining
+            ]
             if not idle:
                 if not self._bypass_enabled:
                     return
@@ -1246,11 +1592,12 @@ class ClusterSim:
             key = (request.model.name, request.prefix_id)
             self._group_inflight[key] = self._group_inflight.get(key, 0) + 1
         if job.deferred:
-            # Book only the time inside the deferral window: deferral
-            # cannot delay a job past its deadline, so anything beyond
-            # is ordinary pod scarcity, not founder wait.
+            # Book only the time inside the deferral window (the last
+            # deadline the job's wake targeted -- fixed or adaptive):
+            # deferral cannot delay a job past its deadline, so anything
+            # beyond is ordinary pod scarcity, not founder wait.
             self._founder_wait_s += min(
-                now - job.enqueued_s, self.config.affine_defer_s
+                now - job.enqueued_s, job.wake_s - job.enqueued_s
             )
         record.cached_prefix_tokens = cached
         record.queue_wait_s += now - job.enqueued_s
@@ -1270,14 +1617,55 @@ class ClusterSim:
         record.prefill_pod = pod.pod_id
         record.prefill_start_s = start
         record.prefill_end_s = end
+        if self._affine_eta_enabled and record.group_inflight:
+            # First cut of the group's prefix-landing ETA: the prefill
+            # finish time (the hand-off + ingest margin is added when
+            # the prefill actually completes and the route is known).
+            self._group_eta[(request.model.name, request.prefix_id)] = end
         self._push(end, _PREFILL_DONE, record)
 
     # -- event handlers ------------------------------------------------
     def _on_arrival(self, now: float, record: RequestRecord) -> None:
         if self._route_decode(record.request) is None:
             record.rejected = True
+            self._unresolved -= 1
             return
+        admission = self.config.admission
+        if admission.enabled and self._fleet_pressure() >= admission.pressure_floor:
+            # The fleet is saturated: the arrival must pay its decode
+            # tokens from its tenant's bucket or be shed at the door.
+            bucket = self._buckets.get(
+                record.request.tenant, self._default_bucket
+            )
+            if bucket is not None and not bucket.take(
+                now, record.request.decode_len
+            ):
+                record.shed = True
+                self._unresolved -= 1
+                return
         self._enqueue_prefill(now, record)
+
+    def _fleet_pressure(self) -> float:
+        """The saturation signal admission control gates on: the worse
+        of normalized prefill-queue depth and mean decode KV occupancy
+        (the two leading indicators of a goodput collapse)."""
+        admission = self.config.admission
+        active_prefill = sum(
+            1 for p in self.prefill_pods if p.active and not p.draining
+        )
+        queue_term = len(self._queue) / (
+            max(1, active_prefill) * admission.queue_depth_scale
+        )
+        routable = [
+            p for p in self.decode_pods if p.active and not p.draining
+        ]
+        if routable:
+            kv_term = sum(p.scheduler.kv_occupancy for p in routable) / len(
+                routable
+            )
+        else:
+            kv_term = 1.0
+        return max(queue_term, kv_term)
 
     def _on_prefill_done(self, now: float, record: RequestRecord) -> None:
         request = record.request
@@ -1301,6 +1689,19 @@ class ClusterSim:
         transfer_s = context_kv / self._kv_ingest_rate(pod)
         record.decode_pod = pod.pod_id
         pod.in_transfer_tokens += request.decode_len - record.resume_tokens
+        if self._affine_eta_enabled and record.group_inflight:
+            # Refine the group's prefix-landing ETA: the prefix only
+            # registers after the hand-off *and* the chunked ingest on
+            # the decode pod, so add both (ingest at the pod's current
+            # step pace, with 50% headroom for batch growth).
+            context = request.prompt_len + record.resume_tokens
+            chunks = -(-context // self.config.chunk_tokens)
+            step_s, _ = pod.step_cost(
+                max(1, pod.scheduler.batch_size), max(context, 1)
+            )
+            self._group_eta[(request.model.name, request.prefix_id)] = (
+                now + transfer_s + 1.5 * chunks * step_s
+            )
         self._push(now + transfer_s, _KV_ARRIVE, (pod, record))
 
     def _on_kv_arrive(self, now: float, pod: DecodePod, record: RequestRecord) -> None:
@@ -1346,6 +1747,7 @@ class ClusterSim:
         for entry in finished:
             record = self._records_by_id[entry.request.request_id]
             record.completed_s = end
+            self._unresolved -= 1
             if record.group_inflight:
                 # The group's in-flight tally drops: once it reaches
                 # zero nobody is left to (re-)publish the prefix, so
@@ -1355,6 +1757,7 @@ class ClusterSim:
                 self._group_inflight[key] -= 1
                 if not self._group_inflight[key]:
                     del self._group_inflight[key]
+                    self._group_eta.pop(key, None)
         for queued in pod.scheduler.take_preempted():
             pod.preemptions += 1
             record = self._records_by_id[queued.request.request_id]
@@ -1397,6 +1800,167 @@ class ClusterSim:
             pod.stepping = True
             self._push(now, _STEP, pod)
 
+    # -- autoscaler control loop ---------------------------------------
+    def _deactivate(self, pod: PrefillPod | DecodePod, now: float) -> None:
+        """A draining pod's last work is gone: park it (it keeps its
+        weights and KV store, so reactivation is a warm start)."""
+        pod.draining = False
+        pod.active = False
+        pod.active_s += now - pod.activated_s
+
+    def _finish_drains(self, now: float) -> None:
+        """Park draining pods whose work has run out."""
+        for pod in self.prefill_pods:
+            if pod.draining and pod.busy_until_s <= now:
+                self._deactivate(pod, now)
+        pinned = {id(p) for p in self._pinned.values()}
+        for pod in self.decode_pods:
+            if (
+                pod.draining
+                and not pod.scheduler.active
+                and not pod.scheduler.queue
+                and pod.in_transfer_tokens == 0
+                and id(pod) not in pinned
+            ):
+                self._deactivate(pod, now)
+
+    def _pool_sizes(self) -> tuple[int, int]:
+        """(prefill, decode) pods that are serving or spinning up --
+        the counts scaling decisions are made against (draining pods
+        are on their way out and don't count)."""
+        prefill = sum(
+            1 for p in self.prefill_pods
+            if (p.active or p.provisioning) and not p.draining
+        )
+        decode = sum(
+            1 for p in self.decode_pods
+            if (p.active or p.provisioning) and not p.draining
+        )
+        return prefill, decode
+
+    def _autoscale(self, now: float) -> None:
+        """One control-period tick: finish drains, read per-pool
+        pressure, and take at most one action per pool.  Under a
+        ``max_total_pods`` hardware budget a hot pool can only grow by
+        *reallocation* -- draining one pod from the other pool,
+        provided that pool is cold and above its own minimum."""
+        cfg = self.config.autoscaler
+        assert cfg is not None
+        self._finish_drains(now)
+        n_prefill, n_decode = self._pool_sizes()
+        prefill_pressure = len(self._queue) / (
+            max(1, n_prefill) * cfg.queue_depth_scale
+        )
+        routable = [
+            p for p in self.decode_pods if p.active and not p.draining
+        ]
+        if routable:
+            decode_pressure = sum(
+                p.scheduler.kv_occupancy for p in routable
+            ) / len(routable)
+        else:
+            decode_pressure = 1.0
+
+        def grow(pool: str, pressure: float, size: int, cap: int,
+                 other: str, other_pressure: float, other_size: int,
+                 other_min: int) -> None:
+            if size >= cap:
+                return
+            if (
+                cfg.max_total_pods is not None
+                and n_prefill + n_decode >= cfg.max_total_pods
+            ):
+                # At the hardware budget: reallocate from the other
+                # pool only if it is cold and can spare a pod.
+                if (
+                    other_pressure <= cfg.scale_down_pressure
+                    and other_size > other_min
+                    and self._scale_down(now, other, other_pressure)
+                ):
+                    self._scale_up(now, pool, pressure)
+                return
+            self._scale_up(now, pool, pressure)
+
+        if prefill_pressure >= cfg.scale_up_pressure:
+            grow("prefill", prefill_pressure, n_prefill,
+                 cfg.max_prefill_pods, "decode", decode_pressure,
+                 n_decode, cfg.min_decode_pods)
+        elif (
+            prefill_pressure <= cfg.scale_down_pressure
+            and n_prefill > cfg.min_prefill_pods
+        ):
+            self._scale_down(now, "prefill", prefill_pressure)
+        if decode_pressure >= cfg.scale_up_pressure:
+            n_prefill, n_decode = self._pool_sizes()
+            grow("decode", decode_pressure, n_decode,
+                 cfg.max_decode_pods, "prefill", prefill_pressure,
+                 n_prefill, cfg.min_prefill_pods)
+        elif (
+            decode_pressure <= cfg.scale_down_pressure
+            and n_decode > cfg.min_decode_pods
+        ):
+            self._scale_down(now, "decode", decode_pressure)
+
+    def _scale_up(self, now: float, pool: str, pressure: float) -> None:
+        """Provision one pod into ``pool``: reactivate a parked pod
+        when one exists (warm start -- it kept its weights), else clone
+        the pool's first roster entry.  Either way the pod serves after
+        ``provision_s`` (the ``_POD_READY`` event)."""
+        cfg = self.config.autoscaler
+        assert cfg is not None
+        pods = self.prefill_pods if pool == "prefill" else self.decode_pods
+        pod = next(
+            (p for p in pods if not p.active and not p.provisioning), None
+        )
+        if pod is None:
+            if pool == "prefill":
+                pod = PrefillPod(
+                    pod_id=f"prefill{len(self.prefill_pods)}",
+                    platform=self.prefill_pods[0].platform,
+                    weight_dtype=self.config.weight_dtype,
+                    kv_dtype=self.config.kv_dtype,
+                    active=False,
+                )
+                self.prefill_pods.append(pod)
+            else:
+                pod = self._make_decode_pod(
+                    f"decode{len(self.decode_pods)}",
+                    self.config.decode_pods[0],
+                )
+                pod.active = False
+                self.decode_pods.append(pod)
+        pod.provisioning = True
+        self._push(now + cfg.provision_s, _POD_READY, pod)
+        self._scaling_events.append(
+            ScalingEvent(now, pool, "up", pod.pod_id, pressure)
+        )
+
+    def _scale_down(self, now: float, pool: str, pressure: float) -> bool:
+        """Start draining one pod of ``pool`` (the idlest candidate;
+        later-provisioned pods first on ties).  Returns False when no
+        active pod is left to drain."""
+        if pool == "prefill":
+            candidates = [
+                (p.busy_until_s > now, -i, p)
+                for i, p in enumerate(self.prefill_pods)
+                if p.active and not p.draining and not p.provisioning
+            ]
+        else:
+            candidates = [
+                (p.outstanding_tokens(), -i, p)
+                for i, p in enumerate(self.decode_pods)
+                if p.active and not p.draining and not p.provisioning
+            ]
+        if not candidates:
+            return False
+        _, _, pod = min(candidates, key=lambda c: c[:2])
+        pod.draining = True
+        self._scaling_events.append(
+            ScalingEvent(now, pool, "down", pod.pod_id, pressure)
+        )
+        self._finish_drains(now)  # an idle victim parks immediately
+        return True
+
     # -- run -----------------------------------------------------------
     def run(self, requests: list[Request]) -> ClusterReport:
         """Simulate until every submitted request completes (or is
@@ -1427,12 +1991,41 @@ class ClusterSim:
         #: O(1) per job anyway -- the pinned count is precomputed).
         self._bypass_enabled = self.config.prefix_caching
         self._bypass_epoch = -1
+        #: PREFIX_AFFINE adaptive deferral: per-group estimated
+        #: prefix-landing time, published/refined while a founder is in
+        #: flight and dropped when its group's in-flight tally empties.
+        self._affine_eta_enabled = (
+            self.config.prefill_policy is PrefillPolicy.PREFIX_AFFINE
+            and self.config.affine_adaptive
+        )
+        self._group_eta: dict[tuple[str, int], float] = {}
+        #: Admission buckets (one per tenant; untagged / unrostered
+        #: traffic shares a weight-1.0 default bucket).
+        self._buckets = {}
+        self._default_bucket = None
+        if self.config.admission.enabled:
+            self._buckets = {
+                t.name: self.config.admission.bucket(t.weight)
+                for t in self.config.tenants
+            }
+            self._default_bucket = self._buckets.get(
+                ""
+            ) or self.config.admission.bucket(1.0)
+        self._scaling_events: list[ScalingEvent] = []
         records = [RequestRecord(request=request) for request in requests]
         self._records_by_id = {r.request.request_id: r for r in records}
         if len(self._records_by_id) != len(records):
             raise ValueError("request_ids must be unique within one run")
+        #: Requests not yet completed, rejected or shed -- the
+        #: autoscaler's tick stops re-arming when this hits zero so the
+        #: control loop cannot outlive the workload.
+        self._unresolved = len(records)
         for record in records:
             self._push(record.request.arrival_s, _ARRIVAL, record)
+        if self.config.autoscaler is not None and records:
+            self._push(
+                self.config.autoscaler.control_period_s, _AUTOSCALE, None
+            )
 
         last_time = 0.0
         while self._events:
@@ -1443,7 +2036,30 @@ class ClusterSim:
                 # the clock, or an idle tail would inflate duration_s
                 # and every per-duration metric.
                 continue
+            if kind in (_AUTOSCALE, _POD_READY) and self._unresolved <= 0:
+                # The workload is resolved: drop control-loop events
+                # before they touch the clock (and stop re-arming), so
+                # the autoscaler cannot stretch duration_s past the
+                # last real completion.
+                continue
             last_time = max(last_time, now)
+            if kind == _AUTOSCALE:
+                self._autoscale(now)
+                self._push(
+                    now + self.config.autoscaler.control_period_s,
+                    _AUTOSCALE,
+                    None,
+                )
+                self._drain_prefill_queue(now)
+                continue
+            if kind == _POD_READY:
+                pod = payload
+                if pod.provisioning:
+                    pod.provisioning = False
+                    pod.active = True
+                    pod.activated_s = now
+                self._drain_prefill_queue(now)
+                continue
             if kind == _ARRIVAL:
                 self._on_arrival(now, payload)
             elif kind == _PREFILL_DONE:
@@ -1477,11 +2093,23 @@ class ClusterSim:
             founder_deferrals=self._founder_deferrals,
             founder_wait_s=self._founder_wait_s,
         )
+        def _active_s(pod: PrefillPod | DecodePod) -> float:
+            # Close the span still open at run end (static fleets stay
+            # active throughout, so this is the whole run).
+            open_span = last_time - pod.activated_s if pod.active else 0.0
+            return pod.active_s + open_span
+
+        def _cost_usd(pod: PrefillPod | DecodePod) -> float:
+            rate = self.config.cost_model.rate(pod.platform.name)
+            return rate * _active_s(pod) / 3600.0
+
         pod_stats = tuple(
             [
                 PodStats(
                     p.pod_id, "prefill", p.busy_s, p.energy_j,
                     platform=p.platform.name,
+                    active_s=_active_s(p),
+                    cost_usd=_cost_usd(p),
                 )
                 for p in self.prefill_pods
             ]
@@ -1505,6 +2133,8 @@ class ClusterSim:
                     swap_ins=p.store.stats.swap_ins,
                     swap_out_bytes=p.store.stats.swap_out_bytes,
                     swap_in_bytes=p.store.stats.swap_in_bytes,
+                    active_s=_active_s(p),
+                    cost_usd=_cost_usd(p),
                 )
                 for p in self.decode_pods
             ]
@@ -1519,6 +2149,9 @@ class ClusterSim:
             ),
             slo_s=self.config.slo_s,
             prefill_queue=queue_stats,
+            shed=tuple(r for r in records if r.shed),
+            tenants=self.config.tenants,
+            scaling_events=tuple(self._scaling_events),
         )
 
 

@@ -15,6 +15,14 @@ Two arrival processes are modeled:
   periods, keeping the same *average* rate.  Bursts are what stress a
   continuous-batching scheduler's admission control.
 
+Arrivals can also come from an :class:`ArrivalTrace` -- a replayable
+schedule loaded from a JSON/CSV trace file or synthesized by the
+:meth:`ArrivalTrace.diurnal` / :meth:`ArrivalTrace.flash_crowd`
+generators (non-homogeneous Poisson via thinning) -- which
+:meth:`RequestGenerator.replay` turns into requests, sampling any
+lengths the trace leaves unspecified.  Multi-tenant traffic merges one
+stream per tenant with :func:`merge_requests`.
+
 Traffic can carry **shared-prefix structure**: with
 ``TrafficClass.prefix_share_prob`` set, arrivals join prefix groups
 (same ``Request.prefix_id``, identical first ``prefix_len`` prompt
@@ -34,11 +42,13 @@ deterministic given its configuration.
 
 from __future__ import annotations
 
+import csv
 import enum
+import json
 import math
 import random
-from dataclasses import dataclass
-from typing import Iterable
+from dataclasses import dataclass, replace
+from typing import Callable, Iterable
 
 from repro.models.config import ModelConfig
 from repro.models.dtypes import DType
@@ -103,6 +113,10 @@ class Request:
     #: from resident blocks.  ``None`` = no shared structure.
     prefix_id: int | None = None
     prefix_len: int = 0
+    #: Owning tenant's name ("" = untagged single-tenant traffic).  The
+    #: fleet simulator's admission control charges this tenant's token
+    #: bucket and the report's ``per_tenant()`` groups on it.
+    tenant: str = ""
 
     def __post_init__(self) -> None:
         if self.prompt_len < 1:
@@ -257,6 +271,253 @@ def reasoning_traffic(model: ModelConfig) -> TrafficClass:
     """The paper's motivating workload: short prompt, long chain of
     thought (Section IX's 2k prompt / 4k reasoning split)."""
     return TrafficClass(model, prompt_mean=2048, decode_mean=4096)
+
+
+# ----------------------------------------------------------------------
+# Arrival traces
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TraceRow:
+    """One arrival in an :class:`ArrivalTrace`.
+
+    Only the timestamp is mandatory; lengths left ``None`` are sampled
+    from the replaying generator's traffic classes, so a
+    timestamps-only production trace still exercises realistic length
+    distributions.
+    """
+
+    arrival_s: float
+    prompt_len: int | None = None
+    decode_len: int | None = None
+    priority: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.prompt_len is not None and self.prompt_len < 1:
+            raise ValueError(f"prompt_len must be >= 1, got {self.prompt_len}")
+        if self.decode_len is not None and self.decode_len < 1:
+            raise ValueError(f"decode_len must be >= 1, got {self.decode_len}")
+
+
+def _thinned_poisson(
+    rate_fn: Callable[[float], float],
+    peak_rate: float,
+    duration_s: float,
+    seed: int,
+) -> list[float]:
+    """Arrival times of a non-homogeneous Poisson process on
+    ``[0, duration_s)`` with intensity ``rate_fn``, by thinning
+    (Lewis & Shedler): draw candidates at the constant ``peak_rate``
+    envelope and accept each with probability ``rate_fn(t)/peak_rate``.
+    """
+    rng = random.Random(seed)
+    times: list[float] = []
+    now = 0.0
+    while True:
+        now += rng.expovariate(peak_rate)
+        if now >= duration_s:
+            return times
+        if rng.random() * peak_rate <= rate_fn(now):
+            times.append(now)
+
+
+@dataclass(frozen=True)
+class ArrivalTrace:
+    """A replayable open-loop arrival schedule.
+
+    Traces decouple *when* requests arrive from *what* they look like:
+    :meth:`RequestGenerator.replay` walks the rows, fills in lengths
+    the trace leaves unspecified from its traffic classes, and returns
+    ordinary :class:`Request` objects.  Load from production logs with
+    :meth:`from_json` / :meth:`from_csv`, or synthesize the two shapes
+    Poisson can't express -- :meth:`diurnal` (sinusoidal day/night
+    swing) and :meth:`flash_crowd` (a rectangular rate spike, the
+    load-shedding stress test).
+
+    Rows must be time-ordered: a non-monotone trace almost always means
+    a corrupted or mis-sorted log, so it is rejected loudly (with the
+    offending row index) rather than silently re-sorted.
+    """
+
+    rows: tuple[TraceRow, ...] = ()
+
+    def __post_init__(self) -> None:
+        last = 0.0
+        for index, row in enumerate(self.rows):
+            if not math.isfinite(row.arrival_s) or row.arrival_s < 0:
+                raise ValueError(
+                    f"trace row {index}: arrival_s must be finite and >= 0,"
+                    f" got {row.arrival_s}"
+                )
+            if row.arrival_s < last:
+                raise ValueError(
+                    f"trace row {index}: non-monotone arrival_s"
+                    f" ({row.arrival_s} after {last}); traces must be"
+                    " sorted by arrival time"
+                )
+            last = row.arrival_s
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    @property
+    def duration_s(self) -> float:
+        """Timestamp of the last arrival (0.0 for an empty trace)."""
+        return self.rows[-1].arrival_s if self.rows else 0.0
+
+    # -- constructors ---------------------------------------------------
+    @classmethod
+    def from_times(cls, times: Iterable[float]) -> "ArrivalTrace":
+        """A timestamps-only trace (lengths sampled at replay)."""
+        return cls(tuple(TraceRow(arrival_s=t) for t in times))
+
+    @classmethod
+    def from_json(cls, path: str) -> "ArrivalTrace":
+        """Load a trace from a JSON file: a list of objects with
+        required ``arrival_s`` and optional ``prompt_len`` /
+        ``decode_len`` / ``priority`` (see README for the format spec).
+        """
+        with open(path) as handle:
+            payload = json.load(handle)
+        if not isinstance(payload, list):
+            raise ValueError(
+                f"{path}: trace JSON must be a list of row objects"
+            )
+        rows = []
+        for index, entry in enumerate(payload):
+            if not isinstance(entry, dict) or "arrival_s" not in entry:
+                raise ValueError(
+                    f"{path}: row {index} must be an object with arrival_s"
+                )
+            rows.append(
+                TraceRow(
+                    arrival_s=float(entry["arrival_s"]),
+                    prompt_len=_opt_int(entry.get("prompt_len")),
+                    decode_len=_opt_int(entry.get("decode_len")),
+                    priority=_opt_int(entry.get("priority")),
+                )
+            )
+        return cls(tuple(rows))
+
+    @classmethod
+    def from_csv(cls, path: str) -> "ArrivalTrace":
+        """Load a trace from a CSV file with an ``arrival_s,prompt_len,
+        decode_len[,priority]`` header; empty cells mean "sample it"."""
+        rows = []
+        with open(path, newline="") as handle:
+            reader = csv.DictReader(handle)
+            if reader.fieldnames is None or "arrival_s" not in reader.fieldnames:
+                raise ValueError(f"{path}: trace CSV needs an arrival_s column")
+            for index, entry in enumerate(reader):
+                value = (entry.get("arrival_s") or "").strip()
+                if not value:
+                    raise ValueError(f"{path}: row {index} missing arrival_s")
+                rows.append(
+                    TraceRow(
+                        arrival_s=float(value),
+                        prompt_len=_opt_int(entry.get("prompt_len")),
+                        decode_len=_opt_int(entry.get("decode_len")),
+                        priority=_opt_int(entry.get("priority")),
+                    )
+                )
+        return cls(tuple(rows))
+
+    @classmethod
+    def diurnal(
+        cls,
+        rate_rps: float,
+        duration_s: float,
+        *,
+        period_s: float | None = None,
+        amplitude: float = 0.5,
+        seed: int = 0,
+    ) -> "ArrivalTrace":
+        """A sinusoidal day/night arrival pattern:
+        ``rate(t) = rate_rps * (1 + amplitude * sin(2 pi t / period_s))``
+        starting on the rising edge.  ``period_s`` defaults to
+        ``duration_s`` (one full cycle over the run); ``amplitude`` in
+        [0, 1] sets the swing (0.5 = peak is 3x the trough).
+        """
+        if rate_rps <= 0 or duration_s <= 0:
+            raise ValueError("rate_rps and duration_s must be > 0")
+        if not 0.0 <= amplitude <= 1.0:
+            raise ValueError(f"amplitude must be in [0, 1], got {amplitude}")
+        period = duration_s if period_s is None else period_s
+        if period <= 0:
+            raise ValueError(f"period_s must be > 0, got {period}")
+        omega = 2.0 * math.pi / period
+        times = _thinned_poisson(
+            lambda t: rate_rps * (1.0 + amplitude * math.sin(omega * t)),
+            rate_rps * (1.0 + amplitude),
+            duration_s,
+            seed,
+        )
+        return cls.from_times(times)
+
+    @classmethod
+    def flash_crowd(
+        cls,
+        base_rps: float,
+        duration_s: float,
+        *,
+        peak_rps: float | None = None,
+        spike_start_s: float | None = None,
+        spike_duration_s: float | None = None,
+        seed: int = 0,
+    ) -> "ArrivalTrace":
+        """A rectangular rate spike over a calm baseline -- the event
+        that separates fleets with load shedding from fleets without.
+        Defaults: the spike peaks at 4x base, starts a third of the way
+        in, and lasts a sixth of the run.
+        """
+        if base_rps <= 0 or duration_s <= 0:
+            raise ValueError("base_rps and duration_s must be > 0")
+        peak = 4.0 * base_rps if peak_rps is None else peak_rps
+        start = duration_s / 3.0 if spike_start_s is None else spike_start_s
+        width = (
+            duration_s / 6.0 if spike_duration_s is None else spike_duration_s
+        )
+        if peak < base_rps:
+            raise ValueError("peak_rps must be >= base_rps")
+        if start < 0 or width <= 0:
+            raise ValueError("need spike_start_s >= 0 and spike_duration_s > 0")
+        times = _thinned_poisson(
+            lambda t: peak if start <= t < start + width else base_rps,
+            peak,
+            duration_s,
+            seed,
+        )
+        return cls.from_times(times)
+
+
+def _opt_int(value) -> int | None:
+    """Coerce an optional JSON/CSV cell to int (None/"" pass through)."""
+    if value is None:
+        return None
+    if isinstance(value, str) and not value.strip():
+        return None
+    return int(value)
+
+
+def merge_requests(*streams: Iterable[Request]) -> list[Request]:
+    """Interleave several request streams into one, ordered by arrival
+    time and renumbered with globally unique ``request_id``s.
+
+    Ties on ``arrival_s`` break by stream position (earlier stream
+    first), keeping the merge deterministic.  This is how multi-tenant
+    traffic is assembled: each tenant generates independently (own
+    seed, own classes), then the fleet sees one merged open-loop
+    stream.
+    """
+    tagged = [
+        (request.arrival_s, stream_index, position, request)
+        for stream_index, stream in enumerate(streams)
+        for position, request in enumerate(stream)
+    ]
+    tagged.sort(key=lambda item: item[:3])
+    return [
+        replace(request, request_id=index)
+        for index, (_, _, _, request) in enumerate(tagged)
+    ]
 
 
 @dataclass(frozen=True)
@@ -417,6 +678,60 @@ class RequestGenerator:
                     prompt_len=prompt,
                     decode_len=decode,
                     priority=cls.priority,
+                    prefix_id=prefix_id,
+                    prefix_len=prefix_len,
+                )
+            )
+        return requests
+
+    def replay(self, trace: ArrivalTrace) -> list[Request]:
+        """Replay an :class:`ArrivalTrace`: arrivals come from the trace
+        rows; class choice and any lengths the trace leaves ``None``
+        are sampled exactly as :meth:`generate` would (same seeded RNG
+        discipline, same prefix-group machinery).  A fully-specified
+        trace is deterministic modulo class choice; a timestamps-only
+        trace replays the schedule with this generator's length mix.
+        """
+        rng = random.Random(self.seed)
+        requests = []
+        groups: dict[int, tuple[int, int, int]] = {}
+        next_group = [0]
+        class_index = {id(cls): i for i, cls in enumerate(self.classes)}
+        for index, row in enumerate(trace.rows):
+            cls = self._pick_class(rng)
+            prompt = (
+                row.prompt_len
+                if row.prompt_len is not None
+                else self._sample_length(
+                    rng, cls.prompt_mean, cls.prompt_sigma,
+                    cls.min_len, cls.max_prompt,
+                )
+            )
+            decode = (
+                row.decode_len
+                if row.decode_len is not None
+                else self._sample_length(
+                    rng, cls.decode_mean, cls.decode_sigma,
+                    cls.min_len, cls.max_decode,
+                )
+            )
+            prefix_id: int | None = None
+            prefix_len = 0
+            if cls.prefix_share_prob > 0.0:
+                prefix_id, prefix_len = self._assign_prefix(
+                    rng, groups, class_index[id(cls)], cls, prompt, next_group
+                )
+            requests.append(
+                Request(
+                    request_id=index,
+                    arrival_s=row.arrival_s,
+                    model=cls.model,
+                    prompt_len=prompt,
+                    decode_len=decode,
+                    priority=(
+                        row.priority if row.priority is not None
+                        else cls.priority
+                    ),
                     prefix_id=prefix_id,
                     prefix_len=prefix_len,
                 )

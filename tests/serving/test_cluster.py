@@ -963,7 +963,10 @@ class TestPrefillQueueReport:
     def test_founder_wait_capped_by_deferral_window(self):
         """Deferral cannot delay a job past its deadline: wait beyond
         it is ordinary pod scarcity, so the booked founder wait per
-        deferral never exceeds affine_defer_s."""
+        deferral never exceeds affine_defer_s.  Pins the fixed-window
+        fallback (``affine_adaptive=False``); the adaptive default
+        extends the deadline to the founder's completion estimate and
+        has its own coverage in test_tenancy.py."""
         config = dataclasses.replace(
             disaggregated_cluster(
                 LLAMA3_70B, num_prefill_pods=2, num_decode_pods=1
@@ -971,6 +974,7 @@ class TestPrefillQueueReport:
             prefix_caching=True,
             prefill_policy=PrefillPolicy.PREFIX_AFFINE,
             affine_defer_s=0.05,
+            affine_adaptive=False,
         )
         founder = Request(0, 0.0, LLAMA3_70B, prompt_len=4096, decode_len=32,
                           prefix_id=1, prefix_len=4096)
