@@ -1,57 +1,19 @@
-"""Continuous batching with KV-capacity admission control.
+"""Frozen PR 6 scheduler (wall-clock baseline -- do not edit).
 
-The RPU decode pool serves many queries at once; the scheduler decides,
-at every token-step boundary, which waiting requests join the running
-batch (token-level admission -- the Orca/vLLM continuous-batching model,
-which the paper's host-interrupt-per-token deployment naturally
-supports).
+A verbatim snapshot of ``repro.serving.scheduler`` as it stood before
+the vectorized-core refactor, kept so ``bench_sim_speed.py`` can
+measure the new engine against the real old code path (not a
+remembered number).  Behavior changes belong in the live module; this
+file only ever changes by re-freezing.
 
-Admission is governed by the pod's KV budget: the memory left after the
-hosted model's weights.  Two reservation policies are modeled:
-
-- **FULL** -- a request reserves its *full-context* KV footprint
-  (prompt + all tokens it may generate) when admitted, so an admitted
-  request can always run to completion: no mid-flight preemption or KV
-  swapping.  Conservative; trades occupancy for a hard no-overflow
-  guarantee.
-- **PAGED** -- the vLLM paged-attention model.  KV is allocated in
-  fixed-size blocks of ``block_tokens`` tokens; admission only requires
-  the *prompt* footprint plus a small watermark, and each sequence
-  grows block-by-block as it decodes.  When the pool runs dry, the
-  lowest-priority, most-recently-admitted active request is preempted
-  under a recompute-on-resume model: its blocks free immediately and it
-  re-enters the queue.  Already-generated tokens are kept and their KV
-  is *recomputed at prefill speed* on resume (the vLLM recompute
-  model), so a preemption costs a prompt+generated re-prefill, not a
-  decode restart.  A preempted request's effective priority rises with
-  each preemption (aging), so no request is starved by an endless
-  preemption storm.
-
-PAGED also models **chunked prefill**: a request whose context KV is
-not yet written into the block pool (a prefill-pod hand-off landing on
-the pod, or a preemption resume recomputing locally) streams it in
-``chunk_tokens`` slices, one slice per step, instead of blocking the
-pod -- other sequences keep decoding while an oversized prompt lands.
-The blocks are reserved at admission (the gate is the resident-context
-footprint plus the watermark), so ingestion is pure pacing and decode
-starts once the context is fully resident.
-
-Block accounting is per-token exact for global-attention models; for
-local-attention layers it ignores window eviction, so paged
-reservations are (slightly) conservative there.
-
-Two queue policies:
-
-- **FIFO**: admit in arrival order; a request that does not fit blocks
-  the queue (no head-of-line bypass, so no starvation);
-- **SJF** (shortest job first): admit the smallest remaining-decode job
-  that fits; improves mean latency under bursts at the cost of
-  potentially delaying long reasoning queries.
+``Policy``/``Reservation`` are imported from the live module rather
+than copied: configs built by callers carry the live enum members, and
+the scheduler compares them with ``is``.
 """
+
 
 from __future__ import annotations
 
-import enum
 import math
 from dataclasses import dataclass, field
 from typing import Callable
@@ -59,26 +21,11 @@ from typing import Callable
 from repro.models.dtypes import DType
 from repro.models.kv_cache import kv_bytes_per_token, kv_cache_bytes
 from repro.serving.kvstore import KvBlockStore
-from repro.serving.requests import Request, RequestTable
+from repro.serving.scheduler import Policy, Reservation
+from repro.serving.requests import Request
 
 #: Slack for float-dust comparisons against the KV budget (bytes).
 _EPS_BYTES = 1e-3
-
-
-class Policy(enum.Enum):
-    """Queue discipline for decode admission."""
-
-    FIFO = "fifo"
-    SJF = "sjf"
-
-
-class Reservation(enum.Enum):
-    """How admitted requests reserve KV against the pod budget."""
-
-    #: Reserve the full-context footprint up front (never preempts).
-    FULL = "full"
-    #: Block-granular allocation, grow on demand, preempt when dry.
-    PAGED = "paged"
 
 
 def request_kv_bytes(request: Request, kv_dtype: DType | None = None) -> float:
@@ -115,10 +62,6 @@ class QueuedRequest:
     #: instead of being freed (resume pays the link, not a re-prefill).
     swapped: bool = False
     swap_bytes: float = 0.0
-    #: Row in the run's :class:`~repro.serving.requests.RequestTable`
-    #: (-1 for standalone schedulers without a table); policy sort keys
-    #: index the table's interned columns through it.
-    row: int = -1
 
     @property
     def resume_context(self) -> int:
@@ -148,9 +91,6 @@ class ActiveRequest:
     shared_blocks: int = 0
     #: Guard so a sequence publishes its prefix into the cache once.
     prefix_registered: bool = False
-    #: Row in the run's :class:`~repro.serving.requests.RequestTable`
-    #: (-1 for standalone schedulers without a table).
-    row: int = -1
 
     @property
     def remaining_tokens(self) -> int:
@@ -221,24 +161,9 @@ class ContinuousBatchScheduler:
     #: Should this preemption victim swap to host instead of recompute?
     #: ``None`` never swaps (the pre-swap behavior).
     swap_decider: Callable[[ActiveRequest], bool] | None = None
-    #: The run's struct-of-arrays request state (set by the cluster);
-    #: when present, queue entries carry their table row and policy
-    #: keys read the interned columns instead of chasing ``.request``
-    #: attribute chains.  ``None`` for standalone use.
-    table: RequestTable | None = None
     queue: list[QueuedRequest] = field(default_factory=list)
     active: list[ActiveRequest] = field(default_factory=list)
     num_preemptions: int = 0
-    #: Running total of decode tokens still owed by queued + active
-    #: requests -- the O(1) load metric the cluster router balances on
-    #: (maintained at enqueue / token emission / hand-back, replacing a
-    #: per-call scan over both lists).
-    owed_tokens: int = 0
-    #: Entries whose first token was stamped by the last
-    #: :meth:`advance` call, in batch order; the cluster reads (and
-    #: clears) this instead of scanning the batch for ``None``
-    #: timestamps before every step.
-    newly_started: list[ActiveRequest] = field(default_factory=list, repr=False)
     _preempted: list[QueuedRequest] = field(default_factory=list, repr=False)
 
     def __post_init__(self) -> None:
@@ -342,17 +267,10 @@ class ContinuousBatchScheduler:
                 f"{needed / 1e9:.1f} GB KV, pod budget "
                 f"is {self.kv_budget_bytes / 1e9:.1f} GB"
             )
-        row = (
-            self.table.row_of(request.request_id)
-            if self.table is not None
-            else -1
-        )
         self.queue.append(
             QueuedRequest(now, request, needs_prefill=needs_prefill,
-                          preemptions=preemptions, tokens_done=tokens_done,
-                          row=row)
+                          preemptions=preemptions, tokens_done=tokens_done)
         )
-        self.owed_tokens += request.decode_len - tokens_done
 
     def _fits(self, need: float, watermark: float = 0.0) -> bool:
         """Would allocating ``need`` more bytes stay within budget,
@@ -390,62 +308,14 @@ class ContinuousBatchScheduler:
         # ledger is zero, so this degenerates to need <= budget).
         return not self.active and self._fits(need)
 
-    def _fits_pure(self, need: float, watermark: float = 0.0) -> bool:
-        """Side-effect-free mirror of :meth:`_fits`: same verdict, but a
-        would-be cache reclaim is only *predicted*, never performed.
-        Exact because :meth:`~repro.serving.kvstore.KvBlockStore.reclaim_cached`
-        always covers the shortfall when the ref-0 pool holds it."""
-        total = (
-            self.kv_in_use_bytes + self.store.resident_overhead_bytes
-            + need + watermark
-        )
-        if total <= self.kv_budget_bytes:
-            return True
-        return self.store.cached_bytes >= total - self.kv_budget_bytes
-
-    def _admissible_pure(self, queued: QueuedRequest) -> bool:
-        """:meth:`_admissible` without the cache-reclaim side effect."""
-        if len(self.active) >= self.max_batch:
-            return False
-        need = self._admission_bytes(queued)
-        if self.reservation is Reservation.FULL:
-            return self._fits_pure(need)
-        if self._fits_pure(need, self.watermark_frac * self.kv_budget_bytes):
-            return True
-        return not self.active and self._fits_pure(need)
-
-    def would_admit_nothing(self) -> bool:
-        """Would :meth:`admit` return an empty list right now?
-
-        Pure: unlike :meth:`admit` this neither reorders the queue nor
-        reclaims cached blocks, so the cluster's bulk decode lane can
-        probe *another* pod with it mid-event.  FIFO admits iff the
-        head fits; SJF admits iff any queued job fits, so the sort
-        order never changes the boolean.
-        """
-        queue = self.queue
-        if not queue:
-            return True
-        if len(self.active) >= self.max_batch:
-            return True
-        if self.policy is Policy.FIFO:
-            return not self._admissible_pure(queue[0])
-        return not any(self._admissible_pure(q) for q in queue)
-
     def admit(self, now: float) -> list[ActiveRequest]:
         """Move waiting requests into the batch (called at each step
         boundary).  Returns the newly admitted requests."""
         admitted: list[ActiveRequest] = []
         if self.policy is Policy.SJF:
-            if self.table is not None:
-                decode_len = self.table.decode_len
-                self.queue.sort(
-                    key=lambda q: (decode_len[q.row] - q.tokens_done, q.arrival_s)
-                )
-            else:
-                self.queue.sort(
-                    key=lambda q: (q.request.decode_len - q.tokens_done, q.arrival_s)
-                )
+            self.queue.sort(
+                key=lambda q: (q.request.decode_len - q.tokens_done, q.arrival_s)
+            )
         while self.queue:
             index = 0
             if not self._admissible(self.queue[index]):
@@ -490,7 +360,6 @@ class ContinuousBatchScheduler:
             bytes_per_block=bytes_per_block,
             shared_blocks=shared_blocks,
             preemptions=queued.preemptions,
-            row=queued.row,
         )
         self.store.admit(request.request_id, reserved, blocks, bytes_per_block)
         self.active.append(entry)
@@ -555,16 +424,12 @@ class ContinuousBatchScheduler:
             preemptions=entry.preemptions + 1,
             tokens_done=entry.tokens_done,
             swapped=swapped, swap_bytes=swap_bytes,
-            row=entry.row,
         )
         if self.requeue_preempted:
             # Resume-first: recompute locally ahead of fresh arrivals.
             self.queue.insert(0, queued)
         else:
-            # Handed back to the cluster: its owed tokens leave this
-            # pod until the re-route (or swap-back) enqueues them again.
             self._preempted.append(queued)
-            self.owed_tokens -= entry.remaining_tokens
 
     def _make_room(
         self, entry: ActiveRequest, nbytes: float, now: float, gone: set[int]
@@ -668,10 +533,8 @@ class ContinuousBatchScheduler:
                 entry.kv_reserved_bytes = entry.blocks_held * entry.bytes_per_block
                 self.store.grow(entry.request.request_id)
             entry.tokens_done += 1
-            self.owed_tokens -= 1
             if entry.first_token_s is None:
                 entry.first_token_s = step_end_s
-                self.newly_started.append(entry)
             if entry.done:
                 # Retire immediately: a finished entry must free its KV
                 # before later entries grow, and must never be chosen as

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Profile a run: time and profile the fleet simulator with
+``repro.util.profiling``.
+
+The simulator-speed pin (``benchmarks/bench_sim_speed.py``) was built
+with exactly this workflow: wrap a run in :class:`Timer` for the coarse
+wall-clock, then re-run it under :func:`profile_call` to see where the
+time actually goes before touching any code.  This example walks both
+on the ``multi_tenant_prod`` preset and finishes with the report
+digest -- the oracle that keeps optimizations honest (any change that
+alters a reported float changes the digest).
+
+Run:  python examples/profile_a_run.py
+"""
+
+from repro.api import scenario
+from repro.models.llama3 import LLAMA3_8B
+from repro.serving import ClusterSim, report_digest
+from repro.util.profiling import Timer, profile_call
+
+
+def main() -> None:
+    scn = scenario("multi_tenant_prod", LLAMA3_8B)
+    config = scn.cluster()
+    requests = scn.requests()
+    print(f"Scenario: {scn.name!r}, {len(requests)} requests, "
+          f"{len(config.prefill_engines)} prefill + "
+          f"{len(config.decode_pods)} decode pods\n")
+
+    # 1. Coarse wall-clock: a Timer around the whole run.
+    with Timer("simulate") as timer:
+        report = ClusterSim(config).run(requests)
+    print(f"{timer}  "
+          f"({len(report.completed)} completed, "
+          f"{report.decode_tokens:,} decode tokens, "
+          f"goodput {report.goodput:.2%})\n")
+
+    # 2. Where does the time go?  Same run under cProfile; fresh
+    #    config/requests so cached state cannot flatter the numbers.
+    scn = scenario("multi_tenant_prod", LLAMA3_8B)
+    profiled = profile_call(
+        ClusterSim(scn.cluster()).run, scn.requests(),
+        sort="cumulative", top=10,
+    )
+    print("Top of the profile (cumulative):")
+    print(profiled.stats_text)
+
+    # 3. The digest ties both runs together: identically-seeded
+    #    scenarios must reproduce every reported float bit-for-bit.
+    digest = report_digest(report)
+    assert digest == report_digest(profiled.value)
+    print(f"report digest: {digest[:16]}…  (profiled run identical)")
+
+
+if __name__ == "__main__":
+    main()

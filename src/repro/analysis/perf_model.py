@@ -34,7 +34,11 @@ from repro.arch.specs import (
 from repro.arch.system import RpuSystem
 from repro.gpu.system import GpuSystem
 from repro.memory.sku import sku_for_system
-from repro.models.flops import KernelKind, decode_step_profile, step_arithmetic_intensity
+from repro.models.flops import (
+    KernelKind,
+    decode_step_layer_values,
+    step_arithmetic_intensity,
+)
 from repro.models.workload import Workload
 from repro.quant.stream_decoder import StreamDecoder
 
@@ -100,7 +104,9 @@ def decode_step_perf(
             f"{system} cannot hold {workload} "
             f"({workload.memory_footprint_bytes() / 1e9:.1f} GB)"
         )
-    kernels = decode_step_profile(workload)
+    # Value-identical to decode_step_profile, but layers sharing an
+    # attention span reuse one kernel list -- same reduction, far fewer
+    # kernel objects built per evaluated shape.
     num_cores = system.num_cores
     core = system.cu.core
     core_bw = core.mem_bandwidth_bytes_per_s
@@ -111,43 +117,76 @@ def decode_step_perf(
     kv_heads = workload.model.attention.num_kv_heads
     gqa_span = max(1, min(system.num_cus, system.num_cus // kv_heads or 1))
 
+    def derive(kernels: list) -> list[tuple]:
+        """Per-kernel derived quantities for one layer's kernel list.
+        Identical layer lists derive to identical rows, so rows computed
+        once per distinct list feed the accumulation below with the
+        exact float sequence the flat per-kernel loop produced."""
+        rows = []
+        for kernel in kernels:
+            mem_k = kernel.hbm_bytes / num_cores / core_bw
+            comp_k = kernel.flops / num_cores / peak_flops
+            if kernel.kind is KernelKind.VOPS:
+                comp_k = kernel.flops / num_cores / core.spec.peak_vops
+            if kernel.weight_bytes:
+                # Compressed weights rate-limit the front-end via the
+                # decoder; KV traffic feeds the TMACs directly over the
+                # compute bus.
+                comp_k = max(comp_k, kernel.weight_bytes / num_cores / decoder_bw)
+
+            net_k = 0.0
+            if kernel.collective_bytes > 0:
+                participants = (
+                    system.num_cus
+                    if kernel.kind in (KernelKind.LINEAR, KernelKind.MOE)
+                    else gqa_span
+                )
+                net_k = (participants - 1) * CU_HOP_LATENCY_S + (
+                    kernel.collective_bytes / RING_LINK_BANDWIDTH_BYTES_PER_S
+                )
+            elif kernel.kind is KernelKind.SDPA:
+                # Q/KV gather across the GQA span.
+                net_k = (gqa_span - 1) * CU_HOP_LATENCY_S
+            rows.append((
+                mem_k,
+                comp_k,
+                net_k,
+                max(mem_k, comp_k) + net_k,
+                kernel.flops,
+                kernel.hbm_bytes,
+                kernel.collective_bytes,
+                kernel.weight_bytes + kernel.kv_bytes,
+                kernel.act_bytes,
+            ))
+        return rows
+
+    layer_lists = decode_step_layer_values(workload)
+    derived: dict[int, list[tuple]] = {}
+
     t_mem = t_comp = t_net = 0.0
     t_coupled = 0.0
     flops_total = 0.0
     hbm_total = 0.0
     net_payload_total = 0.0
+    wkv_bytes_total = 0.0
+    act_bytes_total = 0.0
 
-    for kernel in kernels:
-        mem_k = kernel.hbm_bytes / num_cores / core_bw
-        comp_k = kernel.flops / num_cores / peak_flops
-        if kernel.kind is KernelKind.VOPS:
-            comp_k = kernel.flops / num_cores / core.spec.peak_vops
-        if kernel.weight_bytes:
-            # Compressed weights rate-limit the front-end via the decoder;
-            # KV traffic feeds the TMACs directly over the compute bus.
-            comp_k = max(comp_k, kernel.weight_bytes / num_cores / decoder_bw)
-
-        net_k = 0.0
-        if kernel.collective_bytes > 0:
-            participants = (
-                system.num_cus
-                if kernel.kind in (KernelKind.LINEAR, KernelKind.MOE)
-                else gqa_span
-            )
-            net_k = (participants - 1) * CU_HOP_LATENCY_S + (
-                kernel.collective_bytes / RING_LINK_BANDWIDTH_BYTES_PER_S
-            )
-            net_payload_total += kernel.collective_bytes
-        elif kernel.kind is KernelKind.SDPA:
-            # Q/KV gather across the GQA span.
-            net_k = (gqa_span - 1) * CU_HOP_LATENCY_S
-
-        t_mem += mem_k
-        t_comp += comp_k
-        t_net += net_k
-        t_coupled += max(mem_k, comp_k) + net_k
-        flops_total += kernel.flops
-        hbm_total += kernel.hbm_bytes
+    for kernels in layer_lists:
+        rows = derived.get(id(kernels))
+        if rows is None:
+            rows = derive(kernels)
+            derived[id(kernels)] = rows
+        for mem_k, comp_k, net_k, coupled_k, fl, hbm, coll, wkv, act in rows:
+            t_mem += mem_k
+            t_comp += comp_k
+            t_net += net_k
+            t_coupled += coupled_k
+            flops_total += fl
+            hbm_total += hbm
+            if coll > 0:
+                net_payload_total += coll
+            wkv_bytes_total += wkv
+            act_bytes_total += act
 
     latency = max(t_mem, t_comp, t_net) if decoupled else t_coupled
 
@@ -155,11 +194,11 @@ def decode_step_perf(
     # simulator's energy meters.
     epb_mem = memory_path_pj_per_bit(system.cu)
     energy_mem = hbm_total * 8 * epb_mem * _PJ
-    weight_bits = sum(k.weight_bytes + k.kv_bytes for k in kernels) * 8
+    weight_bits = wkv_bytes_total * 8
     energy_comp = (
         flops_total * ENERGY.tmac_pj_per_flop * _PJ
         + weight_bits * (ENERGY.sram_read_pj_per_bit + ENERGY.stream_decode_pj_per_bit) * _PJ
-        + sum(k.act_bytes for k in kernels) * 8 * ENERGY.sram_write_pj_per_bit * _PJ
+        + act_bytes_total * 8 * ENERGY.sram_write_pj_per_bit * _PJ
     )
     energy_net = (
         net_payload_total

@@ -23,7 +23,7 @@ from repro.models.flops import (
     KernelKind,
     KernelProfile,
     chunked_prefill_flops,
-    decode_step_profile,
+    decode_step_values,
 )
 from repro.models.workload import Workload
 
@@ -90,7 +90,7 @@ def decode_step(system: GpuSystem, workload: Workload) -> GpuStepResult:
             f"{system.name} ({system.mem_capacity_bytes / 1e9:.0f} GB) cannot "
             f"hold {workload} ({workload.memory_footprint_bytes() / 1e9:.0f} GB)"
         )
-    kernels = decode_step_profile(workload)
+    kernels = decode_step_values(workload)  # value-identical, cheaper to build
     total_time = 0.0
     mem_busy = 0.0
     comp_busy = 0.0

@@ -250,6 +250,69 @@ def prefill_step_profile(workload: Workload, chunk_tokens: int) -> list[KernelPr
     return kernels
 
 
+# ----------------------------------------------------------------------
+# Value-sharing fast profiles
+# ----------------------------------------------------------------------
+# A layer's kernel values are a pure function of its attention span and
+# whether it is MoE -- the ``layer`` label is the only thing that
+# distinguishes two full-attention dense layers.  The perf models reduce
+# kernel *values* in layer order and never read the label, so they can
+# reuse one kernel list per distinct signature and still accumulate the
+# exact same float sequence.  Graph lowering (which keys on ``layer``)
+# must keep using the labeled profiles above.
+def layer_step_profiles(workload: Workload, tokens: int) -> list[list[KernelProfile]]:
+    """Per-layer kernel lists for one step processing ``tokens`` new
+    tokens, computing each distinct (attention-span, MoE) layer
+    signature once.  Layers sharing a signature return the *same* list
+    (labeled with the first such layer) -- value-identical, ~num_layers
+    times cheaper to build for uniform-attention models."""
+    model = workload.model
+    attn = model.attention
+    seq_len = workload.seq_len
+    cache: dict[tuple[int, bool], list[KernelProfile]] = {}
+    profiles: list[list[KernelProfile]] = []
+    for layer in range(model.num_layers):
+        signature = (attn.attention_span(layer, seq_len), model.is_moe_layer(layer))
+        kernels = cache.get(signature)
+        if kernels is None:
+            kernels = _layer_kernels(workload, layer, tokens)
+            cache[signature] = kernels
+        profiles.append(kernels)
+    return profiles
+
+
+def decode_step_layer_values(workload: Workload) -> list[list[KernelProfile]]:
+    """One decode step as per-layer kernel lists (shared per signature,
+    see :func:`layer_step_profiles`) with the lm_head appended as a
+    final single-kernel list.  Flattened, this is exactly
+    :func:`decode_step_profile` by value."""
+    profiles = layer_step_profiles(workload, workload.batch_size)
+    profiles.append([_lm_head(workload, workload.batch_size)])
+    return profiles
+
+
+def decode_step_values(workload: Workload) -> list[KernelProfile]:
+    """Value-identical to :func:`decode_step_profile` (same kernels, same
+    order, bit-identical numbers) with shared per-signature layer lists;
+    ``layer`` labels repeat.  For reductions, not graph lowering."""
+    kernels: list[KernelProfile] = []
+    for layer_kernels in decode_step_layer_values(workload):
+        kernels.extend(layer_kernels)
+    return kernels
+
+
+def prefill_step_values(workload: Workload, chunk_tokens: int) -> list[KernelProfile]:
+    """Value-identical to :func:`prefill_step_profile` with shared
+    per-signature layer lists; ``layer`` labels repeat."""
+    if chunk_tokens < 1:
+        raise ValueError(f"chunk_tokens must be >= 1, got {chunk_tokens}")
+    kernels: list[KernelProfile] = []
+    tokens = workload.batch_size * chunk_tokens
+    for layer_kernels in layer_step_profiles(workload, tokens):
+        kernels.extend(layer_kernels)
+    return kernels
+
+
 def _lm_head(workload: Workload, tokens: int) -> KernelProfile:
     model = workload.model
     return KernelProfile(
@@ -283,8 +346,20 @@ def chunked_prefill_flops(workload: Workload, chunk_tokens: int = 2048) -> float
     if prompt == 0:
         return 0.0
     num_chunks = max(1, round(prompt / chunk_tokens))
-    kernels = prefill_step_profile(workload, chunk_tokens=prompt // num_chunks)
-    return sum(k.flops for k in kernels) * num_chunks
+    tokens = workload.batch_size * (prompt // num_chunks)
+    # Flat per-kernel accumulation in layer order; identical layer lists
+    # contribute identical flops rows, so reading each distinct list's
+    # flops once keeps the float sequence of the flat sum.
+    flops_rows: dict[int, tuple[float, ...]] = {}
+    total = 0.0
+    for kernels in layer_step_profiles(workload, tokens):
+        row = flops_rows.get(id(kernels))
+        if row is None:
+            row = tuple(k.flops for k in kernels)
+            flops_rows[id(kernels)] = row
+        for flops in row:
+            total += flops
+    return total * num_chunks
 
 
 def step_arithmetic_intensity(workload: Workload) -> float:

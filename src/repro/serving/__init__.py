@@ -34,6 +34,11 @@ from repro.serving.disaggregated import (
     DisaggregatedSystem,
     QueryResult,
 )
+from repro.serving.engine import (
+    EventCalendar,
+    report_digest,
+    run_loop,
+)
 from repro.serving.kvstore import (
     KvBlockStore,
     KvStoreStats,
@@ -45,6 +50,7 @@ from repro.serving.requests import (
     ArrivalTrace,
     Request,
     RequestGenerator,
+    RequestTable,
     TraceRow,
     TrafficClass,
     merge_requests,
@@ -96,6 +102,7 @@ __all__ = [
     "ContinuousBatchScheduler",
     "DecodePodSpec",
     "DisaggregatedSystem",
+    "EventCalendar",
     "INTERACTION_THRESHOLD_S",
     "KvBlockStore",
     "KvStoreStats",
@@ -105,6 +112,7 @@ __all__ = [
     "QueryResult",
     "Request",
     "RequestGenerator",
+    "RequestTable",
     "Reservation",
     "SwapPolicy",
     "TrafficClass",
@@ -112,6 +120,8 @@ __all__ = [
     "gpu_only_cluster",
     "prefix_founders",
     "reasoning_traffic",
+    "report_digest",
+    "run_loop",
     "sibling_ttft_mean",
     "simulate",
     "swap_recompute_costs",

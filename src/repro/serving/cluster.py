@@ -101,9 +101,15 @@ from repro.models.kv_cache import kv_cache_bytes
 from repro.models.workload import Workload
 from repro.platform import GpuPlatform, Platform, RpuPlatform, as_platform
 from repro.serving.disaggregated import INTERACTION_THRESHOLD_S
+from repro.serving.engine import EventCalendar, run_loop
 from repro.serving.kvstore import KvBlockStore, SwapPolicy, swap_recompute_costs
-from repro.serving.requests import Request
-from repro.serving.scheduler import ContinuousBatchScheduler, Policy, Reservation
+from repro.serving.requests import LIFECYCLE_COLUMNS, Request, RequestTable
+from repro.serving.scheduler import (
+    _EPS_BYTES,
+    ContinuousBatchScheduler,
+    Policy,
+    Reservation,
+)
 from repro.serving.tenancy import (
     AdmissionConfig,
     AutoscalerConfig,
@@ -114,7 +120,7 @@ from repro.serving.tenancy import (
     TenantSpec,
 )
 from repro.serving.tenancy import fairness as _attainment_fairness
-from repro.util.stats import mean, percentile
+from repro.util.stats import mean, percentile, sort_values
 from repro.util.tables import Table
 
 #: Decode-step latency is memoized on context quantized (floored) to this
@@ -183,6 +189,11 @@ class PrefillPod:
     #: Accumulated active wall-clock from *completed* active spans
     #: (the span still open at run end is added by the report builder).
     active_s: float = 0.0
+    #: Prefill cost memo keyed by the evaluated workload shape; the
+    #: cluster points pods sharing one platform object at one dict.
+    #: The platform's prefill cost is a pure function of the workload,
+    #: so a hit returns the identical (duration, power) pair.
+    cost_cache: dict = field(default_factory=dict, repr=False)
 
     @property
     def engine(self) -> object:
@@ -202,19 +213,37 @@ class PrefillPod:
         """
         start = max(now, self.busy_until_s)
         if context_tokens is None:
-            workload = request.workload(
-                weight_dtype=self.weight_dtype, kv_dtype=self.kv_dtype
-            )
+            seq_len = request.total_len
+            decode_len = request.decode_len
         else:
-            workload = Workload(
-                request.model,
-                batch_size=1,
-                seq_len=context_tokens,
-                decode_len=0,
-                weight_dtype=self.weight_dtype or request.weight_dtype,
-                kv_dtype=self.kv_dtype or request.kv_dtype,
-            )
-        duration, power = self.platform.prefill(workload)
+            seq_len = context_tokens
+            decode_len = 0
+        key = (
+            request.model.name,
+            seq_len,
+            decode_len,
+            self.weight_dtype or request.weight_dtype,
+            self.kv_dtype or request.kv_dtype,
+        )
+        cached = self.cost_cache.get(key)
+        if cached is not None:
+            duration, power = cached
+        else:
+            if context_tokens is None:
+                workload = request.workload(
+                    weight_dtype=self.weight_dtype, kv_dtype=self.kv_dtype
+                )
+            else:
+                workload = Workload(
+                    request.model,
+                    batch_size=1,
+                    seq_len=context_tokens,
+                    decode_len=0,
+                    weight_dtype=self.weight_dtype or request.weight_dtype,
+                    kv_dtype=self.kv_dtype or request.kv_dtype,
+                )
+            duration, power = self.platform.prefill(workload)
+            self.cost_cache[key] = (duration, power)
         self.busy_until_s = start + duration
         self.busy_s += duration
         self.energy_j += duration * power
@@ -234,6 +263,9 @@ class DecodePod:
     busy_s: float = 0.0
     energy_j: float = 0.0
     stepping: bool = False
+    #: Time of the pod's pending ``_STEP`` event (meaningful while
+    #: ``stepping``; each chain has exactly one event in flight).
+    step_when: float = 0.0
     #: Decode tokens owed by requests routed here whose KV is still in
     #: flight; without it, near-simultaneous prefill completions would
     #: all herd onto one pod during the transfer window.
@@ -288,13 +320,9 @@ class DecodePod:
 
     def outstanding_tokens(self) -> int:
         """Decode tokens still owed to admitted, queued and in-transfer
-        requests (the load metric the router balances on)."""
-        owed = sum(entry.remaining_tokens for entry in self.scheduler.active)
-        owed += sum(
-            queued.request.decode_len - queued.tokens_done
-            for queued in self.scheduler.queue
-        )
-        return owed + self.in_transfer_tokens
+        requests (the load metric the router balances on).  O(1): the
+        scheduler keeps its queued+active total current."""
+        return self.scheduler.owed_tokens + self.in_transfer_tokens
 
 
 def decode_pod_kv_budget(
@@ -537,49 +565,69 @@ def gpu_only_cluster(
 # ----------------------------------------------------------------------
 # Per-request bookkeeping
 # ----------------------------------------------------------------------
-@dataclass
 class RequestRecord:
     """Lifecycle timestamps of one request through the fleet.
 
     A preempted request goes around the prefill/transfer/admit loop
     again, so the per-stage timestamps reflect its *last* pass; waiting
     time is accumulated across passes in ``queue_wait_s``.
+
+    Since the struct-of-arrays refactor this is a thin *view* over one
+    :class:`~repro.serving.requests.RequestTable` row: every field
+    below is a property reading (and writing) the table's column at
+    this record's row, so the simulator's hot loops can work on the
+    columns directly while reports and callers keep the familiar
+    per-request object.  Field semantics:
+
+    - ``rejected`` -- could never fit any pod; ``shed`` -- dropped at
+      the door by admission control (tenant bucket empty under fleet
+      pressure), distinct states.
+    - ``num_preemptions`` -- times preempted off a decode pod (paged
+      KV); each preemption re-pays prefill and the KV hand-off.
+      ``num_swaps`` -- the subset resolved by a host swap round trip
+      instead of a recompute pass.
+    - ``group_inflight`` -- counted in the cluster's in-flight tally of
+      its prefix group (set at first service start, cleared at
+      completion); while any member is in flight, PREFIX_AFFINE defers
+      cache-missing siblings.
+    - ``cached_prefix_tokens`` -- prefix tokens served from the decode
+      pod's cache on the last prefill pass (those tokens skipped
+      prefill and the hand-off).  ``resume_tokens`` -- decode progress
+      preserved across the last preemption (the resume recomputes
+      prompt + this many tokens at prefill speed).
+    - ``queue_wait_s`` -- total time waiting (prefill queue + decode
+      admission queue), summed over every pass through the pipeline.
     """
 
-    request: Request
-    rejected: bool = False
-    #: Dropped at the door by admission control (tenant bucket empty
-    #: under fleet pressure) -- distinct from ``rejected``, which means
-    #: the request could never fit any pod.
-    shed: bool = False
-    prefill_pod: str = ""
-    decode_pod: str = ""
-    prefill_start_s: float = 0.0
-    prefill_end_s: float = 0.0
-    transfer_end_s: float = 0.0
-    admitted_s: float = 0.0
-    first_token_s: float | None = None
-    completed_s: float | None = None
-    #: Times this request was preempted off a decode pod (paged KV);
-    #: each preemption re-pays prefill and the KV hand-off.
-    num_preemptions: int = 0
-    #: Counted in the cluster's in-flight tally of its prefix group
-    #: (set at first service start, cleared at completion); while any
-    #: member is in flight, PREFIX_AFFINE defers cache-missing
-    #: siblings.
-    group_inflight: bool = False
-    #: Preemptions resolved by a host swap round trip instead of a
-    #: recompute pass (a subset of ``num_preemptions``).
-    num_swaps: int = 0
-    #: Prefix tokens served from the decode pod's cache on the last
-    #: prefill pass (those tokens skipped prefill and the hand-off).
-    cached_prefix_tokens: int = 0
-    #: Decode progress preserved across the last preemption (the
-    #: resume recomputes prompt + this many tokens at prefill speed).
-    resume_tokens: int = 0
-    #: Total time spent waiting (prefill queue + decode admission
-    #: queue), summed over every pass through the pipeline.
-    queue_wait_s: float = 0.0
+    __slots__ = ("table", "row")
+
+    def __init__(
+        self,
+        request: Request | None = None,
+        *,
+        table: RequestTable | None = None,
+        row: int = -1,
+        **fields,
+    ) -> None:
+        if table is None:
+            # Standalone construction (tests, ad-hoc callers): a
+            # single-row table behind the scenes.
+            table = RequestTable()
+            row = table.add(request)
+        self.table = table
+        self.row = row
+        for name, value in fields.items():
+            setattr(self, name, value)
+
+    @property
+    def request(self) -> Request:
+        return self.table.requests[self.row]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        cols = ", ".join(
+            f"{name}={getattr(self, name)!r}" for name in LIFECYCLE_COLUMNS
+        )
+        return f"RequestRecord(request={self.request!r}, {cols})"
 
     @property
     def done(self) -> bool:
@@ -615,6 +663,24 @@ class RequestRecord:
     @property
     def interactive(self) -> bool:
         return self.done and self.end_to_end_s <= INTERACTION_THRESHOLD_S
+
+
+def _column_property(name: str) -> property:
+    """Read/write accessor for one :class:`RequestTable` column at the
+    record's row."""
+
+    def _get(self, _name=name):
+        return getattr(self.table, _name)[self.row]
+
+    def _set(self, value, _name=name):
+        getattr(self.table, _name)[self.row] = value
+
+    return property(_get, _set)
+
+
+for _name in LIFECYCLE_COLUMNS:
+    setattr(RequestRecord, _name, _column_property(_name))
+del _name
 
 
 @dataclass
@@ -736,20 +802,41 @@ class ClusterReport:
     tenants: tuple[TenantSpec, ...] = ()
     #: Autoscaler audit trail (empty for a static fleet).
     scaling_events: tuple[ScalingEvent, ...] = ()
+    #: The run's struct-of-arrays request state (None for reports built
+    #: by hand or by external simulators; every metric falls back to
+    #: attribute access over the record views).  Not serialized.
+    table: RequestTable | None = None
+    #: Memo for derived aggregates (sorted metric arrays, the per-tenant
+    #: partition).  The report is frozen, so each is computed once on
+    #: first use and reused by every later percentile/table/json call.
+    _memo: dict = field(default_factory=dict, repr=False, compare=False)
 
     @property
     def num_submitted(self) -> int:
         return len(self.completed) + len(self.rejected) + len(self.shed)
 
     # -- latency -------------------------------------------------------
+    def _sorted_metric(self, attr: str) -> list[float]:
+        """Sorted values of one per-request latency metric, computed
+        (and sorted) once per report."""
+        values = self._memo.get(attr)
+        if values is None:
+            values = sort_values(
+                [getattr(r, attr) for r in self.completed]
+            )
+            self._memo[attr] = values
+        return values
+
     def ttft_percentile(self, q: float) -> float:
-        return percentile([r.ttft_s for r in self.completed], q)
+        return percentile(self._sorted_metric("ttft_s"), q, presorted=True)
 
     def tpot_percentile(self, q: float) -> float:
-        return percentile([r.tpot_s for r in self.completed], q)
+        return percentile(self._sorted_metric("tpot_s"), q, presorted=True)
 
     def e2e_percentile(self, q: float) -> float:
-        return percentile([r.end_to_end_s for r in self.completed], q)
+        return percentile(
+            self._sorted_metric("end_to_end_s"), q, presorted=True
+        )
 
     @property
     def mean_queueing_delay_s(self) -> float:
@@ -903,23 +990,37 @@ class ClusterReport:
         traffic) forms a pseudo-tenant scored against the run's
         ``slo_s`` as an end-to-end-only SLO class.  Shed and rejected
         requests count against their tenant's offered load.
+
+        The partition is a single pass over the records, memoized on
+        the (frozen) report: ``fairness``, ``to_json`` and the tenant
+        table all reuse one computation.
         """
+        memo = self._memo.get("per_tenant")
+        if memo is not None:
+            return memo
         slos = {t.name: t.slo for t in self.tenants}
         default_slo = SloClass("default", e2e_s=self.slo_s)
+        by_tenant: dict[str, list[RequestRecord]] = {}
+        shed_by: dict[str, int] = {}
+        rejected_by: dict[str, int] = {}
+        for r in self.completed:
+            by_tenant.setdefault(r.request.tenant, []).append(r)
+        for r in self.shed:
+            name = r.request.tenant
+            shed_by[name] = shed_by.get(name, 0) + 1
+        for r in self.rejected:
+            name = r.request.tenant
+            rejected_by[name] = rejected_by.get(name, 0) + 1
         names = sorted(
-            {r.request.tenant for r in self.completed}
-            | {r.request.tenant for r in self.rejected}
-            | {r.request.tenant for r in self.shed}
-            | set(slos)
+            by_tenant.keys() | shed_by.keys() | rejected_by.keys()
+            | slos.keys()
         )
         out: dict[str, TenantReport] = {}
         for name in names:
             slo = slos.get(name, default_slo)
-            done = [r for r in self.completed if r.request.tenant == name]
-            shed = sum(1 for r in self.shed if r.request.tenant == name)
-            rejected = sum(
-                1 for r in self.rejected if r.request.tenant == name
-            )
+            done = by_tenant.get(name, ())
+            shed = shed_by.get(name, 0)
+            rejected = rejected_by.get(name, 0)
             out[name] = TenantReport(
                 name=name,
                 slo=slo,
@@ -937,6 +1038,7 @@ class ClusterReport:
                 ),
                 mean_tpot_s=mean([r.tpot_s for r in done]) if done else 0.0,
             )
+        self._memo["per_tenant"] = out
         return out
 
     @property
@@ -1172,20 +1274,39 @@ class ClusterSim:
 
     def __init__(self, config: ClusterConfig):
         self.config = config
+        #: Struct-of-arrays request state for the current run (created
+        #: in :meth:`run`; pods built mid-run inherit it).
+        self._table: RequestTable | None = None
+        #: Cost memos shared between pods driving the *same* platform
+        #: object (the factory reuses one platform across a pool's
+        #: clones): platform costs are pure functions of the workload
+        #: shape, so pods sharing an engine can share evaluations.
+        #: Keyed by ``id(platform)`` -- distinct platforms never mix.
+        self._prefill_cost_caches: dict[int, dict] = {}
+        self._step_caches: dict[tuple[int, str], dict] = {}
+        #: Fleet-wide prefix-residency epoch (see :meth:`_prefix_epoch`)
+        #: and the epoch at which each prefix group last changed.
+        self._fleet_epoch = 0
+        self._group_epochs: dict[tuple[str, int], int] = {}
         self._build_pods()
 
     def _build_pods(self) -> None:
         """Fresh pod state; called per run so a sim instance is reusable."""
         config = self.config
-        self.prefill_pods = [
-            PrefillPod(
-                pod_id=f"prefill{i}",
-                platform=as_platform(engine, warn=True),
-                weight_dtype=config.weight_dtype,
-                kv_dtype=config.kv_dtype,
+        self.prefill_pods = []
+        for i, engine in enumerate(config.prefill_engines):
+            platform = as_platform(engine, warn=True)
+            self.prefill_pods.append(
+                PrefillPod(
+                    pod_id=f"prefill{i}",
+                    platform=platform,
+                    weight_dtype=config.weight_dtype,
+                    kv_dtype=config.kv_dtype,
+                    cost_cache=self._prefill_cost_caches.setdefault(
+                        id(platform), {}
+                    ),
+                )
             )
-            for i, engine in enumerate(config.prefill_engines)
-        ]
         self.decode_pods = []
         self._recompute_cache: dict[tuple[str, int, float], float] = {}
         for i, spec in enumerate(config.decode_pods):
@@ -1219,11 +1340,16 @@ class ClusterSim:
                 # The cluster re-routes preempted requests
                 # through a prefill pod (recompute-on-resume).
                 requeue_preempted=False,
+                table=self._table,
             ),
             weight_dtype=config.weight_dtype,
             kv_dtype=config.kv_dtype,
         )
         pod.scheduler.swap_decider = self._swap_decider(pod)
+        pod.store.on_prefix_change = self._on_prefix_change
+        pod._step_cache = self._step_caches.setdefault(
+            (id(platform), spec.model.name), {}
+        )
         return pod
 
     # -- swap cost model -----------------------------------------------
@@ -1275,8 +1401,69 @@ class ClusterSim:
 
     # -- event plumbing ------------------------------------------------
     def _push(self, when: float, kind: int, payload: object) -> None:
-        self._seq += 1
-        heapq.heappush(self._events, (when, self._seq, kind, payload))
+        self._calendar.push(when, kind, payload)
+        if kind == _STEP:
+            payload.step_when = when  # the pod's one pending chain event
+        else:
+            heapq.heappush(self._hard_events, when)
+
+    def _handlers(self) -> list:
+        """Dispatch table for :func:`repro.serving.engine.run_loop`,
+        indexed by event kind."""
+        table: list = [None] * 9
+        table[_ARRIVAL] = self._on_arrival
+        table[_PREFILL_DONE] = self._on_prefill_done
+        table[_KV_ARRIVE] = self._on_kv_arrive_event
+        table[_STEP] = self._on_step
+        # A recompute resume re-enters the shared queue like a fresh
+        # arrival; at service start it consults the prefix cache the
+        # same way (still-resident prefix blocks need neither
+        # re-prefill nor a re-transfer).
+        table[_RESUME] = self._enqueue_prefill
+        table[_SWAP_BACK] = self._on_swap_back_event
+        # _PREFILL_WAKE carries no payload: it only advances the clock
+        # to a deferral deadline so the post-event drain runs.
+        table[_PREFILL_WAKE] = self._on_wake
+        table[_AUTOSCALE] = self._on_autoscale_tick
+        table[_POD_READY] = self._on_pod_ready
+        return table
+
+    def _stale(self, kind: int, payload: object) -> bool:
+        """Events dropped before they can advance the clock.
+
+        A stale ``_PREFILL_WAKE`` (the deferred job was served early
+        because its founder's prefix landed) or a control-loop tick
+        after the workload resolved would otherwise inflate
+        ``duration_s`` -- and every per-duration metric -- with an idle
+        tail."""
+        if kind == _PREFILL_WAKE:
+            return not self._queue
+        if kind == _AUTOSCALE or kind == _POD_READY:
+            return self._unresolved <= 0
+        return False
+
+    def _on_kv_arrive_event(self, now: float, payload: object) -> None:
+        pod, record = payload
+        self._on_kv_arrive(now, pod, record)
+
+    def _on_swap_back_event(self, now: float, payload: object) -> None:
+        pod, record = payload
+        self._on_swap_back(now, pod, record)
+
+    def _on_wake(self, now: float, payload: object) -> None:
+        pass
+
+    def _on_autoscale_tick(self, now: float, payload: object) -> None:
+        self._autoscale(now)
+        self._push(
+            now + self.config.autoscaler.control_period_s, _AUTOSCALE, None
+        )
+
+    def _on_pod_ready(self, now: float, pod: object) -> None:
+        if pod.provisioning:
+            pod.provisioning = False
+            pod.active = True
+            pod.activated_s = now
 
     def _kv_ingest_rate(self, pod: DecodePod) -> float:
         """Hand-off bandwidth into ``pod``: the cluster-wide override,
@@ -1530,17 +1717,25 @@ class ClusterSim:
                 continue
             return best
 
+    def _on_prefix_change(self, model_key: str, prefix_id: int) -> None:
+        """KvBlockStore hook: one prefix block was registered or
+        reclaimed somewhere in the fleet.  Bumps the O(1) fleet epoch
+        (and remembers which group moved, for per-group memo
+        invalidation) -- every store counter increment lands here, so
+        epoch equality means exactly what the old per-pod counter sum
+        meant."""
+        self._fleet_epoch += 1
+        self._group_epochs[(model_key, prefix_id)] = self._fleet_epoch
+
     def _prefix_epoch(self) -> int:
         """Monotone counter of fleet-wide prefix-residency changes
         (block publications + reclaims).  Peeked residency is constant
         while it holds still, so queue scans memoize against it
         instead of re-walking every trie at every event -- and the
         all-pods-busy bypass scan is skipped entirely when it has not
-        advanced."""
-        return sum(
-            p.store.stats.registered_blocks + p.store.stats.reclaimed_blocks
-            for p in self.decode_pods
-        )
+        advanced.  O(1): maintained by the stores'
+        ``on_prefix_change`` hook rather than summed over pods."""
+        return self._fleet_epoch
 
     def _drain_prefill_queue(self, now: float) -> None:
         """Pull queued jobs into service (called after every event).
@@ -1724,26 +1919,31 @@ class ClusterSim:
             self._push(now, _STEP, pod)
 
     def _on_step(self, now: float, pod: DecodePod) -> None:
-        for entry in pod.scheduler.admit(now):
+        admitted = pod.scheduler.admit(now)
+        for entry in admitted:
             record = self._records_by_id[entry.request.request_id]
             record.admitted_s = now
             record.queue_wait_s += now - record.transfer_end_s
         if pod.scheduler.batch_size == 0:
             pod.stepping = False
             return
+        if not admitted and not self._queue and self._bulk_quiet_steps(now, pod):
+            return
         batch = pod.scheduler.batch_size
         context = pod.scheduler.mean_context_len()
         step_s, step_j = pod.step_cost(batch, context)
         pod.kv_occupancy_s += pod.scheduler.kv_occupancy * step_s
         end = now + step_s
-        newly_running = [e for e in pod.scheduler.active if e.first_token_s is None]
         finished = pod.scheduler.advance(end)
-        for entry in newly_running:
-            if entry.first_token_s is None:
-                continue  # still chunk-prefilling, or preempted mid-step
-            record = self._records_by_id[entry.request.request_id]
-            if record.first_token_s is None:
-                record.first_token_s = entry.first_token_s
+        newly_started = pod.scheduler.newly_started
+        if newly_started:
+            for entry in newly_started:
+                record = self._records_by_id[entry.request.request_id]
+                if record.first_token_s is None:
+                    # A re-admitted preemptee keeps the first-token
+                    # stamp from its first pass.
+                    record.first_token_s = entry.first_token_s
+            newly_started.clear()
         for entry in finished:
             record = self._records_by_id[entry.request.request_id]
             record.completed_s = end
@@ -1781,6 +1981,393 @@ class ClusterSim:
         pod.busy_s += step_s
         pod.energy_j += step_j
         self._push(end, _STEP, pod)
+
+    def _bulk_quiet_steps(self, now: float, pod: DecodePod) -> bool:
+        """Fast lane: chain consecutive *quiet* decode steps of ``pod``
+        inside one event, skipping the per-step calendar round-trips.
+
+        A step boundary is quiet when nothing observable can happen at
+        it: the cluster prefill queue is empty and nothing was admitted
+        at this boundary (both checked by the caller; admissibility is
+        a pure predicate when it denies, so a blocked pod queue stays
+        blocked at every chained boundary), every running sequence is
+        decoding with its first token already stamped, and no sequence
+        finishes within the span.  A sequence *growing a KV block* stays
+        quiet as long as the block fits the free pool outright -- the
+        growth is then pure ledger arithmetic, replayed with the exact
+        float-operation order of :meth:`ContinuousBatchScheduler.advance`
+        -- while a growth that would trigger a cache reclaim or a
+        preemption is observable and ends the span just before its
+        boundary.  The chain also
+        stops strictly before the quiet horizon -- the calendar's next
+        event, except that pending steps of *other* provably-quiet
+        decode pods do not cap the span: their chains are walked
+        through to their own first triggers instead
+        (:meth:`_quiet_horizon`), since quiet boundaries of different
+        pods touch disjoint state and commute.  Under those conditions each boundary
+        only accumulates time/energy/occupancy and bumps every
+        sequence's token count -- which this lane performs with the
+        exact per-boundary float-addition order of the single-step
+        path, so run digests are bit-identical.
+
+        Returns True when it handled the step chain (the next ``_STEP``
+        event is already scheduled); False to fall back to the
+        single-step path.
+        """
+        scheduler = pod.scheduler
+        active = scheduler.active
+        paged = scheduler.reservation is Reservation.PAGED
+        block_tokens = scheduler.block_tokens
+        # Boundaries until some sequence finishes; boundary i is quiet
+        # iff i < quiet (block growth is carried inside the span, see
+        # below).
+        boundaries = 1 << 60
+        total = 0  # summed context_len, for the batch-mean step cost
+        for entry in active:
+            if entry.prefill_remaining > 0 or entry.first_token_s is None:
+                return False
+            request = entry.request
+            done = entry.tokens_done
+            quiet = request.decode_len - done - 1  # finishes at this one
+            if quiet < boundaries:
+                boundaries = quiet
+            total += request.prompt_len + done + 1
+        if boundaries < 2:
+            return False  # nothing to batch over the single-step path
+        bound, walkers = self._quiet_horizon(now, pod)
+        if bound <= now:
+            return False  # another actor acts at this very timestamp
+        # Growth schedule: a sequence needs a new block every
+        # ``block_tokens`` boundaries, starting when its context first
+        # overflows its held blocks.  Min-heap of (boundary index,
+        # batch position, entry) so simultaneous growths pop in
+        # ``active`` order -- the order ``advance`` grows them.
+        gheap = None
+        v = overhead = budget = 0.0
+        if paged:
+            gheap = []
+            for pos, entry in enumerate(active):
+                first = (
+                    (entry.shared_blocks + entry.blocks_held) * block_tokens
+                    - entry.request.prompt_len - entry.tokens_done
+                )
+                if first < boundaries:
+                    gheap.append((first, pos, entry))
+            if gheap:
+                heapq.heapify(gheap)
+                # Virtual pool ledger: growths are checked and summed
+                # against these during the walk and applied to the store
+                # for real only once the span commits, so the tie-guard
+                # rollback below never has to un-grow a lease.
+                v = scheduler.kv_in_use_bytes
+                overhead = scheduler.store.resident_overhead_bytes
+                budget = scheduler.kv_budget_bytes
+            else:
+                gheap = None
+        applied: list[tuple[int, list]] = []
+        batch = len(active)
+        occupancy = scheduler.kv_occupancy
+        step_cost = pod.step_cost
+        cache = pod._step_cache
+        bucket = STEP_CONTEXT_BUCKET
+        busy_s = pod.busy_s
+        energy_j = pod.energy_j
+        kv_occupancy_s = pod.kv_occupancy_s
+        # ``total`` grows by exactly ``batch`` per boundary, so the
+        # remainder of total/batch never changes and the rounded batch
+        # mean increments by exactly 1 -- except at an exact .5
+        # remainder, where round()'s half-even tie-break follows the
+        # parity of the integer part.  (The true fraction sits at least
+        # 1/(2*batch) from .5 otherwise, far beyond double rounding
+        # error at these magnitudes, so the increment is exact.)
+        quotient, remainder = divmod(total, batch)
+        tie = 2 * remainder == batch
+        mean = quotient + (quotient & 1) if tie else max(1, round(total / batch))
+        t = now
+        steps = 0
+        trigs: tuple[float, ...] = ()
+        prev_t = prev_busy = prev_energy = prev_kvocc = 0.0
+        next_growth = gheap[0][0] if gheap is not None else 1 << 60
+        # Above the context bucket the (batch, context) cost key only
+        # changes every ``bucket`` boundaries; fetch once per run
+        # instead of per boundary.
+        cost = None
+        cost_until = -1  # first mean value needing a re-fetch
+        while steps < boundaries and t < bound:
+            # A walker's clock is a lower bound on its pod's trigger
+            # time; our boundary at ``t`` is safely quiet while every
+            # walker sits strictly ahead of it.  Advance any that
+            # lag -- a walk that completes yields that pod's exact
+            # trigger time, which then caps the span like any event.
+            if walkers:
+                for walker in walkers:
+                    if walker[1] and walker[0] <= t:
+                        trig = self._advance_walk(walker, t)
+                        if trig is not None:
+                            trigs += (trig,)
+                            if trig < bound:
+                                bound = trig
+                if t >= bound:
+                    break
+            pending = None
+            if steps == next_growth:
+                # This boundary grows KV blocks.  Each must fit the
+                # free pool outright, checked in batch order with the
+                # exact ``_make_room`` predicate on the virtual ledger;
+                # a growth that misses would reclaim or preempt --
+                # observable -- so the span ends before this boundary.
+                pending = []
+                loud = False
+                while gheap and gheap[0][0] == steps:
+                    idx, pos, gentry = gheap[0]
+                    if budget - v - overhead < gentry.bytes_per_block - _EPS_BYTES:
+                        loud = True
+                        break
+                    v += gentry.bytes_per_block
+                    heapq.heappop(gheap)
+                    pending.append(gentry)
+                    nxt = idx + block_tokens
+                    if nxt < boundaries:
+                        heapq.heappush(gheap, (nxt, pos, gentry))
+                if loud:
+                    break
+                next_growth = gheap[0][0] if gheap else 1 << 60
+            prev_t = t
+            prev_busy = busy_s
+            prev_energy = energy_j
+            prev_kvocc = kv_occupancy_s
+            if mean >= cost_until:
+                context = mean if mean <= bucket else mean // bucket * bucket
+                cost = cache.get((batch, context))
+                if cost is None:
+                    cost = step_cost(batch, mean)
+                cost_until = mean + 1 if mean < bucket else context + bucket
+            step_s, step_j = cost
+            kv_occupancy_s += occupancy * step_s
+            busy_s += step_s
+            energy_j += step_j
+            t += step_s
+            steps += 1
+            if pending is not None:
+                applied.append((steps - 1, pending))
+                # Occupancy integrand for the boundaries *after* the
+                # growth; the growing boundary itself was metered above
+                # at the pre-growth value, as in the single-step path.
+                occupancy = (v + overhead) / budget
+            if tie:
+                quotient += 1
+                mean = quotient + (quotient & 1)
+            else:
+                mean += 1
+        if steps == 0:
+            return False  # first boundary already capped
+        # Exact-tie guard: pushing our next _STEP at the very timestamp
+        # of a walked pod's *trigger* boundary would give our event a
+        # lower seq than that pod's future push -- the single-step path
+        # pushes from the previous boundary instead, so the tie could
+        # resolve the other way.  Back off one boundary (the replayed
+        # boundary then runs the single-step path, whose push order
+        # matches the original exactly).  Quiet-boundary and already-
+        # heaped ties are order-insensitive and need no guard.
+        if t in trigs or self._walk_tie(walkers, t):
+            if steps < 2:
+                return False
+            steps -= 1
+            t = prev_t
+            busy_s = prev_busy
+            energy_j = prev_energy
+            kv_occupancy_s = prev_kvocc
+            if applied and applied[-1][0] == steps:
+                applied.pop()  # the dropped boundary's growths, unapplied
+        pod.busy_s = busy_s
+        pod.energy_j = energy_j
+        pod.kv_occupancy_s = kv_occupancy_s
+        for entry in active:
+            entry.tokens_done += steps
+        scheduler.owed_tokens -= batch * steps
+        if applied:
+            # Replay the committed growths on the store for real.  No
+            # admission, release or reclaim touched the pool inside the
+            # span, so the deferred ``grow`` calls see the same running
+            # ledger value, in the same order, as in-boundary growth
+            # would have -- bit-identical floats.
+            store = scheduler.store
+            for _idx, pending in applied:
+                for gentry in pending:
+                    gentry.blocks_held += 1
+                    gentry.kv_reserved_bytes = (
+                        gentry.blocks_held * gentry.bytes_per_block
+                    )
+                    store.grow(gentry.request.request_id)
+        self._push(t, _STEP, pod)
+        return True
+
+    def _quiet_horizon(
+        self, now: float, pod: DecodePod
+    ) -> tuple[float, list[list]]:
+        """How far ``pod``'s bulk lane may run before another actor can
+        observably act: ``(horizon, quiet_walkers)``.
+
+        Every pending non-``_STEP`` event is a hard cap (read off the
+        ``_hard_events`` mirror heap, O(1) amortized).  The pending
+        ``_STEP`` of *another* decode pod is soft: if that pod is
+        provably quiet (nothing admissible -- checked with the pure
+        probes, every sequence mid-decode, no trigger at its very next
+        boundary), only its own first *trigger* boundary caps the span,
+        not its quiet boundaries in between.  Quiet boundaries of
+        different pods commute -- they touch disjoint pod-local state
+        and the shared prefill queue stays empty -- so leaping over
+        them cannot change any digest-visible ordering.  Each quiet pod
+        contributes a resumable walk state; the caller advances it
+        lazily, never past its own clock, so walk work is bounded by
+        the span actually committed rather than by the other pod's
+        (possibly far later) trigger.
+        """
+        calendar = self._calendar
+        if calendar.open_batch_pending():
+            return -math.inf, []
+        hard = self._hard_events
+        while hard and hard[0] <= now:
+            heapq.heappop(hard)  # already dispatched (times are unique-ish)
+        horizon = hard[0] if hard else math.inf
+        walkers: list[list] = []
+        for other in self.decode_pods:
+            if other is pod or not other.stepping:
+                continue
+            when = other.step_when
+            if when >= horizon:
+                continue  # nothing of it can happen inside the horizon
+            state = self._pod_quiet_state(other, when)
+            if state is None:  # observable next boundary: hard cap
+                horizon = when
+            elif state:  # non-empty batch; [] parks silently, no cap
+                walkers.append(state)
+        return horizon, walkers
+
+    def _pod_quiet_state(self, pod: DecodePod, start: float) -> list | None:
+        """Resumable quiet-chain walk state for ``pod``'s pending step
+        chain beginning at ``start``; ``None`` when its next boundary
+        is observable (admission, first token, or finish), ``[]`` when
+        the chain parks (empty batch, empty-or-blocked queue).  Pure:
+        probes use the side-effect-free admission mirrors, block
+        growths are simulated on a virtual pool ledger, and a blocked
+        queue stays blocked across the walked boundaries because
+        nothing in a quiet span frees pod memory (growth only takes
+        more)."""
+        scheduler = pod.scheduler
+        if not scheduler.would_admit_nothing():
+            return None
+        active = scheduler.active
+        if not active:
+            return []
+        paged = scheduler.reservation is Reservation.PAGED
+        block_tokens = scheduler.block_tokens
+        boundaries = 1 << 60
+        total = 0
+        for entry in active:
+            if entry.prefill_remaining > 0 or entry.first_token_s is None:
+                return None
+            request = entry.request
+            done = entry.tokens_done
+            quiet = request.decode_len - done - 1
+            if quiet < boundaries:
+                boundaries = quiet
+            total += request.prompt_len + done + 1
+        if boundaries < 1:
+            return None
+        # Growth schedule (see :meth:`_bulk_quiet_steps`): a fitting
+        # block growth is quiet, one that would reclaim or preempt is
+        # the pod's trigger.  The walk only predicts *times*, so it
+        # carries a virtual pool ledger and the per-block byte sizes --
+        # never the entries themselves.
+        gheap = None
+        v = overhead = budget = 0.0
+        if paged:
+            gheap = []
+            for pos, entry in enumerate(active):
+                first = (
+                    (entry.shared_blocks + entry.blocks_held) * block_tokens
+                    - entry.request.prompt_len - entry.tokens_done
+                )
+                if first < boundaries:
+                    gheap.append((first, pos, entry.bytes_per_block))
+            if gheap:
+                heapq.heapify(gheap)
+                v = scheduler.kv_in_use_bytes
+                overhead = scheduler.store.resident_overhead_bytes
+                budget = scheduler.kv_budget_bytes
+            else:
+                gheap = None
+        batch = len(active)
+        quotient, remainder = divmod(total, batch)
+        tie = 2 * remainder == batch
+        mean = quotient + (quotient & 1) if tie else max(1, round(total / batch))
+        return [start, boundaries, quotient, mean, tie, batch,
+                pod._step_cache, pod.step_cost,
+                0, gheap, v, overhead, budget, block_tokens]
+
+    @staticmethod
+    def _advance_walk(state: list, limit: float) -> float | None:
+        """Advance a quiet-chain walk until its clock passes ``limit``
+        or its trigger boundary is reached; returns the exact trigger
+        time once all quiet boundaries are consumed, else ``None``
+        (trigger strictly later than the walk's updated clock)."""
+        (t, remaining, quotient, mean, tie, batch, cache, step_cost,
+         bidx, gheap, v, overhead, budget, block_tokens) = state
+        bucket = STEP_CONTEXT_BUCKET
+        next_growth = gheap[0][0] if gheap else 1 << 60
+        cost = None
+        cost_until = -1  # see the run-length fetch in _bulk_quiet_steps
+        while remaining and t <= limit:
+            if bidx == next_growth:
+                # KV block growths at this boundary: quiet while every
+                # one fits the free pool outright (virtual ledger, same
+                # predicate as ``_make_room``); a miss means the pod
+                # reclaims or preempts here -- the chain's trigger.
+                loud = False
+                while gheap and gheap[0][0] == bidx:
+                    idx, pos, bpb = gheap[0]
+                    if budget - v - overhead < bpb - _EPS_BYTES:
+                        loud = True
+                        break
+                    v += bpb
+                    heapq.heappop(gheap)
+                    nxt = idx + block_tokens
+                    if nxt < bidx + remaining:
+                        heapq.heappush(gheap, (nxt, pos, bpb))
+                if loud:
+                    remaining = 0
+                    break
+                next_growth = gheap[0][0] if gheap else 1 << 60
+            if mean >= cost_until:
+                context = mean if mean <= bucket else mean // bucket * bucket
+                cost = cache.get((batch, context))
+                if cost is None:
+                    cost = step_cost(batch, mean)
+                cost_until = mean + 1 if mean < bucket else context + bucket
+            t += cost[0]
+            remaining -= 1
+            bidx += 1
+            if tie:
+                quotient += 1
+                mean = quotient + (quotient & 1)
+            else:
+                mean += 1
+        state[0] = t
+        state[1] = remaining
+        state[2] = quotient
+        state[3] = mean
+        state[8] = bidx
+        state[10] = v
+        return t if not remaining else None
+
+    def _walk_tie(self, capped: list[list], t: float) -> bool:
+        """Does any capped quiet-chain walk trigger at exactly ``t``?
+        Resumes each walk just far enough to decide."""
+        for state in capped:
+            if state[0] <= t and self._advance_walk(state, t) == t:
+                return True
+        return False
 
     def _on_swap_back(self, now: float, pod: DecodePod, record: RequestRecord) -> None:
         """A swapped sequence's bytes are back on the pod's doorstep:
@@ -1914,12 +2501,14 @@ class ClusterSim:
         )
         if pod is None:
             if pool == "prefill":
+                template = self.prefill_pods[0]
                 pod = PrefillPod(
                     pod_id=f"prefill{len(self.prefill_pods)}",
-                    platform=self.prefill_pods[0].platform,
+                    platform=template.platform,
                     weight_dtype=self.config.weight_dtype,
                     kv_dtype=self.config.kv_dtype,
                     active=False,
+                    cost_cache=template.cost_cache,
                 )
                 self.prefill_pods.append(pod)
             else:
@@ -1966,8 +2555,13 @@ class ClusterSim:
         """Simulate until every submitted request completes (or is
         rejected) and all pods drain."""
         self._build_pods()
-        self._events: list[tuple[float, int, int, object]] = []
-        self._seq = 0
+        self._calendar = EventCalendar()
+        #: Mirror min-heap of the *times* of pending non-``_STEP``
+        #: events (lazily pruned).  The bulk decode lane's quiet
+        #: horizon needs "earliest event that is not another pod's
+        #: step" -- the calendar's heap can only peek its overall
+        #: minimum, and scanning it is O(pending arrivals).
+        self._hard_events: list[float] = []
         #: Requests holding pinned prefix blocks on a decode pod (cache
         #: affinity routes them there at hand-off time).
         self._pinned: dict[int, DecodePod] = {}
@@ -2012,10 +2606,16 @@ class ClusterSim:
                 ""
             ) or self.config.admission.bucket(1.0)
         self._scaling_events: list[ScalingEvent] = []
-        records = [RequestRecord(request=request) for request in requests]
+        #: Struct-of-arrays state: one table row per request; records
+        #: are per-row views over it (duplicate ids raise in add()).
+        self._table = RequestTable(requests)
+        for pod in self.decode_pods:
+            pod.scheduler.table = self._table
+        records = [
+            RequestRecord(table=self._table, row=row)
+            for row in range(len(self._table))
+        ]
         self._records_by_id = {r.request.request_id: r for r in records}
-        if len(self._records_by_id) != len(records):
-            raise ValueError("request_ids must be unique within one run")
         #: Requests not yet completed, rejected or shed -- the
         #: autoscaler's tick stops re-arming when this hits zero so the
         #: control loop cannot outlive the workload.
@@ -2027,60 +2627,12 @@ class ClusterSim:
                 self.config.autoscaler.control_period_s, _AUTOSCALE, None
             )
 
-        last_time = 0.0
-        while self._events:
-            now, _, kind, payload = heapq.heappop(self._events)
-            if kind == _PREFILL_WAKE and not self._queue:
-                # Stale deadline: the deferred job was served early
-                # (its founder's prefix landed).  Skip before touching
-                # the clock, or an idle tail would inflate duration_s
-                # and every per-duration metric.
-                continue
-            if kind in (_AUTOSCALE, _POD_READY) and self._unresolved <= 0:
-                # The workload is resolved: drop control-loop events
-                # before they touch the clock (and stop re-arming), so
-                # the autoscaler cannot stretch duration_s past the
-                # last real completion.
-                continue
-            last_time = max(last_time, now)
-            if kind == _AUTOSCALE:
-                self._autoscale(now)
-                self._push(
-                    now + self.config.autoscaler.control_period_s,
-                    _AUTOSCALE,
-                    None,
-                )
-                self._drain_prefill_queue(now)
-                continue
-            if kind == _POD_READY:
-                pod = payload
-                if pod.provisioning:
-                    pod.provisioning = False
-                    pod.active = True
-                    pod.activated_s = now
-                self._drain_prefill_queue(now)
-                continue
-            if kind == _ARRIVAL:
-                self._on_arrival(now, payload)
-            elif kind == _PREFILL_DONE:
-                self._on_prefill_done(now, payload)
-            elif kind == _KV_ARRIVE:
-                pod, record = payload
-                self._on_kv_arrive(now, pod, record)
-            elif kind == _RESUME:
-                # A recompute resume re-enters the shared queue like a
-                # fresh arrival; at service start it consults the
-                # prefix cache the same way (still-resident prefix
-                # blocks need neither re-prefill nor a re-transfer).
-                self._enqueue_prefill(now, payload)
-            elif kind == _SWAP_BACK:
-                pod, record = payload
-                self._on_swap_back(now, pod, record)
-            elif kind == _STEP:
-                self._on_step(now, payload)
-            # _PREFILL_WAKE carries no payload: it only advances the
-            # clock to a deferral deadline so the drain below runs.
-            self._drain_prefill_queue(now)
+        last_time = run_loop(
+            self._calendar,
+            self._handlers(),
+            stale=self._stale,
+            after=self._drain_prefill_queue,
+        )
 
         assert not self._queue, "prefill service queue did not drain"
         self._note_queue_depth(last_time)
@@ -2152,6 +2704,7 @@ class ClusterSim:
             shed=tuple(r for r in records if r.shed),
             tenants=self.config.tenants,
             scaling_events=tuple(self._scaling_events),
+            table=self._table,
         )
 
 

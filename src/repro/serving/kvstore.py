@@ -38,7 +38,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 from repro.models.kv_cache import kv_cache_bytes
 
@@ -200,6 +200,12 @@ class KvBlockStore:
     cached_bytes: float = 0.0
     host_bytes: float = 0.0
     stats: KvStoreStats = field(default_factory=KvStoreStats)
+    #: Fired as ``on_prefix_change(model_key, prefix_id)`` once per
+    #: block registered into or reclaimed from the prefix index.  The
+    #: cluster hangs its residency-epoch bookkeeping here (O(1) fleet
+    #: epoch + per-group invalidation) instead of re-summing every
+    #: store's counters per scheduling decision.  ``None`` = no-op.
+    on_prefix_change: Callable[[str, int], None] | None = None
     _leases: dict[int, _Lease] = field(default_factory=dict, repr=False)
     _swapped: dict[int, float] = field(default_factory=dict, repr=False)
     _root: _TrieNode = field(default_factory=_TrieNode, repr=False)
@@ -434,6 +440,8 @@ class KvBlockStore:
                 lease.shared_blocks += 1
                 donated += 1
                 self.stats.registered_blocks += 1
+                if self.on_prefix_change is not None:
+                    self.on_prefix_change(model_key, prefix_id)
             node = child
         if tail and lease.bytes_per_block > 0:
             key = self._tail_key(model_key, prefix_id, full, tail)
@@ -453,6 +461,8 @@ class KvBlockStore:
                 self.cached_bytes += block.nbytes
                 self._lru[block] = None
                 self.stats.registered_blocks += 1
+                if self.on_prefix_change is not None:
+                    self.on_prefix_change(model_key, prefix_id)
         return donated
 
     def reclaim_cached(self, nbytes: float) -> bool:
@@ -464,8 +474,19 @@ class KvBlockStore:
             del self._lru[block]
             self.cached_bytes -= block.nbytes
             freed += block.nbytes
+            # The trie key carries (model_key, prefix_id, ...); capture
+            # it before _detach severs the block from its node.
+            key = block.node.key if block.node is not None else None
             self._detach(block)
             self.stats.reclaimed_blocks += 1
+            if self.on_prefix_change is not None:
+                # A nodeless block (defensive) still bumps the epoch:
+                # the listener's invalidation must track reclaimed_blocks
+                # exactly.
+                if key is not None:
+                    self.on_prefix_change(key[0], key[1])
+                else:  # pragma: no cover - blocks in the LRU keep nodes
+                    self.on_prefix_change("", -1)
         if not self._lru:
             self.cached_bytes = 0.0
         return freed > 0.0

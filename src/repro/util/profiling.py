@@ -1,0 +1,94 @@
+"""Measurement harness: wall-clock timers and a cProfile wrapper.
+
+The simulator-speed work in this repo is pinned by benchmarks that
+compare two full runs (``benchmarks/bench_sim_speed.py``); these
+helpers are the shared instrumentation -- a context-manager timer for
+the coarse numbers and a one-call profiler for finding the next hot
+spot without boilerplate.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+@dataclass
+class Timer:
+    """Wall-clock stopwatch, usable as a context manager.
+
+    >>> with Timer() as t:
+    ...     work()
+    >>> t.elapsed_s
+    0.123...
+
+    Re-entering restarts the clock; ``elapsed_s`` reads live while the
+    timer is running and freezes at exit.
+    """
+
+    label: str = ""
+    _start: float | None = field(default=None, repr=False)
+    _elapsed: float = field(default=0.0, repr=False)
+
+    def __enter__(self) -> "Timer":
+        self._elapsed = 0.0
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self._elapsed = time.perf_counter() - self._start
+        self._start = None
+
+    @property
+    def elapsed_s(self) -> float:
+        if self._start is not None:  # still running
+            return time.perf_counter() - self._start
+        return self._elapsed
+
+    def __str__(self) -> str:
+        name = self.label or "timer"
+        return f"{name}: {self.elapsed_s:.3f} s"
+
+
+@dataclass(frozen=True)
+class ProfileResult:
+    """Return value and flat profile of one profiled call."""
+
+    value: Any
+    elapsed_s: float
+    stats_text: str
+
+    def __str__(self) -> str:
+        return self.stats_text
+
+
+def profile_call(
+    fn: Callable[..., Any],
+    *args: Any,
+    sort: str = "cumulative",
+    top: int = 25,
+    **kwargs: Any,
+) -> ProfileResult:
+    """Run ``fn(*args, **kwargs)`` under cProfile.
+
+    Returns the call's value plus its wall time and the ``top`` rows of
+    the profile sorted by ``sort`` ("cumulative", "tottime", ...) --
+    everything needed to decide where the next optimization goes.
+    """
+    profiler = cProfile.Profile()
+    start = time.perf_counter()
+    profiler.enable()
+    try:
+        value = fn(*args, **kwargs)
+    finally:
+        profiler.disable()
+    elapsed = time.perf_counter() - start
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats(sort).print_stats(top)
+    return ProfileResult(value=value, elapsed_s=elapsed,
+                         stats_text=buffer.getvalue())

@@ -1,30 +1,85 @@
-"""Small statistics helpers for fleet-level SLO reporting."""
+"""Small statistics helpers for fleet-level SLO reporting.
+
+The sort -- the only O(n log n) part of a percentile -- is delegated to
+numpy when it is importable (set ``REPRO_NO_NUMPY=1`` to force the pure
+fallback; CI runs both legs).  Only the *ordering* runs through numpy:
+sorting is arithmetic-free, so the two paths return bit-identical
+floats, and the interpolation itself always runs in scalar Python --
+report digests cannot depend on which leg produced them.
+"""
 
 from __future__ import annotations
 
+import os
 from collections.abc import Sequence
 
+try:  # optional acceleration; never a hard dependency
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via REPRO_NO_NUMPY
+    _np = None
+if os.environ.get("REPRO_NO_NUMPY"):
+    _np = None
 
-def percentile(values: Sequence[float], q: float) -> float:
-    """Linear-interpolated percentile (``q`` in [0, 100]) of ``values``.
+#: Below this, list overhead beats numpy's conversion round-trip.
+_NUMPY_SORT_MIN = 64
 
-    Matches numpy's default ("linear") method; returns 0.0 for an empty
-    sequence so report tables stay printable under zero load.
+
+def sort_values(values: Sequence[float]) -> list[float]:
+    """``sorted(values)`` with large inputs routed through ``np.sort``.
+
+    The numpy round-trip (``asarray`` -> sort -> ``tolist``) performs no
+    arithmetic, so the result is element-for-element identical to the
+    pure path -- it is an acceleration, not an approximation.
     """
-    if not 0.0 <= q <= 100.0:
-        raise ValueError(f"q must be in [0, 100], got {q}")
+    if _np is not None and len(values) >= _NUMPY_SORT_MIN:
+        return _np.sort(_np.asarray(values, dtype=float)).tolist()
+    return sorted(values)
+
+
+def percentiles(
+    values: Sequence[float],
+    qs: Sequence[float],
+    *,
+    presorted: bool = False,
+) -> list[float]:
+    """Linear-interpolated percentiles (each ``q`` in [0, 100]) of
+    ``values`` from a single sort.
+
+    Matches numpy's default ("linear") method; returns 0.0 entries for
+    an empty sequence so report tables stay printable under zero load.
+    Pass ``presorted=True`` to reuse an already-sorted sequence (the
+    report layer caches one per metric).
+    """
+    for q in qs:
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"q must be in [0, 100], got {q}")
     if not values:
-        return 0.0
-    ordered = sorted(values)
-    if len(ordered) == 1:
-        return ordered[0]
-    rank = (len(ordered) - 1) * q / 100.0
-    lo = int(rank)
-    hi = min(lo + 1, len(ordered) - 1)
-    frac = rank - lo
-    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+        return [0.0] * len(qs)
+    ordered = values if presorted else sort_values(values)
+    n = len(ordered)
+    if n == 1:
+        return [ordered[0]] * len(qs)
+    out = []
+    for q in qs:
+        rank = (n - 1) * q / 100.0
+        lo = int(rank)
+        hi = min(lo + 1, n - 1)
+        frac = rank - lo
+        out.append(ordered[lo] * (1.0 - frac) + ordered[hi] * frac)
+    return out
+
+
+def percentile(
+    values: Sequence[float], q: float, *, presorted: bool = False
+) -> float:
+    """Single-quantile convenience wrapper over :func:`percentiles`."""
+    return percentiles(values, (q,), presorted=presorted)[0]
 
 
 def mean(values: Sequence[float]) -> float:
-    """Arithmetic mean (0.0 for an empty sequence)."""
+    """Arithmetic mean (0.0 for an empty sequence).
+
+    Always the scalar left-to-right ``sum``: numpy's pairwise summation
+    would change the rounding, and report digests pin these floats.
+    """
     return sum(values) / len(values) if values else 0.0

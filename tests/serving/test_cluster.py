@@ -172,6 +172,27 @@ class TestReport:
         rendered = report.summary_table().render()
         assert "goodput" in rendered
 
+    def test_percentiles_come_from_one_cached_sort(self, traffic_70b):
+        """The report caches one sorted array per metric; every quantile
+        reads it, and the values match a from-scratch interpolation."""
+        from repro.util.stats import percentile
+
+        config = disaggregated_cluster(LLAMA3_70B, num_decode_pods=2)
+        report = simulate(config, traffic_70b)
+        p95 = report.ttft_percentile(95)
+        cached = report._memo["ttft_s"]
+        assert cached is report._memo["ttft_s"]
+        assert cached == sorted(r.ttft_s for r in report.completed)
+        assert p95 == percentile([r.ttft_s for r in report.completed], 95)
+        assert report.tpot_percentile(50) == percentile(
+            [r.tpot_s for r in report.completed], 50
+        )
+
+    def test_per_tenant_is_memoized(self, traffic_70b):
+        config = disaggregated_cluster(LLAMA3_70B, num_decode_pods=2)
+        report = simulate(config, traffic_70b)
+        assert report.per_tenant() is report.per_tenant()
+
     def test_gpu_only_cluster_runs(self):
         generator = RequestGenerator(
             classes=(reasoning_traffic(LLAMA3_70B),), rate_rps=0.5, seed=3

@@ -10,6 +10,7 @@ from repro.serving.requests import Request
 from repro.serving.scheduler import (
     ContinuousBatchScheduler,
     Policy,
+    Reservation,
     request_kv_bytes,
 )
 
@@ -180,3 +181,59 @@ class TestBudgetDust:
         assert scheduler.kv_in_use_bytes == 0.0
         scheduler.enqueue(exact, 5.0)
         assert len(scheduler.admit(5.0)) == 1
+
+
+class TestPureProbes:
+    """The side-effect-free admission mirrors the cluster's bulk decode
+    lane probes mid-event: same verdict as ``admit``, zero mutation."""
+
+    @pytest.mark.parametrize("policy", list(Policy))
+    @pytest.mark.parametrize("reservation", list(Reservation))
+    def test_would_admit_nothing_matches_admit(self, policy, reservation):
+        """At every step boundary of a pressured run, the pure probe
+        predicts exactly whether ``admit`` comes back empty."""
+        rng = random.Random(13)
+        requests = [random_request(rng, i) for i in range(40)]
+        budget = 3 * max(request_kv_bytes(r) for r in requests)
+        scheduler = ContinuousBatchScheduler(
+            kv_budget_bytes=budget, max_batch=6,
+            policy=policy, reservation=reservation,
+        )
+        pending, now, checked = list(requests), 0.0, 0
+        while pending or scheduler.has_work:
+            for _ in range(rng.randrange(0, 3)):
+                if pending:
+                    scheduler.enqueue(pending.pop(0), now)
+            predicted_nothing = scheduler.would_admit_nothing()
+            admitted = scheduler.admit(now)
+            assert predicted_nothing == (not admitted)
+            checked += 1
+            now += 0.01
+            scheduler.advance(now)
+        assert checked > len(requests)  # the run actually queued
+
+    def test_probe_is_pure(self):
+        """Probing neither reorders the queue nor touches the KV ledger
+        -- unlike ``admit``, which reclaims cached blocks."""
+        scheduler = ContinuousBatchScheduler(
+            kv_budget_bytes=2000 * GB, max_batch=2, policy=Policy.SJF
+        )
+        for i, decode in enumerate((512, 16, 128)):
+            scheduler.enqueue(make_request(i, decode_len=decode), 0.0)
+        before_queue = [q.request.request_id for q in scheduler.queue]
+        before_bytes = scheduler.kv_in_use_bytes
+        assert not scheduler.would_admit_nothing()
+        assert [q.request.request_id for q in scheduler.queue] == before_queue
+        assert scheduler.kv_in_use_bytes == before_bytes
+
+    def test_trivial_verdicts(self):
+        scheduler = ContinuousBatchScheduler(
+            kv_budget_bytes=2000 * GB, max_batch=1
+        )
+        assert scheduler.would_admit_nothing()  # empty queue
+        scheduler.enqueue(make_request(0, decode_len=8), 0.0)
+        scheduler.enqueue(make_request(1, decode_len=8), 0.0)
+        scheduler.admit(0.0)
+        # Batch full: the queued request cannot enter.
+        assert scheduler.batch_size == scheduler.max_batch
+        assert scheduler.would_admit_nothing()

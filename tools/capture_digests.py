@@ -1,0 +1,42 @@
+"""Regenerate the engine digest pins (maintainer tool).
+
+Run on a checkout whose simulator behavior is the intended baseline:
+
+    PYTHONPATH=src python tools/capture_digests.py
+
+and paste the emitted dict over ``DIGESTS`` in
+``tests/serving/test_engine.py``.  Changing a pin is changing the
+simulator's reported numbers -- do it knowingly.
+"""
+
+import importlib.util
+import pathlib
+import sys
+import time
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+spec = importlib.util.spec_from_file_location(
+    "test_engine", ROOT / "tests" / "serving" / "test_engine.py"
+)
+mod = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(mod)
+
+from repro.serving.cluster import simulate  # noqa: E402
+from repro.serving.engine import report_digest  # noqa: E402
+
+print("DIGESTS = {")
+for name, build in mod.SCENARIOS.items():
+    config, requests = build()
+    t0 = time.perf_counter()
+    report = simulate(config, requests)
+    elapsed = time.perf_counter() - t0
+    digest = report_digest(report)
+    print(f'    "{name}": "{digest}",')
+    print(
+        f"    # {len(requests)} requests, {len(report.completed)} completed, "
+        f"{elapsed:.2f}s",
+        file=sys.stderr,
+    )
+print("}")
