@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable
+from collections.abc import Callable
 
 from repro.models.dtypes import DType
 from repro.models.kv_cache import kv_bytes_per_token, kv_cache_bytes

@@ -5,6 +5,7 @@ crossover -- emitted both as tables and as machine-readable
 commits."""
 
 import json
+import math
 from pathlib import Path
 
 from conftest import emit
@@ -87,7 +88,9 @@ def test_kv_hierarchy(benchmark):
     # -- acceptance: caching converts sharing into hit rate, TTFT and
     # goodput at equal KV budget --------------------------------------
     by_share = {p.share_prob: p for p in hit_points}
-    assert by_share[0.0].hit_rate == 0.0
+    # simlint found the old exact `== 0.0` here; a hit rate is an
+    # accumulated ratio, so assert "no hits" robustly instead.
+    assert math.isclose(by_share[0.0].hit_rate, 0.0, abs_tol=1e-12)
     assert by_share[0.9].hit_rate > 0.3
     assert by_share[0.9].ttft_p50_cached_s < by_share[0.9].ttft_p50_uncached_s
     for p in hit_points:

@@ -2,6 +2,8 @@
 GPU-vs-RPU goodput comparison at equal decode power (extends the paper's
 Section I deployment argument to request-level traffic)."""
 
+import math
+
 from conftest import emit
 
 from repro.analysis.cluster_sweep import (
@@ -66,8 +68,11 @@ def test_sec10_cluster(benchmark):
     emit(load, pods, iso)
 
     # Delivered throughput grows with offered load and with pool size.
+    # (simlint: the saturation filter used exact `goodput == 1.0`; use a
+    # closeness test so a single SLO near-miss can't silently skip it.)
     assert all(b.tokens_per_s >= a.tokens_per_s * 0.99
-               for a, b in zip(curve, curve[1:]) if a.goodput == 1.0)
+               for a, b in zip(curve, curve[1:])
+               if math.isclose(a.goodput, 1.0))
     assert all(b.tokens_per_s >= a.tokens_per_s * 0.99
                for a, b in zip(scaling, scaling[1:]))
     # The Section I claim at fleet scale: at equal decode power the

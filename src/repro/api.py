@@ -43,7 +43,7 @@ or flash-crowd shape) instead of the Poisson/bursty samplers.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Callable, Mapping
+from collections.abc import Callable, Mapping
 
 from repro.models.config import ModelConfig
 from repro.models.dtypes import DType

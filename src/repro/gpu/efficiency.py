@@ -41,7 +41,7 @@ def bandwidth_utilization(working_set_bytes: float, *, distributed: bool = False
     ``working_set_bytes`` achieves (Fig 2, right)."""
     if working_set_bytes < 0:
         raise ValueError("working_set_bytes must be non-negative")
-    if working_set_bytes == 0:
+    if working_set_bytes == 0:  # simlint: ok[digest-safety] exact zero sentinel
         return 0.0
     ratio = (working_set_bytes / BW_UTIL_HALF_BYTES) ** BW_UTIL_EXPONENT
     utilization = BW_UTIL_MAX * ratio / (1.0 + ratio)

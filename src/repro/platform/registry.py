@@ -23,7 +23,7 @@ the shim that keeps pre-platform configs working.
 from __future__ import annotations
 
 import warnings
-from typing import Callable
+from collections.abc import Callable
 
 from repro.analysis.perf_model import iso_tdp_system, system_for
 from repro.arch.system import RpuSystem

@@ -6,30 +6,48 @@ dequantizes them to BF16 on the way into the TMACs (paper Section V,
 every format the stream decoder supports -- BFP, MXFP and NxFP at 4-8 bits
 -- plus the scalar BF16/FP8 codecs, and the throughput/energy model of the
 decoder itself.
+
+The codec modules are numpy-native by design; :class:`StreamDecoder`'s
+throughput/energy model is not, and the stdlib-only simulator stack
+imports it.  The codec names therefore resolve lazily (PEP 562) so
+``import repro.quant`` -- and everything above it -- works on the
+no-numpy leg; touching an actual codec without numpy raises the
+underlying ``ImportError``.
 """
 
-from repro.quant.bf16 import bf16_round
-from repro.quant.minifloat import MiniFloatSpec, quantize_minifloat
-from repro.quant.fp8 import FP8_E4M3, FP8_E5M2, quantize_fp8
-from repro.quant.bfp import BfpCodec
-from repro.quant.mxfp import MXFP4, MXFP6, MXFP8, MxfpCodec
-from repro.quant.nxfp import NxfpCodec
-from repro.quant.registry import codec_for
+from __future__ import annotations
+
+import importlib
+
 from repro.quant.stream_decoder import StreamDecoder
 
-__all__ = [
-    "FP8_E4M3",
-    "FP8_E5M2",
-    "MXFP4",
-    "MXFP6",
-    "MXFP8",
-    "BfpCodec",
-    "MiniFloatSpec",
-    "MxfpCodec",
-    "NxfpCodec",
-    "StreamDecoder",
-    "bf16_round",
-    "codec_for",
-    "quantize_fp8",
-    "quantize_minifloat",
-]
+#: Lazily-resolved public names -> defining submodule (all numpy-native).
+_LAZY = {
+    "BfpCodec": "repro.quant.bfp",
+    "FP8_E4M3": "repro.quant.fp8",
+    "FP8_E5M2": "repro.quant.fp8",
+    "MXFP4": "repro.quant.mxfp",
+    "MXFP6": "repro.quant.mxfp",
+    "MXFP8": "repro.quant.mxfp",
+    "MiniFloatSpec": "repro.quant.minifloat",
+    "MxfpCodec": "repro.quant.mxfp",
+    "NxfpCodec": "repro.quant.nxfp",
+    "bf16_round": "repro.quant.bf16",
+    "codec_for": "repro.quant.registry",
+    "quantize_fp8": "repro.quant.fp8",
+    "quantize_minifloat": "repro.quant.minifloat",
+}
+
+__all__ = ["StreamDecoder", *sorted(_LAZY)]
+
+
+def __getattr__(name: str) -> object:
+    try:
+        module = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    return getattr(importlib.import_module(module), name)
+
+
+def __dir__() -> list[str]:
+    return sorted(__all__)

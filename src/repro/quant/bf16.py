@@ -7,6 +7,8 @@ to match what the RTL datapath would produce.
 
 from __future__ import annotations
 
+# simlint: module-ok[numpy-guarding] numpy-native quantization kernels;
+# excluded from the pure-Python (REPRO_NO_NUMPY) leg by design
 import numpy as np
 
 

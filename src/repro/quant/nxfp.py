@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+# simlint: module-ok[numpy-guarding] numpy-native quantization kernels;
+# excluded from the pure-Python (REPRO_NO_NUMPY) leg by design
 import numpy as np
 
 from repro.quant.blocks import (

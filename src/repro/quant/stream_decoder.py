@@ -16,11 +16,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
+# Unlike the codec modules (numpy-native by design), the decoder's
+# throughput/energy model is pure math and sits on the import path of
+# the stdlib-only simulator stack (perf_model, system_sim); only
+# :meth:`StreamDecoder.functional_decode` needs arrays.
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised on the no-numpy leg
+    np = None  # type: ignore[assignment]
 
 from repro.models.dtypes import DType
-from repro.quant.bf16 import bf16_round
-from repro.quant.registry import codec_for
 
 #: Compressed input bits accepted per cycle (paper: "8x32 b/8c").
 INPUT_BITS_PER_CYCLE = 256
@@ -58,12 +63,22 @@ class StreamDecoder:
             raise ValueError("compressed_bytes must be non-negative")
         return compressed_bytes * 8 * DECODE_PJ_PER_BIT * 1e-12
 
-    def functional_decode(self, values: np.ndarray, weight_dtype: DType) -> np.ndarray:
+    def functional_decode(self, values: "np.ndarray", weight_dtype: DType) -> "np.ndarray":
         """Reference dequantization: what the hardware emits for ``values``.
 
         Encodes ``values`` in the block format named by ``weight_dtype``
         and returns the BF16 tile stream the TMACs would receive.
+        Requires numpy (the codecs are array kernels); the analytic
+        methods above do not.
         """
+        if np is None:
+            raise ImportError(
+                "StreamDecoder.functional_decode requires numpy; install the "
+                "'fast' extra (the throughput/energy model works without it)"
+            )
+        from repro.quant.bf16 import bf16_round
+        from repro.quant.registry import codec_for
+
         if weight_dtype in (DType.BF16, DType.FP16, DType.FP32):
             return bf16_round(values)
         codec = codec_for(weight_dtype.label)

@@ -18,6 +18,13 @@ fan-out reuse resident blocks) and a host swap tier for preempted
 sequences.
 """
 
+from repro.serving.contracts import (
+    PurityViolation,
+    contracts_enabled,
+    mutates,
+    pure_probe,
+)
+
 from repro.serving.cluster import (
     ClusterConfig,
     ClusterReport,
@@ -109,6 +116,7 @@ __all__ = [
     "Policy",
     "PrefillPolicy",
     "PrefillQueueStats",
+    "PurityViolation",
     "QueryResult",
     "Request",
     "RequestGenerator",
@@ -123,6 +131,9 @@ __all__ = [
     "report_digest",
     "run_loop",
     "sibling_ttft_mean",
+    "contracts_enabled",
+    "mutates",
+    "pure_probe",
     "simulate",
     "swap_recompute_costs",
     "truncated_lognormal_mean",

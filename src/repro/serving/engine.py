@@ -34,7 +34,13 @@ from __future__ import annotations
 import hashlib
 import heapq
 import json
-from typing import Callable, Sequence
+from collections.abc import Callable, Iterator, Sequence
+from typing import TYPE_CHECKING
+
+from repro.serving.contracts import mutates
+
+if TYPE_CHECKING:
+    from repro.serving.cluster import ClusterReport, RequestRecord
 
 #: One scheduled event: (when, seq, kind, payload).  ``seq`` is the
 #: global push counter -- the tie-break that makes simultaneous events
@@ -66,6 +72,7 @@ class EventCalendar:
     def __bool__(self) -> bool:
         return bool(self._heap)
 
+    @mutates
     def push(self, when: float, kind: int, payload: object) -> None:
         """Schedule an event.  Pushes at exactly the open batch's
         timestamp join that batch (see :meth:`pop_batch`); anything
@@ -97,7 +104,7 @@ class EventCalendar:
         batch = self._open_batch
         return batch is not None and self.cursor + 1 < len(batch)
 
-    def pending_events(self):
+    def pending_events(self) -> Iterator[tuple[float, int, object]]:
         """Unordered iterator over scheduled-but-unpopped events as
         ``(when, kind, payload)`` -- the heap only, never the open
         batch (check :meth:`open_batch_pending` first).  Read-only
@@ -106,6 +113,7 @@ class EventCalendar:
         for when, _seq, kind, payload in self._heap:
             yield when, kind, payload
 
+    @mutates
     def pop_batch(self) -> tuple[float, list[Event]]:
         """Remove and return ``(when, events)`` -- every event at the
         earliest timestamp, in ``seq`` order.
@@ -167,7 +175,7 @@ def run_loop(
 # ----------------------------------------------------------------------
 # Equivalence oracle
 # ----------------------------------------------------------------------
-def _record_line(r) -> str:
+def _record_line(r: "RequestRecord") -> str:
     """One request's lifecycle, canonically rendered.  ``repr`` on
     floats is exact (shortest round-trip), so two lines match iff the
     histories are bit-identical."""
@@ -185,7 +193,7 @@ def _record_line(r) -> str:
     return "|".join(str(f) for f in fields)
 
 
-def report_digest(report) -> str:
+def report_digest(report: "ClusterReport") -> str:
     """SHA-256 hex digest of a :class:`~repro.serving.cluster.ClusterReport`.
 
     Covers every completed/rejected/shed record's full lifecycle (in

@@ -38,9 +38,11 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable
+from collections.abc import Callable
+from typing import TYPE_CHECKING
 
 from repro.models.kv_cache import kv_cache_bytes
+from repro.serving.contracts import mutates, pure_probe
 
 if TYPE_CHECKING:
     from repro.models.config import ModelConfig
@@ -154,7 +156,7 @@ class _TrieNode:
 
     __slots__ = ("key", "parent", "children", "block")
 
-    def __init__(self, key: object = None, parent: "_TrieNode | None" = None):
+    def __init__(self, key: object = None, parent: "_TrieNode | None" = None) -> None:
         self.key = key
         self.parent = parent
         self.children: dict[object, _TrieNode] = {}
@@ -265,6 +267,7 @@ class KvBlockStore:
             lease.cow_tail = None
             self.stats.cow_copies += 1
 
+    @mutates
     def grow(self, seq_id: int) -> float:
         """Allocate one more block for a decoding sequence; returns the
         bytes charged."""
@@ -274,6 +277,7 @@ class KvBlockStore:
         self.bytes_in_use += lease.bytes_per_block
         return lease.bytes_per_block
 
+    @mutates
     def release(self, seq_id: int) -> float:
         """Free a sequence's private bytes and drop its shared refs
         (ref-0 blocks stay resident as reclaimable cache).  Returns the
@@ -311,6 +315,7 @@ class KvBlockStore:
     def _tail_key(model_key: str, prefix_id: int, index: int, tokens: int) -> tuple:
         return (model_key, prefix_id, index, tokens)
 
+    @pure_probe
     def peek_prefix(
         self, model_key: str, prefix_id: int | None, prefix_len: int,
         block_tokens: int,
@@ -335,6 +340,7 @@ class KvBlockStore:
                 tokens += child.block.tokens
         return tokens
 
+    @mutates
     def acquire_prefix(
         self, seq_id: int, model_key: str, prefix_id: int | None,
         prefix_len: int, block_tokens: int,
@@ -375,6 +381,8 @@ class KvBlockStore:
         lease.pinned_tokens = pinned
         self.stats.lookup_tokens += prefix_len
         self.stats.hit_tokens += pinned
+        # simlint: ok[digest-safety] empty-lease sentinel: nbytes is only ever
+        # exactly 0.0 before the first block is charged
         if pinned == 0 and fresh and not lease.shared and lease.nbytes == 0.0:
             # Nothing resident: don't leave an empty lease behind (the
             # request may well be routed to a different pod).
@@ -397,6 +405,7 @@ class KvBlockStore:
         lease = self._leases.get(seq_id)
         return lease.shared_blocks if lease is not None else 0
 
+    @mutates
     def register_prefix(
         self, seq_id: int, model_key: str, prefix_id: int | None,
         prefix_len: int, block_tokens: int,
@@ -465,6 +474,7 @@ class KvBlockStore:
                     self.on_prefix_change(model_key, prefix_id)
         return donated
 
+    @mutates
     def reclaim_cached(self, nbytes: float) -> bool:
         """Evict LRU ref-0 blocks until ``nbytes`` are freed; returns
         True iff at least one block was evicted (progress was made)."""
@@ -526,12 +536,14 @@ class KvBlockStore:
     # ------------------------------------------------------------------
     # Host swap tier
     # ------------------------------------------------------------------
+    @pure_probe
     def can_swap(self, nbytes: float) -> bool:
         """Does the host tier have room for ``nbytes`` more?"""
         if self.host_capacity_bytes is None:
             return True
         return self.host_bytes + nbytes <= self.host_capacity_bytes
 
+    @mutates
     def swap_out(self, seq_id: int) -> float:
         """Move a sequence's private bytes to the host tier.  Shared
         prefix refs stay *pinned* for the round trip (the resume relies
@@ -549,6 +561,7 @@ class KvBlockStore:
         self.stats.swap_out_bytes += lease.nbytes
         return lease.nbytes
 
+    @mutates
     def swap_in(self, seq_id: int) -> float:
         """Bring a swapped sequence's bytes back: the host side is
         freed, the lease (with its still-pinned prefix refs) returns to

@@ -48,7 +48,7 @@ import json
 import math
 import random
 from dataclasses import dataclass, replace
-from typing import Callable, Iterable
+from collections.abc import Callable, Iterable
 
 from repro.models.config import ModelConfig
 from repro.models.dtypes import DType
@@ -618,7 +618,7 @@ class ArrivalTrace:
         return cls.from_times(times)
 
 
-def _opt_int(value) -> int | None:
+def _opt_int(value: object) -> int | None:
     """Coerce an optional JSON/CSV cell to int (None/"" pass through)."""
     if value is None:
         return None

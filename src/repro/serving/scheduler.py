@@ -54,10 +54,11 @@ from __future__ import annotations
 import enum
 import math
 from dataclasses import dataclass, field
-from typing import Callable
+from collections.abc import Callable
 
 from repro.models.dtypes import DType
 from repro.models.kv_cache import kv_bytes_per_token, kv_cache_bytes
+from repro.serving.contracts import mutates, pure_probe
 from repro.serving.kvstore import KvBlockStore
 from repro.serving.requests import Request, RequestTable
 
@@ -254,6 +255,7 @@ class ContinuousBatchScheduler:
             raise ValueError("watermark_frac must be in [0, 1)")
         if self.store is None:
             self.store = KvBlockStore(self.kv_budget_bytes)
+        # simlint: ok[digest-safety] config identity check, not arithmetic
         elif self.store.budget_bytes != self.kv_budget_bytes:
             raise ValueError(
                 "store budget must match kv_budget_bytes "
@@ -315,6 +317,7 @@ class ContinuousBatchScheduler:
             return self.paged_total_bytes(request) <= self.kv_budget_bytes
         return self.reservation_bytes(request) <= self.kv_budget_bytes
 
+    @mutates
     def enqueue(
         self,
         request: Request,
@@ -354,6 +357,7 @@ class ContinuousBatchScheduler:
         )
         self.owed_tokens += request.decode_len - tokens_done
 
+    @mutates
     def _fits(self, need: float, watermark: float = 0.0) -> bool:
         """Would allocating ``need`` more bytes stay within budget,
         reclaiming cached (ref-0) prefix blocks if that is what it
@@ -376,6 +380,7 @@ class ContinuousBatchScheduler:
             if not self.store.reclaim_cached(shortfall):
                 return False
 
+    @mutates
     def _admissible(self, queued: QueuedRequest) -> bool:
         if len(self.active) >= self.max_batch:
             return False
@@ -390,6 +395,7 @@ class ContinuousBatchScheduler:
         # ledger is zero, so this degenerates to need <= budget).
         return not self.active and self._fits(need)
 
+    @pure_probe
     def _fits_pure(self, need: float, watermark: float = 0.0) -> bool:
         """Side-effect-free mirror of :meth:`_fits`: same verdict, but a
         would-be cache reclaim is only *predicted*, never performed.
@@ -403,6 +409,7 @@ class ContinuousBatchScheduler:
             return True
         return self.store.cached_bytes >= total - self.kv_budget_bytes
 
+    @pure_probe
     def _admissible_pure(self, queued: QueuedRequest) -> bool:
         """:meth:`_admissible` without the cache-reclaim side effect."""
         if len(self.active) >= self.max_batch:
@@ -414,6 +421,7 @@ class ContinuousBatchScheduler:
             return True
         return not self.active and self._fits_pure(need)
 
+    @pure_probe
     def would_admit_nothing(self) -> bool:
         """Would :meth:`admit` return an empty list right now?
 
@@ -432,6 +440,7 @@ class ContinuousBatchScheduler:
             return not self._admissible_pure(queue[0])
         return not any(self._admissible_pure(q) for q in queue)
 
+    @mutates
     def admit(self, now: float) -> list[ActiveRequest]:
         """Move waiting requests into the batch (called at each step
         boundary).  Returns the newly admitted requests."""
@@ -462,6 +471,7 @@ class ContinuousBatchScheduler:
             admitted.append(self._activate(queued, now))
         return admitted
 
+    @mutates
     def _activate(self, queued: QueuedRequest, now: float) -> ActiveRequest:
         request = queued.request
         reserved = self._admission_bytes(queued)
@@ -531,6 +541,7 @@ class ContinuousBatchScheduler:
             -entry.request.request_id,
         )
 
+    @mutates
     def _preempt(self, entry: ActiveRequest, now: float, gone: set[int]) -> None:
         self.active.remove(entry)
         self.num_preemptions += 1
@@ -566,6 +577,7 @@ class ContinuousBatchScheduler:
             self._preempted.append(queued)
             self.owed_tokens -= entry.remaining_tokens
 
+    @mutates
     def _make_room(
         self, entry: ActiveRequest, nbytes: float, now: float, gone: set[int]
     ) -> bool:
@@ -640,6 +652,7 @@ class ContinuousBatchScheduler:
         starts once the context is fully resident."""
         entry.prefill_remaining -= min(self.chunk_tokens, entry.prefill_remaining)
 
+    @mutates
     def advance(self, step_end_s: float) -> list[ActiveRequest]:
         """One scheduler step ending at ``step_end_s``: prefilling
         sequences ingest a prompt chunk, decoding sequences emit one

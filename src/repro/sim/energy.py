@@ -48,7 +48,7 @@ class EnergyMeter:
         self.totals[group][component] += joules
         if joules == 0:
             return
-        if end_s == start_s:
+        if end_s == start_s:  # simlint: ok[digest-safety] instantaneous-event sentinel, same value both sides
             self._bins[group][int(start_s / self.bin_s)] += joules
             return
         first = int(start_s / self.bin_s)

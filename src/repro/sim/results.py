@@ -45,7 +45,7 @@ class SimResult:
         only use TMACs at the workload's arithmetic intensity, so this is
         well below the decoder's busy fraction at low batch.
         """
-        if self.latency_s == 0 or self.peak_flops_per_core == 0:
+        if self.latency_s == 0 or self.peak_flops_per_core == 0:  # simlint: ok[digest-safety] zero sentinels
             return 0.0
         work = self.comp_trace.total_work
         return min(work / (self.peak_flops_per_core * self.latency_s), 1.0)
@@ -80,7 +80,7 @@ class SimResult:
         return per_cu * self.num_cus / batch_size
 
     def avg_power_per_cu_w(self) -> float:
-        if self.latency_s == 0:
+        if self.latency_s == 0:  # simlint: ok[digest-safety] zero sentinel
             return 0.0
         return sum(self.energy_per_cu_j().values()) / self.latency_s
 

@@ -1,0 +1,60 @@
+"""CLI entry point: ``python -m repro.staticcheck [paths...]``.
+
+Exits 0 when every checked file is clean, 1 when findings exist,
+2 on usage errors.  ``--list`` prints the active checkers; ``--only``
+restricts the run to a comma-separated subset.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.staticcheck.core import all_checkers, check_paths
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.staticcheck",
+        description="simlint: simulator-invariant static checks",
+    )
+    parser.add_argument("paths", nargs="*", default=["src"], help="files or directories")
+    parser.add_argument(
+        "--only",
+        metavar="CHECKERS",
+        help="comma-separated checker subset (default: all)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list active checkers and exit"
+    )
+    args = parser.parse_args(argv)
+
+    checkers = all_checkers()
+    if args.list:
+        for name in sorted(checkers):
+            print(name)
+        return 0
+
+    only = None
+    if args.only:
+        only = [name.strip() for name in args.only.split(",") if name.strip()]
+        unknown = sorted(set(only) - set(checkers))
+        if unknown:
+            print(f"unknown checker(s): {', '.join(unknown)}", file=sys.stderr)
+            return 2
+
+    findings = check_paths(args.paths or ["src"], only)
+    for finding in findings:
+        print(finding.render())
+    active = len(only) if only else len(checkers)
+    noun = "finding" if len(findings) == 1 else "findings"
+    print(
+        f"simlint: {len(findings)} {noun} ({active} checkers active)",
+        file=sys.stderr,
+    )
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,77 @@
+"""simlint checker: the public serving API must be fully typed.
+
+``repro.serving`` is the subsystem other layers (analysis sweeps,
+benchmarks, examples) build on, and the one ``mypy --strict`` gates in
+CI; an unannotated public function there is a hole in the typed
+surface.  For every file under a ``serving`` package this checker
+requires, on each public function/method (name without a leading
+underscore, skipping dunders, inside public classes only):
+
+* an annotation on every parameter (``self``/``cls`` excepted);
+* a return annotation (yes, even ``-> None`` -- without it mypy treats
+  the whole body as untyped).
+
+Other packages are exempt for now; widen the path filter as the typed
+surface ratchets outward.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import PurePath
+
+from repro.staticcheck.astutil import FunctionNode, decorator_names
+from repro.staticcheck.core import Checker, register
+
+_SKIP_DECORATORS = frozenset({"overload"})
+
+
+def _applies(path: str) -> bool:
+    return "serving" in PurePath(path).parts
+
+
+@register
+class ApiHygieneChecker(Checker):
+    name = "api-hygiene"
+
+    def run(self, tree: ast.Module) -> list:  # type: ignore[override]
+        if not _applies(self.ctx.path):
+            return self.findings
+        self._walk(tree.body, in_private=False)
+        return self.findings
+
+    def _walk(self, body: list[ast.stmt], in_private: bool) -> None:
+        for node in body:
+            if isinstance(node, ast.ClassDef):
+                self._walk(node.body, in_private or node.name.startswith("_"))
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if not in_private:
+                    self._check_fn(node)
+                # Nested defs are implementation detail; don't descend.
+
+    def _check_fn(self, fn: FunctionNode) -> None:
+        name = fn.name
+        if name.startswith("_"):  # private and dunder alike
+            return
+        if decorator_names(fn) & _SKIP_DECORATORS:
+            return
+        args = [*fn.args.posonlyargs, *fn.args.args, *fn.args.kwonlyargs]
+        if args and args[0].arg in ("self", "cls"):
+            args = args[1:]
+        if fn.args.vararg is not None:
+            args.append(fn.args.vararg)
+        if fn.args.kwarg is not None:
+            args.append(fn.args.kwarg)
+        missing = [a.arg for a in args if a.annotation is None]
+        if missing:
+            self.report(
+                fn,
+                f"public serving function {name!r} has unannotated "
+                f"parameter(s): {', '.join(missing)}",
+            )
+        if fn.returns is None:
+            self.report(
+                fn,
+                f"public serving function {name!r} lacks a return "
+                "annotation (use '-> None' where applicable)",
+            )

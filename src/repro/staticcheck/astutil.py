@@ -1,0 +1,100 @@
+"""Small AST helpers shared by the simlint checkers."""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+__all__ = [
+    "FunctionNode",
+    "decorator_names",
+    "local_names",
+    "names_in",
+    "root_name",
+    "walk_functions",
+]
+
+FunctionNode = ast.FunctionDef | ast.AsyncFunctionDef
+
+
+def root_name(node: ast.expr) -> str | None:
+    """The base ``Name`` of an attribute/subscript/call chain:
+    ``self.store.blocks[i].append`` -> ``"self"``.  ``None`` when the
+    chain bottoms out in a literal or call result."""
+    while True:
+        if isinstance(node, ast.Name):
+            return node.id
+        if isinstance(node, (ast.Attribute, ast.Subscript, ast.Starred)):
+            node = node.value
+        elif isinstance(node, ast.Call):
+            node = node.func
+        else:
+            return None
+
+
+def names_in(node: ast.expr) -> set[str]:
+    """Every ``Name`` appearing anywhere inside ``node``."""
+    return {n.id for n in ast.walk(node) if isinstance(n, ast.Name)}
+
+
+def decorator_names(fn: FunctionNode) -> set[str]:
+    """Terminal names of a function's decorators: ``@pure_probe``,
+    ``@contracts.pure_probe`` and ``@pure_probe(watch=...)`` all yield
+    ``"pure_probe"``."""
+    out: set[str] = set()
+    for dec in fn.decorator_list:
+        node: ast.expr = dec
+        if isinstance(node, ast.Call):
+            node = node.func
+        if isinstance(node, ast.Attribute):
+            out.add(node.attr)
+        elif isinstance(node, ast.Name):
+            out.add(node.id)
+    return out
+
+
+def _target_names(target: ast.expr) -> Iterator[str]:
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            yield from _target_names(elt)
+    elif isinstance(target, ast.Starred):
+        yield from _target_names(target.value)
+
+
+def local_names(fn: FunctionNode) -> set[str]:
+    """Names bound locally inside ``fn`` (excluding its parameters):
+    plain assignments, loop targets, ``with ... as``, walrus bindings,
+    comprehension variables and nested ``def``/``class`` names.
+
+    Deliberately *excludes* attribute/subscript targets -- writing
+    through those mutates some object, which is exactly what the purity
+    checker wants to see."""
+    out: set[str] = set()
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                out.update(_target_names(target))
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            out.update(_target_names(node.target))
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            out.update(_target_names(node.target))
+        elif isinstance(node, ast.NamedExpr):
+            out.update(_target_names(node.target))
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if item.optional_vars is not None:
+                    out.update(_target_names(item.optional_vars))
+        elif isinstance(node, ast.comprehension):
+            out.update(_target_names(node.target))
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            if node is not fn:
+                out.add(node.name)
+    return out
+
+
+def walk_functions(tree: ast.AST) -> Iterator[FunctionNode]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node

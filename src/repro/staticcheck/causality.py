@@ -1,0 +1,114 @@
+"""simlint checker: events may only be scheduled at or after ``now``.
+
+Every ``EventCalendar.push`` / ``ClusterSim._push`` / ``*._schedule``
+call site inside a function that has ``now`` in scope must pass a first
+argument *derived from* ``now`` plus non-negative terms.  Derivation is
+tracked syntactically: a name becomes time-anchored when it is assigned
+an expression mentioning an anchored name (``end = now + step_s``,
+``deadline = max(now, horizon)``), seeded from the parameter/local
+``now``.  Violations:
+
+* a first argument that mentions no anchored name (a bare constant or
+  an unrelated variable) -- the event lands at an arbitrary time;
+* a top-level subtraction from an anchored name (``now - delay``) --
+  scheduling into the past breaks the calendar's monotonic contract and
+  the bulk quiet-decode lane's horizon math.
+
+Call sites in functions with no ``now`` in scope (e.g. the initial
+arrival seeding before the clock starts) are outside the rule.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.staticcheck.astutil import FunctionNode, names_in, walk_functions
+from repro.staticcheck.core import Checker, register
+
+#: Method names that schedule onto an event calendar.
+SCHEDULE_METHODS = frozenset({"push", "_push", "_schedule", "schedule_at"})
+
+#: Names that anchor a timestamp to the simulation clock.
+_SEED_ANCHORS = frozenset({"now", "when"})
+
+
+def _anchored_names(fn: FunctionNode) -> set[str]:
+    """Names in ``fn`` transitively derived from the clock.
+
+    Two fixed-point passes over simple assignments cover forward
+    references without full dataflow."""
+    resolved = set(_SEED_ANCHORS)  # 'now'/'when' *are* the clock by convention
+    for _ in range(2):
+        for node in ast.walk(fn):
+            targets: list[ast.expr] = []
+            value: ast.expr | None = None
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            elif isinstance(node, ast.AugAssign):
+                targets, value = [node.target], node.value
+            if value is None:
+                continue
+            mentioned = names_in(value)
+            if isinstance(node, ast.AugAssign) and isinstance(node.target, ast.Name):
+                mentioned.add(node.target.id)
+            if mentioned & resolved:
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        resolved.add(target.id)
+                    elif isinstance(target, (ast.Tuple, ast.List)):
+                        # `start, end = pod.serve(request, now, ...)`
+                        resolved.update(
+                            e.id for e in target.elts if isinstance(e, ast.Name)
+                        )
+    return resolved
+
+
+def _has_now_in_scope(fn: FunctionNode) -> bool:
+    params = {a.arg for a in (*fn.args.posonlyargs, *fn.args.args, *fn.args.kwonlyargs)}
+    if _SEED_ANCHORS & params:
+        return True
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id in _SEED_ANCHORS:
+                    return True
+    return False
+
+
+@register
+class CausalityChecker(Checker):
+    name = "causality"
+
+    def run(self, tree: ast.Module) -> list:  # type: ignore[override]
+        for fn in walk_functions(tree):
+            if not _has_now_in_scope(fn):
+                continue
+            anchored = _anchored_names(fn)
+            for node in ast.walk(fn):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                if not (isinstance(func, ast.Attribute) and func.attr in SCHEDULE_METHODS):
+                    continue
+                if not node.args:
+                    continue
+                when = node.args[0]
+                if not names_in(when) & anchored:
+                    self.report(
+                        node,
+                        f".{func.attr}() timestamp is not derived from the "
+                        "simulation clock ('now') -- events must be "
+                        "scheduled relative to it",
+                    )
+                elif isinstance(when, ast.BinOp) and isinstance(when.op, ast.Sub):
+                    left = when.left
+                    if isinstance(left, ast.Name) and left.id in anchored:
+                        self.report(
+                            node,
+                            f".{func.attr}() schedules at "
+                            f"'{left.id} - ...' -- negative offsets send "
+                            "events into the past",
+                        )
+        return self.findings

@@ -1,0 +1,114 @@
+"""simlint checker: float comparisons that can break digest equivalence.
+
+The fast/slow path equivalence proof rests on *exact* float-op-order
+replay; ad-hoc ``==``/``!=`` between computed floats is how that proof
+rots (two mathematically equal expressions differ in the last ulp).
+Flags:
+
+* ``==`` / ``!=`` where either operand is *float-ish*: a float literal,
+  a true-division expression, a ``float(...)`` call, or a
+  name/attribute carrying one of the codebase's float-unit suffixes
+  (``_s``, ``_j``, ``_w``, ``_bytes``, ``_frac``, ``_rate``, ``_rps``,
+  ``_gbps``, ``_usd``);
+* ``is`` / ``is not`` against a number or string constant (identity of
+  interned objects is an implementation detail).
+
+Comparisons inside ``math.isclose(...)`` / ``pytest.approx(...)`` are
+the sanctioned forms and pass.  Intentional exact sentinels (e.g.
+``busy == 0.0`` where the value is only ever *assigned* ``0.0``) carry
+a ``# simlint: ok[digest-safety] <reason>`` pragma.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.staticcheck.core import Checker, register
+
+#: Attribute/name suffixes that mark a float-unit quantity in this repo.
+FLOAT_SUFFIXES = (
+    "_s",
+    "_j",
+    "_w",
+    "_bytes",
+    "_frac",
+    "_rate",
+    "_rps",
+    "_gbps",
+    "_usd",
+)
+
+_SANCTIONED_CALLS = frozenset({"isclose", "approx"})
+
+
+def _is_floatish(node: ast.expr) -> bool:
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.BinOp):
+        if isinstance(node.op, ast.Div):
+            return True
+        return _is_floatish(node.left) or _is_floatish(node.right)
+    if isinstance(node, ast.UnaryOp):
+        return _is_floatish(node.operand)
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        if node.func.id == "float":
+            return True
+    name = None
+    if isinstance(node, ast.Name):
+        name = node.id
+    elif isinstance(node, ast.Attribute):
+        name = node.attr
+    if name is not None:
+        return name.endswith(FLOAT_SUFFIXES)
+    return False
+
+
+def _contains_approx(node: ast.expr) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call):
+            func = sub.func
+            attr = func.attr if isinstance(func, ast.Attribute) else None
+            name = func.id if isinstance(func, ast.Name) else None
+            if attr in _SANCTIONED_CALLS or name in _SANCTIONED_CALLS:
+                return True
+    return False
+
+
+@register
+class DigestSafetyChecker(Checker):
+    name = "digest-safety"
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        attr = func.attr if isinstance(func, ast.Attribute) else None
+        name = func.id if isinstance(func, ast.Name) else None
+        if attr in _SANCTIONED_CALLS or name in _SANCTIONED_CALLS:
+            return  # don't descend: comparisons inside isclose/approx are fine
+        self.generic_visit(node)
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        if any(_contains_approx(op) for op in operands):
+            self.generic_visit(node)
+            return
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if isinstance(op, (ast.Eq, ast.NotEq)):
+                if _is_floatish(left) or _is_floatish(right):
+                    kind = "==" if isinstance(op, ast.Eq) else "!="
+                    self.report(
+                        node,
+                        f"float {kind} comparison -- use math.isclose / "
+                        "pytest.approx, or pragma an intentional exact "
+                        "sentinel",
+                    )
+            elif isinstance(op, (ast.Is, ast.IsNot)):
+                for side in (left, right):
+                    if isinstance(side, ast.Constant) and isinstance(
+                        side.value, (int, float, str)
+                    ) and not isinstance(side.value, bool):
+                        self.report(
+                            node,
+                            "'is' comparison against a number/string "
+                            "constant relies on interning",
+                        )
+        self.generic_visit(node)

@@ -12,9 +12,11 @@ from __future__ import annotations
 import cProfile
 import io
 import pstats
+# simlint: module-ok[determinism] measuring wall-clock time is this module's purpose
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from collections.abc import Callable
+from typing import Any
 
 
 @dataclass

@@ -19,7 +19,7 @@ class Table:
     ...
     """
 
-    def __init__(self, title: str, headers: Sequence[str]):
+    def __init__(self, title: str, headers: Sequence[str]) -> None:
         self.title = title
         self.headers = [str(h) for h in headers]
         self.rows: list[list[str]] = []

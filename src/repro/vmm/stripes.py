@@ -17,6 +17,8 @@ output element per stripe) -- the paper's three reasons for striping.
 
 from __future__ import annotations
 
+# simlint: module-ok[numpy-guarding] numpy-native VMM dataflow kernels;
+# excluded from the pure-Python (REPRO_NO_NUMPY) leg by design
 import numpy as np
 
 from repro.quant.bf16 import bf16_round

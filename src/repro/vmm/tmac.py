@@ -8,6 +8,8 @@ pairwise tree sum -- the exact accumulation order the tests pin down.
 
 from __future__ import annotations
 
+# simlint: module-ok[numpy-guarding] numpy-native VMM dataflow kernels;
+# excluded from the pure-Python (REPRO_NO_NUMPY) leg by design
 import numpy as np
 
 from repro.quant.bf16 import bf16_round

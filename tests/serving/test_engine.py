@@ -406,6 +406,52 @@ SCENARIOS = {
         _storm_requests(),
     ),
     "fleet_ops": _fleet_ops,
+    # PR 8 additions: eight more scenarios so every policy axis appears
+    # crossed with at least one other (FULL x SJF, FULL x storm, NEVER
+    # swap, block/chunk granularity, colocation, trace-driven arrivals).
+    "full_sjf": lambda: (
+        # prefix_caching requires PAGED, so FULL x SJF runs uncached.
+        _base(
+            reservation=Reservation.FULL,
+            policy=Policy.SJF,
+            prefill_policy=PrefillPolicy.SJF,
+        ),
+        _traffic(prefix_share=0.5, seed=29),
+    ),
+    "swap_never": lambda: (
+        _base(kv_budget=6e8, swap_policy=SwapPolicy.NEVER),
+        _traffic(rate=2.5, duration=12.0, seed=23,
+                 prompt_mean=2048, decode_mean=4096),
+    ),
+    "storm_full": lambda: (
+        _base(
+            reservation=Reservation.FULL,
+            prefill_policy=PrefillPolicy.PRIORITY,
+        ),
+        _storm_requests(),
+    ),
+    "multi_priority_fifo": lambda: (
+        _base(), _traffic(priorities=(0, 1, 2), seed=31)
+    ),
+    "small_blocks": lambda: (
+        _base(block_tokens=32, prefix_caching=True),
+        _traffic(prefix_share=0.6, seed=37),
+    ),
+    "chunked_ingest": lambda: (
+        _base(chunk_tokens=128, prefix_caching=True),
+        _traffic(prefix_share=0.4, seed=41, prompt_mean=1024),
+    ),
+    "colocated_decode": lambda: (
+        _base(kv_transfer_bytes_per_s=float("inf")), _traffic(seed=43)
+    ),
+    "flash_crowd_trace": lambda: (
+        _base(prefill_policy=PrefillPolicy.PRIORITY, prefix_caching=True),
+        TrafficSpec(
+            prompt_mean=192, decode_mean=64, seed=47,
+            prefix_share_prob=0.5,
+            trace=ArrivalTrace.flash_crowd(3.0, 10.0, seed=47),
+        ).requests(LLAMA3_8B),
+    ),
 }
 
 #: Pinned on the pre-refactor checkout (PR 6 code path).  Do not
@@ -424,6 +470,16 @@ DIGESTS = {
     "swap_auto": "a1a112acf91bbcdba624fd2c8cb0b81c3a5ac041c5bd6cbb5a1e21fc59085212",
     "event_storm": "dd5d61ebd17206498c691f46ea703f52e2103b8d24c75d2f84210ad2254334ed",
     "fleet_ops": "c57a89fdca32d88b6abf38816c39c73a07745a4c3b978c8c137895ffc6919ab8",
+    # PR 8 scenarios, pinned at introduction (same capture tool; the 12
+    # pins above were verified unchanged in the same run).
+    "full_sjf": "a135a8f03ba19f8e046c3cff20425ffb8ff7ce7db81e60043388dcab7377cb55",
+    "swap_never": "993030ea9e39fe4816923d41b3107a44b9bde2865f6589306fb8719d111f1f1a",
+    "storm_full": "ece113a240650738374f43cc249ecc4b4cc230712a7ce8785c56ddce76f9dc62",
+    "multi_priority_fifo": "af06c46c29e4a2f811580166c224b4cc88b67d8a7d6eb5098759e50d63bcecf9",
+    "small_blocks": "d273e16ce34f78b0a48d81f07262b43e210a845eef7fda09bc51b19540849211",
+    "chunked_ingest": "a280e2ed71a6e486d462fb7f8450642ea2141ecf6e36845af6656a50cca74cee",
+    "colocated_decode": "ddcd859cdb4a855e5468792cfa6e45052d255d4c955752771ac9d02bf9c679cc",
+    "flash_crowd_trace": "13793cd274c4ca044bc1ec94dca85f82a0e6332294908f770cac521a70c05258",
 }
 
 

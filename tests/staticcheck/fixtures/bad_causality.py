@@ -1,0 +1,7 @@
+"""Seeded violations for the simlint ``causality`` checker."""
+
+
+class Node:
+    def fire(self, calendar, now, delay):
+        calendar.push(now - delay, 0, None)  # into the past
+        calendar.push(0.0, 1, None)  # not derived from the clock

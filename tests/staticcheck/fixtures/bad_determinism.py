@@ -1,0 +1,14 @@
+"""Seeded violations for the simlint ``determinism`` checker."""
+
+import random
+import time
+
+
+def jitter():
+    return time.time() + random.random()  # wall clock + module RNG
+
+
+def shuffle_ids(ids):
+    rng = random.Random()  # unseeded
+    pool = set(ids)
+    return [rng.random() for _ in pool]  # hash-order iteration

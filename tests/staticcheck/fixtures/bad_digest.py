@@ -1,0 +1,13 @@
+"""Seeded violations for the simlint ``digest-safety`` checker."""
+
+
+def close_enough(a_s, b_s):
+    return a_s == b_s  # float == via the unit-suffix heuristic
+
+
+def is_unit(ratio):
+    return ratio != 1.0  # literal float comparison
+
+
+def same_label(tag):
+    return tag is "hot"  # identity on a string constant

@@ -1,0 +1,16 @@
+"""Seeded violations for the simlint ``numpy-guarding`` checker."""
+
+from numpy import sort as _np_sort  # unguarded import
+
+try:
+    import numpy as _np
+except ImportError:
+    _np = None
+
+
+def raw_sort(values):
+    return list(_np_sort(values))
+
+
+def fast_sort(values):
+    return list(_np.sort(values))  # guarded import, unguarded use

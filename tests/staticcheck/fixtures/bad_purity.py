@@ -1,0 +1,20 @@
+"""Seeded violations for the simlint ``purity`` checker."""
+
+import heapq
+import random
+
+
+class Sim:
+    def __init__(self):
+        self.events = []
+        self.count = 0
+
+    def would_overflow(self, item):
+        self.count += 1  # attribute write through self
+        heapq.heappush(self.events, item)  # heappush into non-local heap
+        self.events.append(item)  # mutating method on self state
+        return len(self.events) > 4
+
+    def _budget_pure(self, pool):
+        pool["slack"] = 0.0  # subscript write through a parameter
+        return random.random() < 0.5  # RNG draw inside a probe

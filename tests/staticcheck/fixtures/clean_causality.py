@@ -1,0 +1,8 @@
+"""Clean twin: timestamps derived from ``now`` plus non-negative terms."""
+
+
+class Node:
+    def fire(self, calendar, now, delay):
+        calendar.push(now + delay, 0, None)
+        end = now + 2.0 * delay
+        calendar.push(end, 1, None)

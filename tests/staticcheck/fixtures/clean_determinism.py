@@ -1,0 +1,9 @@
+"""Clean twin: seeded RNG, ordered iteration, no wall clock."""
+
+import random
+
+
+def shuffle_ids(ids, seed):
+    rng = random.Random(seed)
+    pool = sorted(set(ids))
+    return [rng.random() for _ in pool]

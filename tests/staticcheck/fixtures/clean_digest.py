@@ -1,0 +1,15 @@
+"""Clean twin: sanctioned float comparisons."""
+
+import math
+
+
+def close_enough(a_s, b_s):
+    return math.isclose(a_s, b_s)
+
+
+def is_unit(ratio):
+    return math.isclose(ratio, 1.0)
+
+
+def same_label(tag):
+    return tag == "hot"

@@ -1,0 +1,12 @@
+"""Clean twin: the repo's optional-numpy fallback pattern."""
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+
+def fast_sort(values):
+    if _np is not None and len(values) >= 64:
+        return list(_np.sort(values))
+    return sorted(values)

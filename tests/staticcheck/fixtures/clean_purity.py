@@ -1,0 +1,15 @@
+"""Clean twin of ``bad_purity.py``: probes that only read."""
+
+
+class Sim:
+    def __init__(self):
+        self.events = []
+
+    def would_overflow(self, item):
+        pending = list(self.events)
+        pending.append(item)  # fresh local state is fair game
+        return len(pending) > 4
+
+    def _budget_pure(self, pool):
+        slack = pool.get("slack", 0.0)
+        return slack > 1.0

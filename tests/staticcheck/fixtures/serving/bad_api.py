@@ -1,0 +1,11 @@
+"""Seeded violations for the simlint ``api-hygiene`` checker (the path
+contains ``serving``, which is what scopes the checker)."""
+
+
+def serve(requests, rate):
+    return len(requests) * rate
+
+
+class Queue:
+    def enqueue_item(self, item):
+        return item

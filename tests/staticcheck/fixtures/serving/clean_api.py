@@ -1,0 +1,12 @@
+"""Clean twin: fully annotated public serving surface."""
+
+from __future__ import annotations
+
+
+def serve(requests: list[str], rate: float) -> float:
+    return len(requests) * rate
+
+
+class Queue:
+    def enqueue_item(self, item: object) -> object:
+        return item

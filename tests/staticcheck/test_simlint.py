@@ -1,0 +1,168 @@
+"""Tests for ``repro.staticcheck`` (simlint).
+
+Each checker gets a fixture pair: a ``bad_*`` module seeded with
+violations it must flag, and a ``clean_*`` twin it must pass.  The
+meta-test at the bottom asserts the repo's own ``src/repro`` tree is
+simlint-clean -- the linter gating CI also holds on the code it ships
+with.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.staticcheck import (
+    Finding,
+    all_checkers,
+    check_file,
+    check_paths,
+    check_source,
+    iter_python_files,
+)
+from repro.staticcheck.__main__ import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO_SRC = Path(__file__).parents[2] / "src" / "repro"
+
+#: checker name -> (bad fixture, clean twin) relative to FIXTURES.
+PAIRS = {
+    "purity": ("bad_purity.py", "clean_purity.py"),
+    "determinism": ("bad_determinism.py", "clean_determinism.py"),
+    "causality": ("bad_causality.py", "clean_causality.py"),
+    "digest-safety": ("bad_digest.py", "clean_digest.py"),
+    "numpy-guarding": ("bad_numpy.py", "clean_numpy.py"),
+    "api-hygiene": ("serving/bad_api.py", "serving/clean_api.py"),
+}
+
+
+def _by_checker(findings: list[Finding], name: str) -> list[Finding]:
+    return [f for f in findings if f.checker == name]
+
+
+class TestRegistry:
+    def test_six_checkers_registered(self):
+        names = set(all_checkers())
+        assert set(PAIRS) <= names
+        assert len(names) >= 6
+
+    def test_fixture_pairs_exist(self):
+        for bad, clean in PAIRS.values():
+            assert (FIXTURES / bad).is_file()
+            assert (FIXTURES / clean).is_file()
+
+
+class TestCheckers:
+    @pytest.mark.parametrize("checker", sorted(PAIRS))
+    def test_bad_fixture_is_flagged(self, checker):
+        bad, _ = PAIRS[checker]
+        findings = _by_checker(check_file(FIXTURES / bad), checker)
+        assert findings, f"{checker} missed every seeded violation in {bad}"
+
+    @pytest.mark.parametrize("checker", sorted(PAIRS))
+    def test_clean_twin_passes(self, checker):
+        _, clean = PAIRS[checker]
+        findings = _by_checker(check_file(FIXTURES / clean), checker)
+        assert findings == [], [f.render() for f in findings]
+
+    def test_purity_flags_each_seeded_site(self):
+        findings = _by_checker(check_file(FIXTURES / "bad_purity.py"), "purity")
+        messages = "\n".join(f.message for f in findings)
+        assert "assigns through non-local 'self'" in messages
+        assert "heappush" in messages
+        assert ".append()" in messages
+        assert "draws RNG" in messages
+
+    def test_causality_distinguishes_past_from_unanchored(self):
+        findings = _by_checker(check_file(FIXTURES / "bad_causality.py"), "causality")
+        messages = [f.message for f in findings]
+        assert any("into the past" in m for m in messages)
+        assert any("not derived from the simulation clock" in m for m in messages)
+
+    def test_api_hygiene_is_scoped_to_serving_paths(self):
+        source = (FIXTURES / "serving" / "bad_api.py").read_text()
+        # Same source outside a serving/ path: checker stays quiet.
+        findings = check_source(source, "tests/fixtures/bad_api.py")
+        assert _by_checker(findings, "api-hygiene") == []
+
+
+class TestPragmas:
+    def test_inline_pragma_suppresses(self):
+        source = "def f(x_s, y_s):\n    return x_s == y_s  # simlint: ok[digest-safety] sentinel\n"
+        assert check_source(source, "t.py", only=["digest-safety"]) == []
+
+    def test_comment_above_suppresses(self):
+        source = (
+            "def f(x_s, y_s):\n"
+            "    # simlint: ok[digest-safety] exact zero sentinel, never computed\n"
+            "    return x_s == y_s\n"
+        )
+        assert check_source(source, "t.py", only=["digest-safety"]) == []
+
+    def test_module_pragma_suppresses_whole_file(self):
+        source = (
+            "# simlint: module-ok[determinism] wall-clock module by design\n"
+            "import time\n\n"
+            "def f():\n    return time.time()\n"
+        )
+        assert check_source(source, "t.py", only=["determinism"]) == []
+
+    def test_pragma_is_checker_scoped(self):
+        source = "def f(x_s, y_s):\n    return x_s == y_s  # simlint: ok[purity] wrong checker\n"
+        findings = check_source(source, "t.py", only=["digest-safety"])
+        assert len(findings) == 1
+
+
+class TestCore:
+    def test_syntax_error_is_a_finding(self):
+        findings = check_source("def f(:\n", "broken.py")
+        assert [f.checker for f in findings] == ["syntax"]
+
+    def test_findings_render_path_line_col(self):
+        (finding,) = check_source(
+            "def f(x):\n    return x == 1.0\n", "t.py", only=["digest-safety"]
+        )
+        assert finding.render().startswith("t.py:2:")
+        assert "[digest-safety]" in finding.render()
+
+    def test_iter_python_files_skips_pycache(self, tmp_path):
+        (tmp_path / "a.py").write_text("x = 1\n")
+        cache = tmp_path / "__pycache__"
+        cache.mkdir()
+        (cache / "a.cpython-311.py").write_text("x = 1\n")
+        assert [p.name for p in iter_python_files(tmp_path)] == ["a.py"]
+
+
+class TestCLI:
+    def test_exit_one_on_findings(self, capsys):
+        rc = main([str(FIXTURES / "bad_digest.py")])
+        assert rc == 1
+        out = capsys.readouterr()
+        assert "[digest-safety]" in out.out
+        assert "simlint:" in out.err
+
+    def test_exit_zero_on_clean_tree(self, capsys):
+        rc = main([str(FIXTURES / "clean_digest.py")])
+        assert rc == 0
+
+    def test_only_filters_checkers(self):
+        # bad_purity.py also trips determinism (module RNG); --only purity
+        # must still flag it, --only causality must not.
+        assert main(["--only", "purity", str(FIXTURES / "bad_purity.py")]) == 1
+        assert main(["--only", "causality", str(FIXTURES / "bad_purity.py")]) == 0
+
+    def test_unknown_checker_is_usage_error(self, capsys):
+        assert main(["--only", "nope", str(FIXTURES)]) == 2
+
+    def test_list_checkers(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for name in PAIRS:
+            assert name in out
+
+
+class TestSelfClean:
+    def test_src_repro_is_simlint_clean(self):
+        findings = check_paths([REPO_SRC])
+        assert findings == [], "\n".join(f.render() for f in findings)

@@ -1,14 +1,23 @@
-"""Regenerate the engine digest pins (maintainer tool).
+"""Regenerate or verify the engine digest pins.
 
-Run on a checkout whose simulator behavior is the intended baseline:
+Capture (maintainer flow) -- run on a checkout whose simulator behavior
+is the intended baseline and paste the emitted dict over ``DIGESTS`` in
+``tests/serving/test_engine.py``::
 
     PYTHONPATH=src python tools/capture_digests.py
 
-and paste the emitted dict over ``DIGESTS`` in
-``tests/serving/test_engine.py``.  Changing a pin is changing the
-simulator's reported numbers -- do it knowingly.
+Check (CI flow) -- recompute every scenario and compare against the
+committed pin table, exiting non-zero when the table is stale (a
+scenario was added/removed without re-pinning, or a pin no longer
+matches what the simulator produces)::
+
+    PYTHONPATH=src python tools/capture_digests.py --check
+
+Changing a pin is changing the simulator's reported numbers -- do it
+knowingly.
 """
 
+import argparse
 import importlib.util
 import pathlib
 import sys
@@ -26,17 +35,61 @@ spec.loader.exec_module(mod)
 from repro.serving.cluster import simulate  # noqa: E402
 from repro.serving.engine import report_digest  # noqa: E402
 
-print("DIGESTS = {")
-for name, build in mod.SCENARIOS.items():
-    config, requests = build()
-    t0 = time.perf_counter()
-    report = simulate(config, requests)
-    elapsed = time.perf_counter() - t0
-    digest = report_digest(report)
-    print(f'    "{name}": "{digest}",')
-    print(
-        f"    # {len(requests)} requests, {len(report.completed)} completed, "
-        f"{elapsed:.2f}s",
-        file=sys.stderr,
+
+def compute_digests() -> dict[str, str]:
+    digests = {}
+    for name, build in mod.SCENARIOS.items():
+        config, requests = build()
+        t0 = time.perf_counter()
+        report = simulate(config, requests)
+        elapsed = time.perf_counter() - t0
+        digests[name] = report_digest(report)
+        print(
+            f"    # {name}: {len(requests)} requests, "
+            f"{len(report.completed)} completed, {elapsed:.2f}s",
+            file=sys.stderr,
+        )
+    return digests
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="verify the committed DIGESTS table instead of printing a new one",
     )
-print("}")
+    args = parser.parse_args(argv)
+    digests = compute_digests()
+    if not args.check:
+        print("DIGESTS = {")
+        for name, digest in digests.items():
+            print(f'    "{name}": "{digest}",')
+        print("}")
+        return 0
+
+    pinned = mod.DIGESTS
+    stale = sorted(
+        name
+        for name in digests.keys() | pinned.keys()
+        if digests.get(name) != pinned.get(name)
+    )
+    for name in stale:
+        print(
+            f"stale pin: {name!r}: computed {digests.get(name, '<missing>')}, "
+            f"pinned {pinned.get(name, '<missing>')}",
+            file=sys.stderr,
+        )
+    if stale:
+        print(
+            f"digest pin table is stale ({len(stale)}/{len(digests)} scenarios); "
+            "rerun tools/capture_digests.py and review the diff",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"digest pin table is current ({len(digests)} scenarios)", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
