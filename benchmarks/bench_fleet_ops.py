@@ -9,11 +9,11 @@ tenants at equal KV budget, shedding + autoscaling holds the
 interactive tenant's SLO attainment >= 95% while the static no-shed
 baseline collapses below 70%."""
 
-import json
 from pathlib import Path
 
 from conftest import emit
 
+from _emit import write_bench_json
 from repro.analysis.cluster_sweep import autoscaler_sweep
 from repro.api import PodGroup, Scenario, TrafficSpec
 from repro.models.llama3 import LLAMA3_70B
@@ -178,27 +178,37 @@ def test_fleet_ops(benchmark):
         assert pair[True].usd_per_mtok < pair[False].usd_per_mtok
         assert pair[True].goodput >= pair[False].goodput - 0.10
 
-    JSON_PATH.write_text(json.dumps({
-        # Full reports via ClusterReport.to_json(): per-tenant
-        # attainment, fairness and $/Mtok live under "tenants",
-        # "fairness" and "usd_per_mtok".
-        "flash_crowd": {
-            "static": static.to_json(),
-            "elastic": elastic.to_json(),
+    write_bench_json(
+        JSON_PATH,
+        "fleet_ops",
+        config={
+            "model": LLAMA3_70B.name,
+            "kv_budget_bytes": KV_BUDGET_BYTES,
+            "peak_scales": [2.0, 4.0],
+            "sweep_duration_s": 20.0,
         },
-        "autoscaler_sweep": [
-            {
-                "peak_scale": p.peak_scale,
-                "elastic": p.elastic,
-                "goodput": p.goodput,
-                "ttft_p95_s": p.ttft_p95_s,
-                "completed": p.completed,
-                "scale_ups": p.scale_ups,
-                "scale_downs": p.scale_downs,
-                "cost_usd": p.cost_usd,
-                "usd_per_mtok": p.usd_per_mtok,
-            }
-            for p in scaling
-        ],
-    }, indent=2) + "\n")
+        metrics={
+            # Full reports via ClusterReport.to_json(): per-tenant
+            # attainment, fairness and $/Mtok live under "tenants",
+            # "fairness" and "usd_per_mtok".
+            "flash_crowd": {
+                "static": static.to_json(),
+                "elastic": elastic.to_json(),
+            },
+            "autoscaler_sweep": [
+                {
+                    "peak_scale": p.peak_scale,
+                    "elastic": p.elastic,
+                    "goodput": p.goodput,
+                    "ttft_p95_s": p.ttft_p95_s,
+                    "completed": p.completed,
+                    "scale_ups": p.scale_ups,
+                    "scale_downs": p.scale_downs,
+                    "cost_usd": p.cost_usd,
+                    "usd_per_mtok": p.usd_per_mtok,
+                }
+                for p in scaling
+            ],
+        },
+    )
     emit(f"wrote {JSON_PATH.name}")

@@ -4,12 +4,12 @@ crossover -- emitted both as tables and as machine-readable
 ``BENCH_kv_hierarchy.json`` so the perf trajectory is trackable across
 commits."""
 
-import json
 import math
 from pathlib import Path
 
 from conftest import emit
 
+from _emit import write_bench_json
 from repro.analysis.cluster_sweep import prefix_hit_sweep, swap_crossover_sweep
 from repro.api import PodGroup, agentic_fanout
 from repro.models.llama3 import LLAMA3_70B
@@ -115,37 +115,47 @@ def test_kv_hierarchy(benchmark):
             # AUTO must not pay the slow-link swap penalty.
             assert p.e2e_p95_auto_s <= p.e2e_p95_swap_s + 1e-9
 
-    JSON_PATH.write_text(json.dumps({
-        "prefix_hit_sweep": [
-            {
-                "share_prob": p.share_prob,
-                "hit_rate": p.hit_rate,
-                "goodput_uncached": p.goodput_uncached,
-                "goodput_cached": p.goodput_cached,
-                "ttft_p50_uncached_s": p.ttft_p50_uncached_s,
-                "ttft_p50_cached_s": p.ttft_p50_cached_s,
-                "tokens_per_s_uncached": p.tokens_per_s_uncached,
-                "tokens_per_s_cached": p.tokens_per_s_cached,
-            }
-            for p in hit_points
-        ],
-        "swap_crossover": [
-            {
-                "host_link_gbps": p.host_link_gbps,
-                "swap_s": p.swap_s,
-                "recompute_s": p.recompute_s,
-                "auto_swap_fraction": p.auto_swap_fraction,
-                "e2e_p95_recompute_s": p.e2e_p95_recompute_s,
-                "e2e_p95_swap_s": p.e2e_p95_swap_s,
-                "e2e_p95_auto_s": p.e2e_p95_auto_s,
-            }
-            for p in crossover
-        ],
-        # Full reports via ClusterReport.to_json() instead of
-        # hand-rolled metric dicts.
-        "agentic_fanout": {
-            "uncached": uncached.to_json(),
-            "cached": cached.to_json(),
+    write_bench_json(
+        JSON_PATH,
+        "kv_hierarchy",
+        config={
+            "model": LLAMA3_70B.name,
+            "share_probs": [0.0, 0.5, 0.9],
+            "host_link_gbps": [100.0, 25.0, 6.0, 1.5],
+            "kv_budget_bytes": 2e9,
         },
-    }, indent=2) + "\n")
+        metrics={
+            "prefix_hit_sweep": [
+                {
+                    "share_prob": p.share_prob,
+                    "hit_rate": p.hit_rate,
+                    "goodput_uncached": p.goodput_uncached,
+                    "goodput_cached": p.goodput_cached,
+                    "ttft_p50_uncached_s": p.ttft_p50_uncached_s,
+                    "ttft_p50_cached_s": p.ttft_p50_cached_s,
+                    "tokens_per_s_uncached": p.tokens_per_s_uncached,
+                    "tokens_per_s_cached": p.tokens_per_s_cached,
+                }
+                for p in hit_points
+            ],
+            "swap_crossover": [
+                {
+                    "host_link_gbps": p.host_link_gbps,
+                    "swap_s": p.swap_s,
+                    "recompute_s": p.recompute_s,
+                    "auto_swap_fraction": p.auto_swap_fraction,
+                    "e2e_p95_recompute_s": p.e2e_p95_recompute_s,
+                    "e2e_p95_swap_s": p.e2e_p95_swap_s,
+                    "e2e_p95_auto_s": p.e2e_p95_auto_s,
+                }
+                for p in crossover
+            ],
+            # Full reports via ClusterReport.to_json() instead of
+            # hand-rolled metric dicts.
+            "agentic_fanout": {
+                "uncached": uncached.to_json(),
+                "cached": cached.to_json(),
+            },
+        },
+    )
     emit(f"wrote {JSON_PATH.name}")

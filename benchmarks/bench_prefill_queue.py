@@ -9,11 +9,11 @@ KV budget, binding prefix-cache hits at *service start* instead of
 arrival yields a strictly higher hit rate once the prefill pool
 saturates, and lower sibling TTFT."""
 
-import json
 from pathlib import Path
 
 from conftest import emit
 
+from _emit import write_bench_json
 from repro.analysis.cluster_sweep import prefill_policy_sweep
 from repro.api import PodGroup, agentic_fanout
 from repro.models.llama3 import LLAMA3_70B
@@ -120,35 +120,46 @@ def test_prefill_queue(benchmark):
     assert late.goodput > arrival.goodput
     assert len(late.completed) == len(arrival.completed)
 
-    JSON_PATH.write_text(json.dumps({
-        "policy_sweep": [
-            {
-                "rate_rps": p.rate_rps,
-                "policy": p.policy.value,
-                "hit_rate": p.hit_rate,
-                "hit_rate_arrival": p.hit_rate_arrival,
-                "late_hit_tokens": p.late_hit_tokens,
-                "goodput": p.goodput,
-                "ttft_p50_s": p.ttft_p50_s,
-                "ttft_p50_arrival_s": p.ttft_p50_arrival_s,
-                "sibling_ttft_mean_s": p.sibling_ttft_mean_s,
-                "sibling_ttft_mean_arrival_s": p.sibling_ttft_mean_arrival_s,
-                "queue_mean_depth": p.queue_mean_depth,
-                "queue_peak_depth": p.queue_peak_depth,
-            }
-            for p in points
-        ],
-        # Full reports via ClusterReport.to_json(); only the
-        # founder-relative sibling TTFT needs computing out-of-band.
-        "agentic_fanout": {
-            "arrival": arrival.to_json(),
-            "late": late.to_json(),
-            "sibling_ttft_arrival_s": sibling_ttft_mean(
-                arrival.completed, founders
-            ),
-            "sibling_ttft_late_s": sibling_ttft_mean(
-                late.completed, founders
-            ),
+    write_bench_json(
+        JSON_PATH,
+        "prefill_queue",
+        config={
+            "model": LLAMA3_70B.name,
+            "rates_rps": [2.0, 6.0, 10.0],
+            "sweep_duration_s": 15.0,
+            "kv_budget_bytes": 2e9,
         },
-    }, indent=2) + "\n")
+        metrics={
+            "policy_sweep": [
+                {
+                    "rate_rps": p.rate_rps,
+                    "policy": p.policy.value,
+                    "hit_rate": p.hit_rate,
+                    "hit_rate_arrival": p.hit_rate_arrival,
+                    "late_hit_tokens": p.late_hit_tokens,
+                    "goodput": p.goodput,
+                    "ttft_p50_s": p.ttft_p50_s,
+                    "ttft_p50_arrival_s": p.ttft_p50_arrival_s,
+                    "sibling_ttft_mean_s": p.sibling_ttft_mean_s,
+                    "sibling_ttft_mean_arrival_s":
+                        p.sibling_ttft_mean_arrival_s,
+                    "queue_mean_depth": p.queue_mean_depth,
+                    "queue_peak_depth": p.queue_peak_depth,
+                }
+                for p in points
+            ],
+            # Full reports via ClusterReport.to_json(); only the
+            # founder-relative sibling TTFT needs computing out-of-band.
+            "agentic_fanout": {
+                "arrival": arrival.to_json(),
+                "late": late.to_json(),
+                "sibling_ttft_arrival_s": sibling_ttft_mean(
+                    arrival.completed, founders
+                ),
+                "sibling_ttft_late_s": sibling_ttft_mean(
+                    late.completed, founders
+                ),
+            },
+        },
+    )
     emit(f"wrote {JSON_PATH.name}")

@@ -19,13 +19,16 @@ traces' duration (rates, tenants, policies untouched):
   reference simulator too).
 """
 
-import json
+import dataclasses
 import os
+import time
 from pathlib import Path
 
 from conftest import emit
 
 import _reference_sim
+from _emit import write_bench_json
+from repro import TraceConfig
 from repro.api import (
     AdmissionConfig,
     ArrivalTrace,
@@ -49,6 +52,8 @@ SMOKE_SCALE = 8          # ~1.3k requests; CI-sized
 FULL_SCALE = 600         # ~102k requests (>= the 100k the pin names)
 SMOKE_MIN_SPEEDUP = 4.0  # measured ~10x; floor leaves CI-machine slack
 FULL_MIN_SPEEDUP = 10.0  # the ISSUE 7 acceptance pin
+MAX_TRACE_OVERHEAD = 1.25  # traced run may cost at most 25% wall-clock
+TRACE_TIMING_ROUNDS = 3    # min-of-N absorbs machine noise
 FULL = bool(os.environ.get("REPRO_SIM_SPEED_FULL"))
 
 
@@ -104,6 +109,22 @@ def build(scale: float):
     return scn.cluster(), scn.requests()
 
 
+def timed_run(scale: float, *, traced: bool, rounds: int):
+    """Min-of-``rounds`` wall-clock for one engine run (fresh config
+    and request list per round), plus the last report's digest."""
+    best_s = float("inf")
+    digest = ""
+    for _ in range(rounds):
+        config, requests = build(scale)
+        if traced:
+            config = dataclasses.replace(config, trace=TraceConfig())
+        t0 = time.perf_counter()
+        report = ClusterSim(config).run(requests)
+        best_s = min(best_s, time.perf_counter() - t0)
+        digest = report_digest(report)
+    return best_s, digest
+
+
 def test_sim_speed(benchmark):
     scale = FULL_SCALE if FULL else SMOKE_SCALE
     config, requests = build(scale)
@@ -133,6 +154,22 @@ def test_sim_speed(benchmark):
         f"(new {new_s:.2f}s vs reference {ref_s:.2f}s)"
     )
 
+    # -- observability overhead: the traced run must stay digest-
+    # identical (zero-cost-off is pinned in the test suite; this pins
+    # bounded-cost-ON) and within MAX_TRACE_OVERHEAD of the untraced
+    # wall-clock, min-of-N timed so machine noise can't flake the bound.
+    rounds = 1 if FULL else TRACE_TIMING_ROUNDS
+    untraced_s, untraced_digest = timed_run(scale, traced=False, rounds=rounds)
+    traced_s, traced_digest = timed_run(scale, traced=True, rounds=rounds)
+    assert untraced_digest == digest
+    assert traced_digest == digest, "tracing perturbed the simulation"
+    trace_overhead = traced_s / untraced_s
+    assert trace_overhead <= MAX_TRACE_OVERHEAD, (
+        f"traced run cost {trace_overhead:.3f}x the untraced one, over the "
+        f"{MAX_TRACE_OVERHEAD:.2f}x bound "
+        f"(traced {traced_s:.3f}s vs untraced {untraced_s:.3f}s)"
+    )
+
     table = Table("Simulator speed: batched engine vs PR 6 reference",
                   ["metric", "value"])
     table.add_row(["mode", "full (pinned)" if FULL else "smoke"])
@@ -141,26 +178,37 @@ def test_sim_speed(benchmark):
     table.add_row(["reference wall (s)", f"{ref_s:.2f}"])
     table.add_row(["batched engine wall (s)", f"{new_s:.2f}"])
     table.add_row(["speedup", f"{speedup:.2f}x"])
+    table.add_row(["trace overhead", f"{trace_overhead:.3f}x"])
     table.add_row(["report digest", digest[:16]])
     emit(table)
 
-    JSON_PATH.write_text(json.dumps({
-        "mode": "full" if FULL else "smoke",
-        "scale": scale,
-        "requests": num_requests,
-        "decode_tokens": report.decode_tokens,
-        "reference_wall_s": ref_s,
-        "engine_wall_s": new_s,
-        "speedup": speedup,
-        "min_speedup": floor,
-        "digest": digest,
-        "digest_match": True,
-        "report": {
-            "goodput": report.goodput,
-            "tokens_per_s": report.tokens_per_s,
-            "ttft_p95_s": report.ttft_percentile(95),
-            "completed": len(report.completed),
-            "shed": len(report.shed),
+    write_bench_json(
+        JSON_PATH,
+        "sim_speed",
+        config={
+            "mode": "full" if FULL else "smoke",
+            "scale": scale,
+            "min_speedup": floor,
+            "max_trace_overhead": MAX_TRACE_OVERHEAD,
         },
-    }, indent=2) + "\n")
+        metrics={
+            "requests": num_requests,
+            "decode_tokens": report.decode_tokens,
+            "reference_wall_s": ref_s,
+            "engine_wall_s": new_s,
+            "speedup": speedup,
+            "untraced_wall_s": untraced_s,
+            "traced_wall_s": traced_s,
+            "trace_overhead": trace_overhead,
+            "digest": digest,
+            "digest_match": True,
+            "report": {
+                "goodput": report.goodput,
+                "tokens_per_s": report.tokens_per_s,
+                "ttft_p95_s": report.ttft_percentile(95),
+                "completed": len(report.completed),
+                "shed": len(report.shed),
+            },
+        },
+    )
     emit(f"wrote {JSON_PATH.name}")

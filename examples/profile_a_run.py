@@ -42,8 +42,10 @@ def main() -> None:
         ClusterSim(scn.cluster()).run, scn.requests(),
         sort="cumulative", top=10,
     )
-    print("Top of the profile (cumulative):")
-    print(profiled.stats_text)
+    print(profiled.table(
+        f"Top of the profile (cumulative, {profiled.elapsed_s:.2f} s wall)"
+    ))
+    print()
 
     # 3. The digest ties both runs together: identically-seeded
     #    scenarios must reproduce every reported float bit-for-bit.

@@ -42,6 +42,7 @@ __version__ = "1.0.0"
 
 from repro.arch import ComputeUnit, Package, ReasoningCore, RpuSystem
 from repro.models import LLAMA3_70B, MODELS, Workload, get_model
+from repro.obs import TraceConfig
 from repro.platform import GpuPlatform, Platform, RpuPlatform
 from repro.serving import (
     AdmissionConfig,
@@ -91,6 +92,7 @@ __all__ = [
     "SloClass",
     "SwapPolicy",
     "TenantSpec",
+    "TraceConfig",
     "TrafficSpec",
     "Workload",
     "disaggregated_cluster",

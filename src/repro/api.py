@@ -48,6 +48,7 @@ from collections.abc import Callable, Mapping
 from repro.models.config import ModelConfig
 from repro.models.dtypes import DType
 from repro.models.workload import Workload
+from repro.obs import TraceConfig
 from repro.platform import Platform, build_platform
 from repro.serving.cluster import (
     ClusterConfig,
@@ -306,6 +307,11 @@ class Scenario:
     #: ISO-TDP scale against.
     sizing_batch: int = 32
     sizing_seq_len: int = 8192
+    #: Opt-in observability (see :mod:`repro.obs`): pass a
+    #: ``TraceConfig()`` to get ``report.trace`` (Chrome-trace export)
+    #: and ``report.timeline`` (gauge/counter series).  ``None``
+    #: records nothing; traced runs are digest-identical to untraced.
+    trace: TraceConfig | None = None
     name: str = ""
 
     def __post_init__(self) -> None:
@@ -355,6 +361,7 @@ class Scenario:
             admission=self.admission,
             autoscaler=self.autoscaler,
             cost_model=self.cost_model,
+            trace=self.trace,
         )
 
     def requests(self) -> list[Request]:

@@ -1,0 +1,62 @@
+"""``repro.obs`` -- opt-in fleet observability.
+
+Request lifecycle spans, event-boundary time-series metrics, and
+Chrome-trace export for the serving simulator.  Off by default and
+incapable of perturbation when on: the recorder only reads simulator
+state, so every digest pin holds bit-identically with tracing enabled
+(see :mod:`repro.obs.recorder` for the contract and the
+``obs_hygiene`` simlint checker that pins it statically).
+
+Entry points::
+
+    report = Scenario(..., trace=TraceConfig()).run()
+    report.trace.to_chrome_json()    # open in chrome://tracing
+    report.timeline.to_json()        # gauge/counter series
+    print(report.timeline.summary_table())  # ASCII sparklines
+"""
+
+from repro.obs.chrome import to_chrome_json, to_chrome_trace, validate_chrome_trace
+from repro.obs.metrics import TIMELINE_SCHEMA_VERSION, Timeline, sparkline
+from repro.obs.recorder import TraceConfig, TraceRecorder, TraceRecording
+from repro.obs.spans import (
+    ADMIT_WAIT,
+    DECODE,
+    DURATION_STAGES,
+    HANDOFF,
+    INSTANT_STAGES,
+    PREEMPTED,
+    PREFILL,
+    QUEUED,
+    REJECTED,
+    REQUEST,
+    SHED,
+    SWAP,
+    Span,
+    SpanLog,
+)
+
+__all__ = [
+    "ADMIT_WAIT",
+    "DECODE",
+    "DURATION_STAGES",
+    "HANDOFF",
+    "INSTANT_STAGES",
+    "PREEMPTED",
+    "PREFILL",
+    "QUEUED",
+    "REJECTED",
+    "REQUEST",
+    "SHED",
+    "SWAP",
+    "Span",
+    "SpanLog",
+    "TIMELINE_SCHEMA_VERSION",
+    "Timeline",
+    "TraceConfig",
+    "TraceRecorder",
+    "TraceRecording",
+    "sparkline",
+    "to_chrome_json",
+    "to_chrome_trace",
+    "validate_chrome_trace",
+]

@@ -1,0 +1,221 @@
+"""Chrome-trace (``trace_event``) export of a span log.
+
+Produces the JSON object format Chrome's ``chrome://tracing`` and
+Perfetto both load:
+
+* **One track group per pod** -- each pod is a *process* (``pid``) with
+  a ``process_name`` metadata event; concurrent spans on the same pod
+  (a decode pod runs a whole batch) are laid out across the minimal
+  number of *lanes* (``tid``), each lane a serial sequence of properly
+  nested ``B``/``E`` duration pairs.
+* **One async track per request** -- every lifecycle span is also
+  emitted as a nestable async event (``b``/``e``) with
+  ``id = request_id`` under a synthetic "requests" process, so a single
+  request reads as one horizontal story from arrival to completion.
+* Instant markers (shed / rejected / preempted) as ``i`` events.
+
+Timestamps are microseconds (the format's native unit) and the event
+list is sorted by ``ts`` (stable: simultaneous begin/end pairs keep
+emission order).  :func:`validate_chrome_trace` is the schema check CI
+runs on exported traces -- required keys, monotonic ``ts``, matched
+``B``/``E`` stacks per lane and matched ``b``/``e`` pairs per async id.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+from collections.abc import Iterable
+
+from repro.obs.spans import INSTANT_STAGES, REQUEST, Span
+
+__all__ = ["to_chrome_json", "to_chrome_trace", "validate_chrome_trace"]
+
+#: Synthetic process id for the per-request async tracks; pods are
+#: numbered from _POD_PID_BASE in first-seen order.
+_REQUESTS_PID = 1
+_POD_PID_BASE = 10
+
+
+def _pod_events(spans: list[Span]) -> list[dict]:
+    """Per-pod duration tracks: one process per pod, concurrent spans
+    spread across the minimal lane count (see module docstring)."""
+    by_pod: dict[str, list[Span]] = {}
+    for span in spans:
+        if span.pod and span.stage not in INSTANT_STAGES:
+            by_pod.setdefault(span.pod, []).append(span)
+    events: list[dict] = []
+    for pid_offset, (pod, pod_spans) in enumerate(sorted(by_pod.items())):
+        pid = _POD_PID_BASE + pid_offset
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "ts": 0.0,
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": f"pod {pod}"},
+            }
+        )
+        # Lane assignment: sweep spans by start time, reusing the lane
+        # that freed up earliest (a min-heap of (busy-until, lane)).
+        pod_spans.sort(key=lambda s: (s.start_s, s.end_s, s.request_id))
+        free: list[tuple[float, int]] = []  # (end_s, lane)
+        lanes = 0
+        for span in pod_spans:
+            if free and free[0][0] <= span.start_s:
+                _, lane = heapq.heappop(free)
+            else:
+                lane = lanes
+                lanes += 1
+            heapq.heappush(free, (span.end_s, lane))
+            common = {
+                "cat": span.stage,
+                "pid": pid,
+                "tid": lane,
+                "args": {
+                    "request_id": span.request_id,
+                    "tenant": span.tenant,
+                },
+            }
+            name = f"{span.stage} r{span.request_id}"
+            events.append(
+                {"name": name, "ph": "B", "ts": span.start_s * 1e6, **common}
+            )
+            events.append(
+                {"name": name, "ph": "E", "ts": span.end_s * 1e6, **common}
+            )
+    return events
+
+
+def _request_events(spans: list[Span]) -> list[dict]:
+    """Per-request async tracks plus instant markers."""
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "ts": 0.0,
+            "pid": _REQUESTS_PID,
+            "tid": 0,
+            "args": {"name": "requests"},
+        }
+    ]
+    # Root spans first at equal ts so the async nesting opens outermost.
+    ordered = sorted(
+        spans,
+        key=lambda s: (s.start_s, s.stage != REQUEST, -s.end_s, s.request_id),
+    )
+    for span in ordered:
+        common = {
+            "cat": "request",
+            "id": span.request_id,
+            "pid": _REQUESTS_PID,
+            "tid": 0,
+        }
+        if span.stage in INSTANT_STAGES:
+            events.append(
+                {
+                    "name": span.stage,
+                    "ph": "n",
+                    "ts": span.start_s * 1e6,
+                    **common,
+                    "args": {"pod": span.pod, "tenant": span.tenant},
+                }
+            )
+            continue
+        name = span.stage if span.stage != REQUEST else f"r{span.request_id}"
+        args = {"pod": span.pod, "tenant": span.tenant, "detail": span.detail}
+        events.append(
+            {"name": name, "ph": "b", "ts": span.start_s * 1e6, **common,
+             "args": args}
+        )
+        events.append(
+            {"name": name, "ph": "e", "ts": span.end_s * 1e6, **common}
+        )
+    return events
+
+
+def to_chrome_trace(
+    spans: Iterable[Span], *, dropped: int = 0
+) -> dict:
+    """The ``trace_event`` JSON object for ``spans``.
+
+    ``dropped`` (the span ring's drop counter) is carried in the trace
+    metadata so a truncated export says so.
+    """
+    span_list = list(spans)
+    events = _pod_events(span_list) + _request_events(span_list)
+    # Stable sort: metadata (ts 0.0) leads; a zero-length span's B/E
+    # pair keeps its emission order at equal ts.
+    events.sort(key=lambda e: e["ts"])
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "spans": len(span_list),
+            "dropped_spans": dropped,
+        },
+    }
+
+
+def to_chrome_json(
+    spans: Iterable[Span], *, dropped: int = 0, indent: int | None = None
+) -> str:
+    return json.dumps(to_chrome_trace(spans, dropped=dropped), indent=indent)
+
+
+def validate_chrome_trace(trace: dict) -> list[str]:
+    """Schema problems in an exported trace (empty list = valid).
+
+    Checks the properties CI pins: every event carries the required
+    keys, ``ts`` is monotonically non-decreasing in list order, each
+    lane's ``B``/``E`` events form a matched stack, and each async id's
+    ``b``/``e`` events pair up.
+    """
+    problems: list[str] = []
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    last_ts = None
+    stacks: dict[tuple[int, int], list[str]] = {}
+    async_open: dict[tuple[object, str], int] = {}
+    for i, event in enumerate(events):
+        for key in ("name", "ph", "ts", "pid", "tid"):
+            if key not in event:
+                problems.append(f"event {i} missing key {key!r}")
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)):
+            problems.append(f"event {i} ts is not a number")
+            continue
+        if last_ts is not None and ts < last_ts:
+            problems.append(
+                f"event {i} ts {ts} precedes previous ts {last_ts}"
+            )
+        last_ts = ts
+        ph = event.get("ph")
+        lane = (event.get("pid"), event.get("tid"))
+        if ph == "B":
+            stacks.setdefault(lane, []).append(str(event.get("name")))
+        elif ph == "E":
+            stack = stacks.get(lane)
+            if not stack:
+                problems.append(f"event {i} E with empty stack on {lane}")
+            elif stack.pop() != str(event.get("name")):
+                problems.append(f"event {i} E does not match open B on {lane}")
+        elif ph == "b":
+            key2 = (event.get("id"), str(event.get("name")))
+            async_open[key2] = async_open.get(key2, 0) + 1
+        elif ph == "e":
+            key2 = (event.get("id"), str(event.get("name")))
+            count = async_open.get(key2, 0)
+            if count <= 0:
+                problems.append(f"event {i} async e without open b {key2}")
+            else:
+                async_open[key2] = count - 1
+    for lane, stack in sorted(stacks.items()):
+        if stack:
+            problems.append(f"lane {lane} left {len(stack)} unclosed B events")
+    for key2, count in sorted(async_open.items(), key=lambda kv: str(kv[0])):
+        if count:
+            problems.append(f"async span {key2} left {count} unclosed")
+    return problems

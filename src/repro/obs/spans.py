@@ -1,0 +1,137 @@
+"""Request lifecycle spans and the bounded span log.
+
+A :class:`Span` is one closed interval of a request's life on the
+fleet -- queued, prefill, hand-off, admit wait, decode, swap -- or a
+zero-length marker (shed, rejected, preempted).  The simulator emits
+spans only at the moment their end is *known* (service start closes
+the queued span, a step end closes a decode span), so the recorder
+never holds half-open simulator state and a span is immutable from
+birth.
+
+:class:`SpanLog` is the ring buffer behind the recorder: capacity is a
+hard bound on retained spans, but nothing is silently truncated --
+``emitted`` keeps counting and ``dropped`` reports exactly how many
+old spans the ring overwrote.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+__all__ = [
+    "ADMIT_WAIT",
+    "DECODE",
+    "DURATION_STAGES",
+    "HANDOFF",
+    "INSTANT_STAGES",
+    "PREEMPTED",
+    "PREFILL",
+    "QUEUED",
+    "REJECTED",
+    "REQUEST",
+    "SHED",
+    "SWAP",
+    "Span",
+    "SpanLog",
+]
+
+# -- lifecycle stage names (span ``stage`` values) ---------------------
+#: Waiting in the shared prefill service queue (arrival/resume ->
+#: service start).
+QUEUED = "queued"
+#: Prompt computation on a prefill pod (zero-length with an empty pod
+#: when the whole context was served from a prefix cache).
+PREFILL = "prefill"
+#: KV hand-off over the transfer link to the decode pod.
+HANDOFF = "handoff"
+#: Waiting in the decode pod's admission queue (KV arrival -> batch
+#: admission).
+ADMIT_WAIT = "admit_wait"
+#: Token generation on the decode pod (one span per admission pass; a
+#: preempted request decodes again after its resume).
+DECODE = "decode"
+#: Host swap round trip of a preemption victim's KV.
+SWAP = "swap"
+#: The root span: arrival to terminal state (completed / shed /
+#: rejected, in ``detail``).  Exactly one per submitted request.
+REQUEST = "request"
+
+# -- instant markers (zero-length spans) -------------------------------
+PREEMPTED = "preempted"
+SHED = "shed"
+REJECTED = "rejected"
+
+#: Stages with extent, in pipeline order.
+DURATION_STAGES = (QUEUED, PREFILL, HANDOFF, ADMIT_WAIT, DECODE, SWAP)
+#: Zero-length markers.
+INSTANT_STAGES = (PREEMPTED, SHED, REJECTED)
+
+
+@dataclass(frozen=True, slots=True)
+class Span:
+    """One closed interval (or instant marker) of a request's life."""
+
+    request_id: int
+    stage: str
+    start_s: float
+    end_s: float
+    #: Pod the span ran on ("" for stages that hold no pod: queueing,
+    #: the root span, shed/rejected markers).
+    pod: str = ""
+    tenant: str = ""
+    #: Free-form qualifier: the root span's terminal outcome
+    #: ("completed"/"shed"/"rejected"), "preempted" on a cut-short
+    #: decode span, "cached" on a zero-work prefill.
+    detail: str = ""
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+class SpanLog:
+    """Fixed-capacity ring of spans with an honest drop counter.
+
+    Appends past ``cap`` overwrite the oldest retained span;
+    ``dropped`` reports how many were lost so exports can say "showing
+    the last N of M" instead of pretending M == N.
+    """
+
+    __slots__ = ("cap", "emitted", "_ring", "_next")
+
+    def __init__(self, cap: int) -> None:
+        if cap <= 0:
+            raise ValueError(f"span cap must be positive, got {cap}")
+        self.cap = cap
+        #: Total spans ever emitted (retained + dropped).
+        self.emitted = 0
+        self._ring: list[Span] = []
+        self._next = 0  # overwrite cursor once the ring is full
+
+    @property
+    def dropped(self) -> int:
+        """Spans lost to the ring bound (0 until ``emitted`` > cap)."""
+        return self.emitted - len(self._ring)
+
+    def append(self, span: Span) -> None:
+        self.emitted += 1
+        if len(self._ring) < self.cap:
+            self._ring.append(span)
+        else:
+            self._ring[self._next] = span
+            self._next = (self._next + 1) % self.cap
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def __iter__(self) -> Iterator[Span]:
+        """Retained spans, oldest emission first."""
+        if self._next:
+            yield from self._ring[self._next:]
+            yield from self._ring[: self._next]
+        else:
+            yield from self._ring
+
+    def spans(self) -> tuple[Span, ...]:
+        return tuple(self)

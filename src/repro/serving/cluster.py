@@ -101,6 +101,19 @@ from repro.models.config import ModelConfig
 from repro.models.dtypes import DType
 from repro.models.kv_cache import kv_cache_bytes
 from repro.models.workload import Workload
+from repro.obs import (
+    ADMIT_WAIT,
+    DECODE,
+    HANDOFF,
+    PREEMPTED,
+    PREFILL,
+    QUEUED,
+    SWAP,
+    Timeline,
+    TraceConfig,
+    TraceRecorder,
+    TraceRecording,
+)
 from repro.platform import GpuPlatform, Platform, RpuPlatform, as_platform
 from repro.serving.contracts import mutates, pure_probe
 from repro.serving.disaggregated import INTERACTION_THRESHOLD_S
@@ -441,6 +454,12 @@ class ClusterConfig:
     autoscaler: AutoscalerConfig | None = None
     #: $/pod-hour pricing behind the report's ``usd_per_mtok``.
     cost_model: CostModel = CostModel()
+    #: Opt-in observability (see :mod:`repro.obs`): request lifecycle
+    #: spans + event-boundary metric sampling, surfaced as the report's
+    #: ``trace``/``timeline``.  ``None`` (the default) records nothing
+    #: and costs nothing; enabled runs stay digest-identical -- the
+    #: recorder only reads simulator state.
+    trace: TraceConfig | None = None
 
     def __post_init__(self) -> None:
         if not self.prefill_engines:
@@ -841,6 +860,14 @@ class ClusterReport:
     #: by hand or by external simulators; every metric falls back to
     #: attribute access over the record views).  Not serialized.
     table: RequestTable | None = None
+    #: Frozen span recording of a traced run (``config.trace`` set):
+    #: ``trace.to_chrome_json()`` opens in ``chrome://tracing``.  Not
+    #: serialized by :meth:`to_json` -- the digest pins cover traced and
+    #: untraced runs identically.
+    trace: TraceRecording | None = field(default=None, compare=False)
+    #: Event-boundary gauge/counter samples of a traced run (``None``
+    #: untraced).  Not serialized by :meth:`to_json`.
+    timeline: Timeline | None = field(default=None, compare=False)
     #: Memo for derived aggregates (sorted metric arrays, the per-tenant
     #: partition).  The report is frozen, so each is computed once on
     #: first use and reused by every later percentile/table/json call.
@@ -1311,11 +1338,18 @@ class ClusterSim:
     #: registries backing them): exempt from the REPRO_CHECK purity
     #: fingerprint so probes that warm a cost cache don't false-alarm.
     _contract_exempt: ClassVar[frozenset[str]] = frozenset(
-        {"_prefill_cost_caches", "_step_caches", "_recompute_cache"}
+        {"_prefill_cost_caches", "_step_caches", "_recompute_cache", "_obs"}
     )
 
     def __init__(self, config: ClusterConfig) -> None:
         self.config = config
+        #: Trace recorder of the current run (``None`` when tracing is
+        #: off).  Pure observer -- it only reads sim state -- and
+        #: mutated by event handlers only, never by probes, so it is
+        #: exempt from the purity fingerprint (walking a million-span
+        #: ring per probe would drown REPRO_CHECK runs; the
+        #: ``obs_hygiene`` simlint checker covers it statically).
+        self._obs: TraceRecorder | None = None
         #: Struct-of-arrays request state for the current run (created
         #: in :meth:`run`; pods built mid-run inherit it).
         self._table: RequestTable | None = None
@@ -1840,12 +1874,23 @@ class ClusterSim:
             )
         record.cached_prefix_tokens = cached
         record.queue_wait_s += now - job.enqueued_s
+        obs = self._obs
+        if obs is not None:
+            obs.span(
+                request.request_id, QUEUED, job.enqueued_s, now,
+                tenant=request.tenant,
+            )
         full_context = request.prompt_len + record.resume_tokens
         if cached >= full_context:
             # Whole context served from the prefix cache: no prefill
             # work, straight to the (empty) hand-off.
             record.prefill_pod = ""
             record.prefill_start_s = record.prefill_end_s = now
+            if obs is not None:
+                obs.span(
+                    request.request_id, PREFILL, now, now,
+                    tenant=request.tenant, detail="cached",
+                )
             self._push(now, _PREFILL_DONE, record)
             return
         context = None
@@ -1856,6 +1901,11 @@ class ClusterSim:
         record.prefill_pod = pod.pod_id
         record.prefill_start_s = start
         record.prefill_end_s = end
+        if obs is not None:
+            obs.span(
+                request.request_id, PREFILL, start, end, pod=pod.pod_id,
+                tenant=request.tenant,
+            )
         if self._affine_eta_enabled and record.group_inflight:
             # First cut of the group's prefix-landing ETA: the prefill
             # finish time (the hand-off + ingest margin is added when
@@ -1865,9 +1915,14 @@ class ClusterSim:
 
     # -- event handlers ------------------------------------------------
     def _on_arrival(self, now: float, record: RequestRecord) -> None:
+        obs = self._obs
+        if obs is not None:
+            obs.arrival(record.request.request_id, now, record.request.tenant)
         if self._route_decode(record.request) is None:
             record.rejected = True
             self._unresolved -= 1
+            if obs is not None:
+                obs.close_root(record.request.request_id, now, "rejected")
             return
         admission = self.config.admission
         if admission.enabled and self._fleet_pressure() >= admission.pressure_floor:
@@ -1881,6 +1936,8 @@ class ClusterSim:
             ):
                 record.shed = True
                 self._unresolved -= 1
+                if obs is not None:
+                    obs.close_root(record.request.request_id, now, "shed")
                 return
         self._enqueue_prefill(now, record)
 
@@ -1906,6 +1963,53 @@ class ClusterSim:
             kv_term = 1.0
         return max(queue_term, kv_term)
 
+    # -- telemetry (read-only; see repro.obs) --------------------------
+    def _observe_event(self, now: float, kind: int) -> None:
+        """Per-event telemetry boundary (:func:`run_loop`'s ``observe``
+        hook, wired only when tracing is on).  Reads simulator state,
+        writes recorder state, mutates nothing else -- traced runs stay
+        digest-identical."""
+        obs = self._obs
+        if obs is not None:
+            obs.event(kind)
+            if obs.want_sample(now):
+                obs.record_sample(now, self._gauges(now))
+
+    def _gauges(self, now: float) -> dict[str, float]:
+        """Fleet gauges for one timeline sample.  Pure reads only: no
+        property here may settle caches or refills (that is why bucket
+        levels go through :meth:`TokenBucket.level`, not ``peek``)."""
+        routable = [
+            p for p in self.decode_pods if p.active and not p.draining
+        ]
+        n_prefill, n_decode = self._pool_sizes()
+        gauges = {
+            "queue_depth": float(len(self._queue)),
+            "fleet_pressure": self._fleet_pressure(),
+            "kv_occupancy": (
+                sum(p.scheduler.kv_occupancy for p in routable)
+                / len(routable)
+                if routable
+                else 0.0
+            ),
+            "batch_size": float(
+                sum(p.scheduler.batch_size for p in routable)
+            ),
+            "decode_queue_depth": float(
+                sum(p.scheduler.queue_depth for p in routable)
+            ),
+            "host_occupancy": max(
+                (p.store.host_occupancy for p in routable), default=0.0
+            ),
+            "prefill_pods": float(n_prefill),
+            "decode_pods": float(n_decode),
+        }
+        for name, bucket in self._buckets.items():
+            gauges[f"bucket.{name}" if name else "bucket"] = bucket.level(now)
+        if self._default_bucket is not None and "" not in self._buckets:
+            gauges["bucket"] = self._default_bucket.level(now)
+        return gauges
+
     def _on_prefill_done(self, now: float, record: RequestRecord) -> None:
         request = record.request
         pod = self._pinned.pop(request.request_id, None)
@@ -1927,6 +2031,12 @@ class ClusterSim:
             )
         transfer_s = context_kv / self._kv_ingest_rate(pod)
         record.decode_pod = pod.pod_id
+        obs = self._obs
+        if obs is not None:
+            obs.span(
+                request.request_id, HANDOFF, now, now + transfer_s,
+                pod=pod.pod_id, tenant=request.tenant,
+            )
         pod.in_transfer_tokens += request.decode_len - record.resume_tokens
         if self._affine_eta_enabled and record.group_inflight:
             # Refine the group's prefix-landing ETA: the prefix only
@@ -1963,11 +2073,18 @@ class ClusterSim:
             self._push(now, _STEP, pod)
 
     def _on_step(self, now: float, pod: DecodePod) -> None:
+        obs = self._obs
         admitted = pod.scheduler.admit(now)
         for entry in admitted:
             record = self._records_by_id[entry.request.request_id]
             record.admitted_s = now
             record.queue_wait_s += now - record.transfer_end_s
+            if obs is not None:
+                obs.span(
+                    entry.request.request_id, ADMIT_WAIT,
+                    record.transfer_end_s, now, pod=pod.pod_id,
+                    tenant=entry.request.tenant,
+                )
         if pod.scheduler.batch_size == 0:
             pod.stepping = False
             return
@@ -1992,6 +2109,12 @@ class ClusterSim:
             record = self._records_by_id[entry.request.request_id]
             record.completed_s = end
             self._unresolved -= 1
+            if obs is not None:
+                obs.span(
+                    entry.request.request_id, DECODE, record.admitted_s,
+                    end, pod=pod.pod_id, tenant=entry.request.tenant,
+                )
+                obs.close_root(entry.request.request_id, end, "completed")
             if record.group_inflight:
                 # The group's in-flight tally drops: once it reaches
                 # zero nobody is left to (re-)publish the prefix, so
@@ -2007,12 +2130,30 @@ class ClusterSim:
             record = self._records_by_id[queued.request.request_id]
             record.num_preemptions = queued.preemptions
             record.resume_tokens = queued.tokens_done
+            if obs is not None:
+                obs.span(
+                    queued.request.request_id, DECODE, record.admitted_s,
+                    end, pod=pod.pod_id, tenant=queued.request.tenant,
+                    detail="preempted",
+                )
+                obs.instant(
+                    queued.request.request_id, PREEMPTED, end,
+                    pod=pod.pod_id, tenant=queued.request.tenant,
+                )
+                obs.count("preempted")
             if queued.swapped:
                 # Swap-to-host: the victim's private bytes round-trip
                 # the host link and re-enter this pod's queue with KV
                 # intact -- no prefill pod, no hand-off re-transfer.
                 record.num_swaps += 1
                 round_trip_s = 2.0 * queued.swap_bytes / self._swap_rate(pod)
+                if obs is not None:
+                    obs.span(
+                        queued.request.request_id, SWAP, end,
+                        end + round_trip_s, pod=pod.pod_id,
+                        tenant=queued.request.tenant,
+                    )
+                    obs.count("swapped")
                 self._push(end + round_trip_s, _SWAP_BACK, (pod, record))
             else:
                 # Recompute-on-resume: back through a prefill pod
@@ -2568,6 +2709,9 @@ class ClusterSim:
         self._scaling_events.append(
             ScalingEvent(now, pool, "up", pod.pod_id, pressure)
         )
+        obs = self._obs
+        if obs is not None:
+            obs.count("scale_up")
 
     def _scale_down(self, now: float, pool: str, pressure: float) -> bool:
         """Start draining one pod of ``pool`` (the idlest candidate;
@@ -2592,6 +2736,9 @@ class ClusterSim:
         self._scaling_events.append(
             ScalingEvent(now, pool, "down", pod.pod_id, pressure)
         )
+        obs = self._obs
+        if obs is not None:
+            obs.count("scale_down")
         self._finish_drains(now)  # an idle victim parks immediately
         return True
 
@@ -2651,6 +2798,12 @@ class ClusterSim:
                 ""
             ) or self.config.admission.bucket(1.0)
         self._scaling_events: list[ScalingEvent] = []
+        #: Opt-in telemetry: a fresh recorder per run (None = off).
+        self._obs = (
+            TraceRecorder(self.config.trace)
+            if self.config.trace is not None
+            else None
+        )
         #: Struct-of-arrays state: one table row per request; records
         #: are per-row views over it (duplicate ids raise in add()).
         self._table = RequestTable(requests)
@@ -2677,9 +2830,19 @@ class ClusterSim:
             self._handlers(),
             stale=self._stale,
             after=self._drain_prefill_queue,
+            observe=self._observe_event if self._obs is not None else None,
         )
 
         assert not self._queue, "prefill service queue did not drain"
+        obs = self._obs
+        trace = timeline = None
+        if obs is not None:
+            # Final forced sample: the timeline covers the full run
+            # window even when the last period had not elapsed.
+            obs.finish(last_time, self._gauges(last_time))
+            trace = obs.recording()
+            if obs.config.metrics:
+                timeline = obs.timeline
         self._note_queue_depth(last_time)
         queue_stats = PrefillQueueStats(
             jobs=self._jobs_enqueued,
@@ -2750,6 +2913,8 @@ class ClusterSim:
             tenants=self.config.tenants,
             scaling_events=tuple(self._scaling_events),
             table=self._table,
+            trace=trace,
+            timeline=timeline,
         )
 
 

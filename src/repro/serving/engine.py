@@ -139,6 +139,7 @@ def run_loop(
     *,
     stale: Callable[[int, object], bool] | None = None,
     after: Callable[[float], None] | None = None,
+    observe: Callable[[float, int], None] | None = None,
 ) -> float:
     """Drain ``calendar`` to empty; returns the last handled clock.
 
@@ -148,7 +149,10 @@ def run_loop(
     it advances the clock (so a stale wake-up cannot stretch the run's
     reported duration).  ``after(now)`` runs once per handled event --
     the cluster hangs its prefill-queue drain here, preserving the old
-    loop's handle-then-drain cadence event for event.
+    loop's handle-then-drain cadence event for event.  ``observe(now,
+    kind)`` runs last, once per handled event: a read-only telemetry
+    boundary (the cluster's metric sampling) that must not mutate
+    simulator state -- ``None`` (the default) costs nothing.
     """
     last_time = 0.0
     while calendar:
@@ -169,6 +173,8 @@ def run_loop(
             handlers[kind](now, event[3])
             if after is not None:
                 after(now)
+            if observe is not None:
+                observe(now, kind)
     return last_time
 
 

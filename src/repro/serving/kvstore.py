@@ -231,6 +231,14 @@ class KvBlockStore:
         return self.shared_bytes + self.cached_bytes
 
     @property
+    def host_occupancy(self) -> float:
+        """Host swap-tier fill fraction (a telemetry gauge; 0.0 with an
+        unbounded or untouched tier).  Reading it touches nothing."""
+        if self.host_capacity_bytes is None or self.host_capacity_bytes <= 0:
+            return 0.0
+        return self.host_bytes / self.host_capacity_bytes
+
+    @property
     def device_bytes(self) -> float:
         """All resident KV bytes (leases + shared + cached)."""
         return self.bytes_in_use + self.shared_bytes + self.cached_bytes

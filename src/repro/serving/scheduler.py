@@ -623,6 +623,12 @@ class ContinuousBatchScheduler:
         return len(self.active)
 
     @property
+    def queue_depth(self) -> int:
+        """Requests waiting for batch admission (a telemetry gauge;
+        reading it touches nothing)."""
+        return len(self.queue)
+
+    @property
     def has_work(self) -> bool:
         return bool(self.active or self.queue)
 

@@ -145,6 +145,16 @@ class TokenBucket:
             raise ValueError("token bucket rate and capacity must be > 0")
         self.tokens = self.capacity  # start full: calm fleets shed nothing
 
+    def level(self, now: float) -> float:
+        """Read-only balance at ``now``: the refill is *computed*, not
+        settled, so the bucket's float state is untouched.  This is the
+        telemetry read -- :meth:`peek` settles the refill, and settling
+        at a sample boundary would split the refill arithmetic into a
+        different float-addition order than the untraced run."""
+        if now <= self._t:
+            return self.tokens
+        return min(self.capacity, self.tokens + self.rate * (now - self._t))
+
     def peek(self, now: float) -> float:
         """Balance after refilling to ``now`` (no state change beyond
         the refill itself)."""

@@ -22,6 +22,8 @@ Checkers (see each module's docstring for the precise rule):
                   ``approx``; no ``is`` on number/string constants
 ``numpy-guarding`` every numpy use behind the optional-import pattern
 ``api-hygiene``   public serving functions fully type-annotated
+``obs-hygiene``   telemetry emits behind ``is not None`` guards;
+                  guard blocks stay read-only on simulator state
 ================  ====================================================
 
 Per-line exemptions are audited pragmas:

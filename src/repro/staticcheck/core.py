@@ -140,6 +140,7 @@ def all_checkers() -> dict[str, type[Checker]]:
         determinism,
         digest,
         numpy_guard,
+        obs_hygiene,
         purity,
     )
 

@@ -1,0 +1,239 @@
+"""simlint checker: telemetry must be opt-in and read-only.
+
+The observability layer (``repro.obs``) promises zero-cost-off and
+observation-must-not-perturb.  The statically checkable half of that
+contract:
+
+* every emit call on a recorder handle -- ``obs.span(...)``,
+  ``self._obs.count(...)``, any ``obs``-named receiver -- must sit
+  behind an ``is not None`` guard on that same handle, so disabling
+  tracing really disables every emit site;
+* inside such a guard block the simulator may only *read* its own
+  state: no attribute/subscript writes through non-recorder roots, no
+  known-mutating method calls, no RNG draws.  The telemetry boundary
+  cannot perturb the simulation it observes (the digest pins enforce
+  this dynamically; this checker points at the offending line).
+
+Recorder handles are recognized by name: ``obs``, ``_obs``, ``obs_*``,
+``*_obs`` and ``observe``-style prefixes (``jobs`` is not a handle).
+Guards compose through ``and`` and the early-return form (``if obs is
+None: return``) is understood.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.staticcheck.astutil import root_name
+from repro.staticcheck.core import Checker, register
+from repro.staticcheck.purity import (
+    MUTATING_FUNCTIONS,
+    MUTATING_METHODS,
+    RNG_METHODS,
+)
+
+#: TraceRecorder methods that write recorder state (the emit surface).
+EMIT_METHODS = frozenset(
+    {
+        "arrival",
+        "close_root",
+        "count",
+        "event",
+        "finish",
+        "instant",
+        "record_sample",
+        "span",
+    }
+)
+
+_RNG_NAME_HINTS = ("rng", "random")
+
+
+def _is_handle_name(name: str) -> bool:
+    stripped = name.lstrip("_").lower()
+    return stripped.startswith("obs") or stripped.endswith("_obs")
+
+
+def _is_handle(expr: ast.expr) -> bool:
+    if isinstance(expr, ast.Name):
+        return _is_handle_name(expr.id)
+    if isinstance(expr, ast.Attribute):
+        return _is_handle_name(expr.attr)
+    return False
+
+
+def _key(expr: ast.expr) -> str:
+    return ast.unparse(expr)
+
+
+def _guards_from_test(test: ast.expr) -> tuple[set[str], set[str]]:
+    """(proven non-None in body, proven non-None in orelse) handles."""
+    if isinstance(test, ast.Compare) and len(test.ops) == 1:
+        left, (op,), (right,) = test.left, test.ops, test.comparators
+        is_none = isinstance(right, ast.Constant) and right.value is None
+        if is_none and _is_handle(left):
+            if isinstance(op, ast.IsNot):
+                return {_key(left)}, set()
+            if isinstance(op, ast.Is):
+                return set(), {_key(left)}
+    elif isinstance(test, ast.BoolOp):
+        positive: set[str] = set()
+        negative: set[str] = set()
+        for value in test.values:
+            pos, neg = _guards_from_test(value)
+            positive |= pos
+            negative |= neg
+        # `a is not None and b is not None` proves both in the body;
+        # `a is None or b is None` proves both in the orelse.
+        if isinstance(test.op, ast.And):
+            return positive, set()
+        return set(), negative
+    return set(), set()
+
+
+def _terminates(body: list[ast.stmt]) -> bool:
+    return bool(body) and isinstance(
+        body[-1], (ast.Return, ast.Raise, ast.Continue, ast.Break)
+    )
+
+
+def _rngish(name: str | None) -> bool:
+    return name is not None and any(
+        hint in name.lower() for hint in _RNG_NAME_HINTS
+    )
+
+
+@register
+class ObsHygieneChecker(Checker):
+    name = "obs-hygiene"
+
+    def visit_Module(self, node: ast.Module) -> None:
+        self._block(node.body, frozenset())
+
+    # -- block walking with the active guard set -----------------------
+    def _block(self, stmts: list[ast.stmt], inherited: frozenset[str]) -> None:
+        guards = set(inherited)
+        for stmt in stmts:
+            if isinstance(stmt, ast.If):
+                self._exprs(stmt.test, guards)
+                positive, negative = _guards_from_test(stmt.test)
+                self._block(stmt.body, frozenset(guards | positive))
+                self._block(stmt.orelse, frozenset(guards | negative))
+                if negative and _terminates(stmt.body) and not stmt.orelse:
+                    guards |= negative  # `if obs is None: return` idiom
+                if positive and stmt.orelse and _terminates(stmt.orelse):
+                    guards |= positive
+            elif isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                # A new scope: guards do not carry into deferred bodies.
+                self._block(stmt.body, frozenset())
+            elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+                self._exprs(stmt.iter, guards)
+                frozen = frozenset(guards)
+                self._block(stmt.body, frozen)
+                self._block(stmt.orelse, frozen)
+            elif isinstance(stmt, ast.While):
+                self._exprs(stmt.test, guards)
+                frozen = frozenset(guards)
+                self._block(stmt.body, frozen)
+                self._block(stmt.orelse, frozen)
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                for item in stmt.items:
+                    self._exprs(item.context_expr, guards)
+                self._block(stmt.body, frozenset(guards))
+            elif isinstance(stmt, ast.Try):
+                frozen = frozenset(guards)
+                self._block(stmt.body, frozen)
+                for handler in stmt.handlers:
+                    self._block(handler.body, frozen)
+                self._block(stmt.orelse, frozen)
+                self._block(stmt.finalbody, frozen)
+            else:
+                self._simple(stmt, guards)
+
+    # -- leaf statements ----------------------------------------------
+    def _simple(self, stmt: ast.stmt, guards: set[str]) -> None:
+        if guards:
+            targets: list[ast.expr] = []
+            if isinstance(stmt, ast.Assign):
+                targets = list(stmt.targets)
+            elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+                targets = [stmt.target]
+            elif isinstance(stmt, ast.Delete):
+                targets = list(stmt.targets)
+            for target in targets:
+                self._check_store(target)
+        self._exprs(stmt, guards)
+
+    def _check_store(self, target: ast.expr) -> None:
+        if isinstance(target, (ast.Attribute, ast.Subscript)):
+            if not _is_handle(target) and not _is_handle_name(
+                root_name(target) or ""
+            ):
+                self.report(
+                    target,
+                    "telemetry guard block writes simulator state through "
+                    f"{root_name(target) or '<expression>'!r} -- observation "
+                    "must stay read-only",
+                )
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._check_store(elt)
+        elif isinstance(target, ast.Starred):
+            self._check_store(target.value)
+
+    # -- expression-level checks --------------------------------------
+    def _exprs(self, node: ast.AST, guards: set[str]) -> None:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Call):
+                self._call(sub, guards)
+
+    def _call(self, node: ast.Call, guards: set[str]) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            receiver = func.value
+            if func.attr in EMIT_METHODS and _is_handle(receiver):
+                if _key(receiver) not in guards:
+                    self.report(
+                        node,
+                        f"emit call {_key(receiver)}.{func.attr}() outside "
+                        f"an `if {_key(receiver)} is not None` guard -- "
+                        "telemetry must be free when tracing is off",
+                    )
+            if not guards:
+                return
+            receiver_root = root_name(receiver)
+            if func.attr in MUTATING_METHODS and not (
+                _is_handle(receiver) or _is_handle_name(receiver_root or "")
+            ):
+                self.report(
+                    node,
+                    f"telemetry guard block calls mutating .{func.attr}() "
+                    f"on {receiver_root or '<expression>'!r} -- observation "
+                    "must stay read-only",
+                )
+            if func.attr in RNG_METHODS and _rngish(receiver_root):
+                self.report(
+                    node,
+                    f"telemetry guard block draws RNG via "
+                    f"{receiver_root}.{func.attr}() -- tracing must not "
+                    "advance any random stream",
+                )
+        elif isinstance(func, ast.Name) and guards:
+            if func.id in MUTATING_FUNCTIONS and node.args:
+                first = root_name(node.args[0])
+                if not _is_handle_name(first or ""):
+                    self.report(
+                        node,
+                        f"telemetry guard block calls {func.id}() on "
+                        f"{first or '<expression>'!r} -- observation must "
+                        "stay read-only",
+                    )
+            elif func.id == "Random" or _rngish(func.id):
+                self.report(
+                    node,
+                    f"telemetry guard block constructs/draws RNG via "
+                    f"{func.id}() -- tracing must not advance any random "
+                    "stream",
+                )

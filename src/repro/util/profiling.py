@@ -16,7 +16,10 @@ import pstats
 import time
 from dataclasses import dataclass, field
 from collections.abc import Callable
+from pathlib import PurePath
 from typing import Any
+
+from repro.util.tables import Table
 
 
 @dataclass
@@ -57,12 +60,77 @@ class Timer:
 
 
 @dataclass(frozen=True)
+class ProfileFrame:
+    """One row of the flat profile: a function and its aggregate cost.
+
+    ``ncalls`` counts every invocation, ``primitive_calls`` only the
+    non-recursive ones (the pair pstats prints as ``ncalls/primitive``).
+    """
+
+    module: str
+    function: str
+    lineno: int
+    ncalls: int
+    primitive_calls: int
+    tottime_s: float
+    cumtime_s: float
+
+    @property
+    def location(self) -> str:
+        """``module:lineno(function)``, pstats-style."""
+        if self.lineno <= 0:
+            return self.function
+        return f"{self.module}:{self.lineno}({self.function})"
+
+
+# pstats sort key -> index into its per-function stats tuple
+# (cc, nc, tt, ct, callers)
+_SORT_INDEX = {
+    "cumulative": 3, "cumtime": 3,
+    "tottime": 2, "time": 2,
+    "ncalls": 1, "calls": 1,
+}
+
+
+def _short_module(filename: str) -> str:
+    """A readable module tag for a profile row.
+
+    cProfile reports builtins as ``~`` and exec'd code as ``<...>``;
+    real files keep their last two path components so ``serving/
+    cluster.py`` stays recognizable without the site-packages noise.
+    """
+    if filename.startswith("<"):
+        return filename
+    if filename.startswith("~") or not filename:
+        return "<builtin>"
+    return "/".join(PurePath(filename).parts[-2:])
+
+
+@dataclass(frozen=True)
 class ProfileResult:
     """Return value and flat profile of one profiled call."""
 
     value: Any
     elapsed_s: float
     stats_text: str
+    frames: tuple[ProfileFrame, ...] = ()
+
+    def table(self, title: str = "Profile (top frames)") -> Table:
+        """The frame rows as a :class:`repro.util.tables.Table`."""
+        table = Table(
+            title, ["where", "ncalls", "tottime (s)", "cumtime (s)"]
+        )
+        for frame in self.frames:
+            ncalls = (
+                f"{frame.ncalls}"
+                if frame.ncalls == frame.primitive_calls
+                else f"{frame.ncalls}/{frame.primitive_calls}"
+            )
+            table.add_row([
+                frame.location, ncalls,
+                f"{frame.tottime_s:.3f}", f"{frame.cumtime_s:.3f}",
+            ])
+        return table
 
     def __str__(self) -> str:
         return self.stats_text
@@ -77,9 +145,11 @@ def profile_call(
 ) -> ProfileResult:
     """Run ``fn(*args, **kwargs)`` under cProfile.
 
-    Returns the call's value plus its wall time and the ``top`` rows of
-    the profile sorted by ``sort`` ("cumulative", "tottime", ...) --
-    everything needed to decide where the next optimization goes.
+    Returns the call's value plus its wall time, the classic pstats
+    text dump, and -- the part callers can actually compute with -- the
+    ``top`` frames as structured :class:`ProfileFrame` rows (module,
+    function, call counts, tottime, cumtime) sorted by ``sort``
+    ("cumulative", "tottime", "ncalls").
     """
     profiler = cProfile.Profile()
     start = time.perf_counter()
@@ -92,5 +162,25 @@ def profile_call(
     buffer = io.StringIO()
     stats = pstats.Stats(profiler, stream=buffer)
     stats.sort_stats(sort).print_stats(top)
+
+    sort_index = _SORT_INDEX.get(sort, 3)
+    rows = sorted(
+        stats.stats.items(),  # type: ignore[attr-defined]
+        key=lambda item: item[1][sort_index],
+        reverse=True,
+    )
+    frames = tuple(
+        ProfileFrame(
+            module=_short_module(filename),
+            function=funcname,
+            lineno=lineno,
+            ncalls=nc,
+            primitive_calls=cc,
+            tottime_s=tt,
+            cumtime_s=ct,
+        )
+        for (filename, lineno, funcname), (cc, nc, tt, ct, _callers)
+        in rows[:top]
+    )
     return ProfileResult(value=value, elapsed_s=elapsed,
-                         stats_text=buffer.getvalue())
+                         stats_text=buffer.getvalue(), frames=frames)

@@ -1,0 +1,248 @@
+"""Conservation laws of a traced run: spans and timeline counters must
+account for every submitted request exactly, the ring bound must drop
+honestly, and tracing must not perturb the simulation it observes.
+
+The scenario is a flash-crowd multi-tenant fleet with admission control
+and an autoscaler at a tight KV budget -- enough pressure that requests
+are shed and the whole lifecycle (queue, prefill, hand-off, admit wait,
+decode) is exercised."""
+
+import dataclasses
+
+import pytest
+
+from repro import (
+    AdmissionConfig,
+    ArrivalTrace,
+    AutoscalerConfig,
+    Scenario,
+    TenantSpec,
+    TraceConfig,
+    TrafficSpec,
+)
+from repro.api import PodGroup
+from repro.models.llama3 import LLAMA3_70B
+from repro.obs import (
+    ADMIT_WAIT,
+    DECODE,
+    HANDOFF,
+    PREFILL,
+    QUEUED,
+    REJECTED,
+    REQUEST,
+    SHED,
+)
+from repro.serving import BATCH, INTERACTIVE, STANDARD
+from repro.serving.engine import report_digest
+
+
+def _fleet(trace: TraceConfig | None) -> Scenario:
+    spike = ArrivalTrace.flash_crowd(
+        1.0, 30.0, peak_rps=12.0, spike_start_s=10.0, spike_duration_s=8.0,
+        seed=7,
+    )
+    tenants = (
+        TenantSpec(
+            "interactive",
+            traffic=TrafficSpec(
+                trace=spike, prompt_mean=512, decode_mean=256, seed=11
+            ),
+            slo=INTERACTIVE, priority=2, weight=2.0,
+        ),
+        TenantSpec(
+            "agentic",
+            traffic=TrafficSpec(
+                rate_rps=1.0, duration_s=30.0,
+                prompt_mean=2048, decode_mean=512, seed=12,
+            ),
+            slo=STANDARD, priority=1, weight=1.0,
+        ),
+        TenantSpec(
+            "batch",
+            traffic=TrafficSpec(
+                rate_rps=2.0, duration_s=30.0,
+                prompt_mean=1024, decode_mean=4096, seed=13,
+            ),
+            slo=BATCH, priority=0, weight=0.5,
+        ),
+    )
+    return Scenario(
+        model=LLAMA3_70B,
+        traffic=TrafficSpec(tenants=tenants),
+        prefill=(PodGroup("gpu", count=2),),
+        decode=(PodGroup("rpu", count=1, options={"num_cus": 128}),),
+        kv_budget_bytes=1e9,
+        admission=AdmissionConfig(enabled=True),
+        autoscaler=AutoscalerConfig(min_decode_pods=1, max_decode_pods=4),
+        trace=trace,
+        name="obs_fleet",
+    )
+
+
+@pytest.fixture(scope="module")
+def traced_report():
+    return _fleet(TraceConfig(sample_period_s=0.0)).run()
+
+
+def _ids(records) -> set[int]:
+    return {r.request.request_id for r in records}
+
+
+class TestSpanConservation:
+    def test_exactly_one_closed_root_per_request(self, traced_report):
+        report = traced_report
+        trace = report.trace
+        assert trace is not None
+        assert trace.dropped_spans == 0
+        roots = [s for s in trace.spans if s.stage == REQUEST]
+        assert len(roots) == report.num_submitted
+        assert len({s.request_id for s in roots}) == len(roots)
+        by_outcome = {}
+        for span in roots:
+            by_outcome.setdefault(span.detail, set()).add(span.request_id)
+        assert by_outcome.get("completed", set()) == _ids(report.completed)
+        assert by_outcome.get("shed", set()) == _ids(report.shed)
+        assert by_outcome.get("rejected", set()) == _ids(report.rejected)
+        assert trace.counters["arrivals"] == report.num_submitted
+        # The scenario actually sheds -- conservation is not vacuous.
+        assert len(report.shed) > 0
+
+    def test_completed_requests_walk_the_whole_pipeline(self, traced_report):
+        report = traced_report
+        stages_by_id: dict[int, set[str]] = {}
+        for span in report.trace.spans:
+            stages_by_id.setdefault(span.request_id, set()).add(span.stage)
+        for rid in _ids(report.completed):
+            assert {QUEUED, PREFILL, HANDOFF, ADMIT_WAIT, DECODE} <= (
+                stages_by_id[rid]
+            ), f"request {rid} is missing lifecycle stages"
+
+    def test_terminal_requests_get_terminal_markers(self, traced_report):
+        report = traced_report
+        shed_markers = {
+            s.request_id for s in report.trace.spans if s.stage == SHED
+        }
+        rejected_markers = {
+            s.request_id for s in report.trace.spans if s.stage == REJECTED
+        }
+        assert shed_markers == _ids(report.shed)
+        assert rejected_markers == _ids(report.rejected)
+
+    def test_root_span_brackets_the_lifecycle(self, traced_report):
+        report = traced_report
+        roots = {
+            s.request_id: s
+            for s in report.trace.spans
+            if s.stage == REQUEST
+        }
+        for record in report.completed:
+            root = roots[record.request.request_id]
+            assert root.start_s == record.request.arrival_s
+            assert root.end_s == record.completed_s
+            assert root.tenant == record.request.tenant
+        for span in report.trace.spans:
+            if span.stage != REQUEST:
+                root = roots[span.request_id]
+                assert root.start_s <= span.start_s
+                assert span.end_s <= root.end_s + 1e-9
+
+    def test_preemption_accounting_matches_counters(self, traced_report):
+        report = traced_report
+        trace = report.trace
+        preempted_decodes = sum(
+            1
+            for s in trace.spans
+            if s.stage == DECODE and s.detail == "preempted"
+        )
+        assert trace.counters.get("preempted", 0) == preempted_decodes
+
+
+class TestTimelineConservation:
+    def test_final_counters_match_report_lens(self, traced_report):
+        report = traced_report
+        timeline = report.timeline
+        assert timeline is not None
+        assert timeline.last("completed") == len(report.completed)
+        assert timeline.last("shed") == len(report.shed)
+        assert timeline.last("rejected") == len(report.rejected)
+        assert timeline.last("preempted") == (
+            report.trace.counters.get("preempted", 0)
+        )
+
+    def test_timeline_covers_the_run_window(self, traced_report):
+        report = traced_report
+        timeline = report.timeline
+        assert len(timeline) > 0
+        assert timeline.start_s <= min(
+            r.request.arrival_s for r in report.completed
+        )
+        assert timeline.end_s == report.duration_s
+
+    def test_inflight_drains_to_zero(self, traced_report):
+        timeline = traced_report.timeline
+        for name in timeline.names:
+            if name.startswith("inflight"):
+                assert timeline.last(name) == 0.0
+
+    def test_gauge_series_are_present_and_finite(self, traced_report):
+        timeline = traced_report.timeline
+        for gauge in (
+            "queue_depth",
+            "fleet_pressure",
+            "kv_occupancy",
+            "batch_size",
+            "prefill_pods",
+            "decode_pods",
+        ):
+            series = timeline.series(gauge)
+            assert len(series) == len(timeline)
+            assert all(v >= 0.0 for v in series), gauge
+        # The autoscaler fleet actually moved during the spike.
+        assert max(timeline.series("decode_pods")) > 1.0
+
+
+class TestReportToggles:
+    def _small(self, trace: TraceConfig) -> Scenario:
+        return Scenario(
+            model=LLAMA3_70B,
+            traffic=TrafficSpec(rate_rps=4.0, duration_s=6.0, seed=5),
+            prefill=(PodGroup("gpu", count=1),),
+            decode=(PodGroup("rpu", count=1),),
+            trace=trace,
+            name="obs_toggles",
+        )
+
+    def test_spans_off_keeps_timeline(self):
+        report = self._small(TraceConfig(spans=False)).run()
+        assert report.trace is not None
+        assert report.trace.emitted_spans == 0
+        assert report.timeline is not None
+        assert len(report.timeline) > 0
+
+    def test_metrics_off_keeps_spans_and_drops_timeline(self):
+        report = self._small(TraceConfig(metrics=False)).run()
+        assert report.trace is not None
+        assert report.trace.emitted_spans > 0
+        assert report.timeline is None
+
+
+class TestZeroCostOff:
+    def test_tracing_does_not_perturb_this_scenario(self, traced_report):
+        untraced = _fleet(None).run()
+        assert untraced.trace is None
+        assert untraced.timeline is None
+        assert report_digest(untraced) == report_digest(traced_report)
+
+    def test_span_ring_drops_honestly(self, traced_report):
+        capped = _fleet(
+            dataclasses.replace(
+                TraceConfig(sample_period_s=0.0), max_spans=64
+            )
+        ).run()
+        trace = capped.trace
+        assert len(trace.spans) == 64
+        assert trace.dropped_spans == trace.emitted_spans - 64
+        assert trace.emitted_spans == traced_report.trace.emitted_spans
+        assert trace.dropped_spans > 0
+        # The capped run is still digest-identical.
+        assert report_digest(capped) == report_digest(traced_report)

@@ -506,3 +506,26 @@ class TestDigestPins:
         baseline = report_digest(report)
         report.completed[0].queue_wait_s += 1e-9
         assert report_digest(report) != baseline
+
+
+class TestTracedDigestPins:
+    """Observation must not perturb: with the trace recorder ON, every
+    pin above must still reproduce bit-for-bit.  ``sample_period_s=0``
+    samples the gauge timeline at every event boundary -- the heaviest
+    telemetry setting is held to the same digests as no telemetry."""
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_pinned_digest_with_tracing_on(self, name):
+        from repro.obs import TraceConfig
+
+        config, requests = SCENARIOS[name]()
+        traced = dataclasses.replace(
+            config, trace=TraceConfig(sample_period_s=0.0)
+        )
+        report = simulate(traced, requests)
+        assert report_digest(report) == DIGESTS[name], (
+            f"scenario {name!r}: tracing perturbed the simulation"
+        )
+        assert report.trace is not None
+        assert report.timeline is not None
+        assert report.trace.emitted_spans > 0

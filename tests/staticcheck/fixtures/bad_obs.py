@@ -1,0 +1,25 @@
+"""Seeded obs-hygiene violations: unguarded emits, and simulator
+mutation / RNG draws inside a telemetry guard block."""
+
+
+class Sim:
+    def unguarded_emit(self, now_s):
+        obs = self._obs
+        obs.span("r1", "queued", 0.0, now_s)  # emit with no guard
+        obs.count("arrivals")                 # emit with no guard
+
+    def unguarded_direct(self, now_s):
+        self._obs.event(3)                    # direct handle, no guard
+
+    def wrong_guard(self, now_s):
+        obs = self._obs
+        if now_s > 0.0:                       # guard on the wrong thing
+            obs.arrival("r2", now_s, "tenant")
+
+    def mutating_guard(self, now_s, rng):
+        obs = self._obs
+        if obs is not None:
+            obs.event(3)
+            self.pending.append(now_s)        # sim mutation inside guard
+            self.last_seen_s = now_s          # attribute write inside guard
+            obs.record_sample(now_s, {"jitter": rng.random()})  # RNG draw

@@ -1,0 +1,31 @@
+"""Clean twin of bad_obs.py: every emit guarded, guard blocks read-only."""
+
+
+class Sim:
+    def guarded_emit(self, now_s):
+        obs = self._obs
+        if obs is not None:
+            obs.span("r1", "queued", 0.0, now_s)
+            obs.count("arrivals")
+
+    def guarded_direct(self, now_s):
+        if self._obs is not None:
+            self._obs.event(3)
+
+    def early_return_guard(self, now_s):
+        obs = self._obs
+        if obs is None:
+            return
+        obs.arrival("r2", now_s, "tenant")
+
+    def compound_guard(self, now_s, enabled):
+        obs = self._obs
+        if obs is not None and enabled:
+            if obs.want_sample(now_s):
+                obs.record_sample(now_s, {"queue_depth": float(len(self.queue))})
+
+    def reads_only(self, now_s):
+        # Mutation outside any telemetry guard is not this checker's
+        # business (purity/determinism own those rules).
+        self.jobs.append(now_s)
+        return len(self.jobs)

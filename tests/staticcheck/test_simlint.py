@@ -34,6 +34,7 @@ PAIRS = {
     "digest-safety": ("bad_digest.py", "clean_digest.py"),
     "numpy-guarding": ("bad_numpy.py", "clean_numpy.py"),
     "api-hygiene": ("serving/bad_api.py", "serving/clean_api.py"),
+    "obs-hygiene": ("bad_obs.py", "clean_obs.py"),
 }
 
 
@@ -79,6 +80,17 @@ class TestCheckers:
         messages = [f.message for f in findings]
         assert any("into the past" in m for m in messages)
         assert any("not derived from the simulation clock" in m for m in messages)
+
+    def test_obs_hygiene_flags_each_seeded_site(self):
+        findings = _by_checker(check_file(FIXTURES / "bad_obs.py"), "obs-hygiene")
+        messages = "\n".join(f.message for f in findings)
+        assert "obs.span() outside an `if obs is not None` guard" in messages
+        assert "self._obs.event()" in messages
+        assert "obs.arrival()" in messages
+        assert "mutating .append()" in messages
+        assert "writes simulator state through 'self'" in messages
+        assert "draws RNG via rng.random()" in messages
+        assert len(findings) == 7
 
     def test_api_hygiene_is_scoped_to_serving_paths(self):
         source = (FIXTURES / "serving" / "bad_api.py").read_text()

@@ -208,6 +208,25 @@ class TestProfiling:
         assert "function calls" in result.stats_text
         assert str(result) == result.stats_text
 
+    def test_profile_call_structured_frames(self):
+        from repro.util.profiling import profile_call
+
+        def work():
+            return sum(sorted(range(1000), reverse=True))
+
+        result = profile_call(work, top=5)
+        assert result.value == sum(range(1000))
+        assert 0 < len(result.frames) <= 5
+        cumtimes = [f.cumtime_s for f in result.frames]
+        assert cumtimes == sorted(cumtimes, reverse=True)
+        for frame in result.frames:
+            assert frame.ncalls >= frame.primitive_calls >= 1
+            assert frame.tottime_s <= frame.cumtime_s + 1e-12
+            assert frame.function
+        rendered = result.table().render()
+        assert "cumtime (s)" in rendered
+        assert result.frames[0].location in rendered
+
     def test_profile_call_propagates_exceptions(self):
         from repro.util.profiling import profile_call
 

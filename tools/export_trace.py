@@ -1,0 +1,122 @@
+"""Run a scenario preset with tracing on and export the Chrome trace.
+
+CI flow (the traced smoke job) -- run ``multi_tenant_prod`` with the
+observability layer enabled, validate the exported ``trace_event`` JSON
+(required keys, monotonic timestamps, matched begin/end pairs), and
+leave the artifact on disk for upload::
+
+    PYTHONPATH=src python tools/export_trace.py multi_tenant_prod \
+        --out trace.json --validate
+
+Local flow -- pick any registered preset (see ``--list``), open the
+output in ``chrome://tracing`` or https://ui.perfetto.dev.
+
+The traced run must be bit-identical to the untraced one; pass
+``--check-digest`` to assert that too (runs the scenario twice).
+"""
+
+import argparse
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+import dataclasses  # noqa: E402
+import json  # noqa: E402
+
+from repro import LLAMA3_70B, TraceConfig, scenario, scenario_names  # noqa: E402
+from repro.obs import validate_chrome_trace  # noqa: E402
+from repro.serving.engine import report_digest  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "name",
+        nargs="?",
+        default="multi_tenant_prod",
+        help="scenario preset to run (default: multi_tenant_prod)",
+    )
+    parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=pathlib.Path("trace.json"),
+        help="output path for the Chrome trace JSON (default: trace.json)",
+    )
+    parser.add_argument(
+        "--timeline",
+        type=pathlib.Path,
+        default=None,
+        help="also write the metrics timeline as CSV to this path",
+    )
+    parser.add_argument(
+        "--sample-period-s",
+        type=float,
+        default=0.05,
+        help="timeline sample period in seconds (default: 0.05)",
+    )
+    parser.add_argument(
+        "--validate",
+        action="store_true",
+        help="structurally validate the exported trace and fail on problems",
+    )
+    parser.add_argument(
+        "--check-digest",
+        action="store_true",
+        help="run the scenario untraced too and assert both digests match",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="list registered scenario presets and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in scenario_names():
+            print(name)
+        return 0
+
+    base = scenario(args.name, LLAMA3_70B)
+    traced = dataclasses.replace(
+        base, trace=TraceConfig(sample_period_s=args.sample_period_s)
+    )
+    report = traced.run()
+    trace = report.trace
+    timeline = report.timeline
+    assert trace is not None and timeline is not None
+
+    if args.check_digest:
+        untraced = dataclasses.replace(base, trace=None).run()
+        want = report_digest(untraced)
+        got = report_digest(report)
+        if got != want:
+            print(f"FAIL: traced digest {got} != untraced {want}", file=sys.stderr)
+            return 1
+        print(f"digest unchanged under tracing: {got}")
+
+    payload = trace.to_chrome_trace()
+    if args.validate:
+        problems = validate_chrome_trace(payload)
+        if problems:
+            for problem in problems:
+                print(f"FAIL: {problem}", file=sys.stderr)
+            return 1
+        print(f"trace valid: {len(payload['traceEvents'])} events")
+
+    args.out.write_text(json.dumps(payload, indent=1) + "\n")
+    print(
+        f"wrote {args.out}: {len(trace.spans)} spans "
+        f"({trace.dropped_spans} dropped), "
+        f"{len(timeline)} timeline samples"
+    )
+    if args.timeline is not None:
+        args.timeline.write_text(timeline.to_csv())
+        print(f"wrote {args.timeline}")
+    print(trace.summary_table())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
