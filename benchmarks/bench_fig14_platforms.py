@@ -1,9 +1,23 @@
 """Fig 14: leading platforms under speculative decoding (Llama3-70B)."""
 
+from pytest import approx
+
 from conftest import emit
 
 from repro.analysis.platforms import comparison_table
+from repro.specdec import SpeculativeConfig, speculative_speedup
 from repro.util.tables import Table
+
+
+def test_paper_operating_point_speedup():
+    """The paper's headline operating point: lookahead 8 with 4.6
+    accepted tokens per window at a draft step ~0.194x the verify step
+    is a ~1.8x decode speedup -- 4.6 / (8 * 0.194 + 1) = 1.8."""
+    speedup = speculative_speedup(
+        0.194, 1.0,
+        config=SpeculativeConfig(lookahead=8, accepted_per_window=4.6),
+    )
+    assert speedup == approx(1.8, rel=0.02)
 
 
 def test_fig14_platforms(benchmark):

@@ -25,8 +25,11 @@ deployment, an all-GPU baseline, an inverted RPU-prefill fleet, a
 Named presets cover the paper's motivating workloads:
 ``chatbot`` (short interactive turns), ``agentic_fanout`` (bursty
 tool-calling sub-queries), ``batch_offline`` (throughput-oriented, no
-interactive SLO) and ``multi_tenant_prod`` (all three as tenants of one
-fleet, with admission control and the autoscaler on); build them via
+interactive SLO), ``multi_tenant_prod`` (all three as tenants of one
+fleet, with admission control and the autoscaler on) and
+``reasoning_prod`` (test-time scaling: chain-of-thought bursts with
+tool-call pauses plus self-consistency fan-out, ready for a
+``specdec=SpecDecConfig(...)`` override); build them via
 :func:`scenario`, or register your own with :func:`register_scenario`
 (mirroring :func:`repro.platform.register_platform`).
 
@@ -68,6 +71,7 @@ from repro.serving.requests import (
     merge_requests,
 )
 from repro.serving.scheduler import Policy, Reservation
+from repro.specdec import SpecDecConfig
 from repro.serving.tenancy import (
     BATCH,
     INTERACTIVE,
@@ -115,6 +119,16 @@ class TrafficSpec:
     prefix_share_prob: float = 0.0
     prefix_fanout: int = 8
     prefix_frac: float = 0.5
+    #: Reasoning / test-time-scaling structure (see
+    #: :class:`TrafficClass`): multi-turn chain-of-thought decode bursts
+    #: separated by tool-call pauses of log-normal think time, and
+    #: self-consistency fan-out (``n`` samples sharing the full prompt
+    #: as one prefix group).  Defaults (1, 1) leave the stream
+    #: byte-identical to plain traffic.
+    cot_turns: int = 1
+    think_time_mean_s: float = 2.0
+    think_time_sigma: float = 0.6
+    self_consistency_n: int = 1
     classes: tuple[TrafficClass, ...] | None = None
     #: Replay this arrival schedule instead of sampling Poisson/bursty
     #: arrivals (``duration_s`` and ``rate_rps`` are then ignored for
@@ -181,6 +195,10 @@ class TrafficSpec:
                 prefix_share_prob=self.prefix_share_prob,
                 prefix_fanout=self.prefix_fanout,
                 prefix_frac=self.prefix_frac,
+                cot_turns=self.cot_turns,
+                think_time_mean_s=self.think_time_mean_s,
+                think_time_sigma=self.think_time_sigma,
+                self_consistency_n=self.self_consistency_n,
             )
             for priority in priorities
         )
@@ -303,6 +321,11 @@ class Scenario:
     admission: AdmissionConfig = AdmissionConfig()
     autoscaler: AutoscalerConfig | None = None
     cost_model: CostModel = CostModel()
+    #: Fleet-wide speculative decoding (see
+    #: :class:`repro.specdec.SpecDecConfig`): every decode pod runs
+    #: draft/verify speculation, optionally with split draft placement.
+    #: ``None`` (the default) leaves decode costs untouched.
+    specdec: SpecDecConfig | None = None
     #: Representative workload the pod builders size memory SKUs and
     #: ISO-TDP scale against.
     sizing_batch: int = 32
@@ -361,6 +384,7 @@ class Scenario:
             admission=self.admission,
             autoscaler=self.autoscaler,
             cost_model=self.cost_model,
+            specdec=self.specdec,
             trace=self.trace,
         )
 
@@ -505,6 +529,66 @@ def multi_tenant_prod(model: ModelConfig, **overrides: object) -> Scenario:
     return Scenario(**settings)
 
 
+def reasoning_prod(model: ModelConfig, **overrides: object) -> Scenario:
+    """A production reasoning fleet (test-time scaling): a chain-of-
+    thought tenant whose requests decode in multi-turn bursts separated
+    by tool-call pauses (parked KV rides the host tier when the cost
+    model approves), and a self-consistency tenant fanning 4 samples
+    off each prompt as one prefix group.  Section IX's 2k prompt / 4k
+    reasoning split, prefix caching on, no interactive SLO.  The
+    offered load saturates the decode pool, so effective decode
+    throughput -- not arrivals -- is the binding resource; attach a
+    :class:`~repro.specdec.SpecDecConfig` via ``specdec=...`` to run
+    the same traffic under speculative decoding and watch it lift.
+    """
+    duration_s = 30.0
+    tenants = (
+        TenantSpec(
+            "cot",
+            traffic=TrafficSpec(
+                rate_rps=4.8,
+                duration_s=duration_s,
+                prompt_mean=2048,
+                decode_mean=4096,
+                seed=21,
+                cot_turns=3,
+                think_time_mean_s=2.0,
+            ),
+            slo=BATCH,
+            priority=1,
+            weight=1.0,
+        ),
+        TenantSpec(
+            "consistency",
+            traffic=TrafficSpec(
+                rate_rps=3.0,
+                duration_s=duration_s,
+                prompt_mean=2048,
+                decode_mean=1024,
+                seed=22,
+                self_consistency_n=4,
+            ),
+            slo=BATCH,
+            priority=0,
+            weight=1.0,
+        ),
+    )
+    settings: dict = dict(
+        model=model,
+        name="reasoning_prod",
+        traffic=TrafficSpec(tenants=tenants),
+        prefill=(PodGroup("gpu", count=2),),
+        decode=(PodGroup("rpu", count=2),),
+        policy=Policy.SJF,
+        prefix_caching=True,
+        swap_policy=SwapPolicy.AUTO,
+        host_kv_bytes=256e9,
+        slo_s=float("inf"),
+    )
+    settings.update(overrides)
+    return Scenario(**settings)
+
+
 #: The scenario registry: name -> builder ``(model, **overrides) ->
 #: Scenario``.  Mutate via :func:`register_scenario`; ``SCENARIOS`` is
 #: the live dict (kept under its historical name for direct iteration).
@@ -540,6 +624,7 @@ register_scenario("chatbot", chatbot)
 register_scenario("agentic_fanout", agentic_fanout)
 register_scenario("batch_offline", batch_offline)
 register_scenario("multi_tenant_prod", multi_tenant_prod)
+register_scenario("reasoning_prod", reasoning_prod)
 
 
 def scenario(name: str, model: ModelConfig, **overrides: object) -> Scenario:

@@ -114,7 +114,7 @@ from repro.obs import (
     TraceRecorder,
     TraceRecording,
 )
-from repro.platform import GpuPlatform, Platform, RpuPlatform, as_platform
+from repro.platform import GpuPlatform, Platform, RpuPlatform, StepCost, as_platform
 from repro.serving.contracts import mutates, pure_probe
 from repro.serving.disaggregated import INTERACTION_THRESHOLD_S
 from repro.serving.engine import EventCalendar, run_loop
@@ -125,6 +125,7 @@ from repro.serving.scheduler import (
     ActiveRequest,
     ContinuousBatchScheduler,
     Policy,
+    QueuedRequest,
     Reservation,
 )
 from repro.serving.tenancy import (
@@ -137,6 +138,7 @@ from repro.serving.tenancy import (
     TenantSpec,
 )
 from repro.serving.tenancy import fairness as _attainment_fairness
+from repro.specdec.fleet import SpecDecConfig
 from repro.util.stats import mean, percentile, sort_values
 from repro.util.tables import Table
 
@@ -303,6 +305,12 @@ class DecodePod:
     provisioning: bool = False
     activated_s: float = 0.0
     active_s: float = 0.0
+    #: Fleet-wide speculative decoding (``None`` = plain decode; see
+    #: :class:`repro.specdec.SpecDecConfig`).
+    specdec: SpecDecConfig | None = None
+    #: Split-placement draft platform.  ``None`` colocates the draft on
+    #: :attr:`platform` when :attr:`specdec` is set.
+    draft_platform: Platform | None = None
     _step_cache: dict[tuple[int, int], tuple[float, float]] = field(
         default_factory=dict, repr=False
     )
@@ -321,7 +329,13 @@ class DecodePod:
         return self.scheduler.store
 
     def step_cost(self, batch_size: int, context_len: int) -> tuple[float, float]:
-        """(latency, energy) of one decode step for the current batch."""
+        """(latency, energy) of one decode step for the current batch.
+
+        With :attr:`specdec` set, "one step" advances one *committed*
+        token: the cost is a speculative window (``lookahead`` draft
+        steps + one batched verify pass + any split-placement hand-off)
+        amortised over the acceptance rate.
+        """
         if context_len > STEP_CONTEXT_BUCKET:
             context_len = context_len // STEP_CONTEXT_BUCKET * STEP_CONTEXT_BUCKET
         key = (batch_size, context_len)
@@ -337,9 +351,43 @@ class DecodePod:
             kv_dtype=self.kv_dtype,
         )
         step = self.platform.decode_step(point, check_capacity=False)
-        cost = (step.latency_s, step.energy_j)
+        if self.specdec is None:
+            cost = (step.latency_s, step.energy_j)
+        else:
+            cost = self._speculative_cost(self.specdec, batch_size, context_len, step)
         self._step_cache[key] = cost
         return cost
+
+    def _speculative_cost(
+        self,
+        spec: SpecDecConfig,
+        batch_size: int,
+        context_len: int,
+        verify: StepCost,
+    ) -> tuple[float, float]:
+        """Per-committed-token cost of one speculative window.
+
+        The draft model steps on :attr:`draft_platform` (split
+        placement) or on the verify pod's own hardware (colocated); the
+        verify pass is the plain target step -- verifying a lookahead
+        window is still memory-bound, so it costs about one ordinary
+        step.  Split placement also pays the token hand-off across the
+        verify platform's ingest link each window.
+        """
+        drafter = self.draft_platform if self.draft_platform is not None else self.platform
+        draft_point = Workload(
+            spec.draft_model,
+            batch_size=batch_size,
+            seq_len=context_len,
+            decode_len=1,
+            weight_dtype=drafter.preferred_weight_dtype,
+            kv_dtype=self.kv_dtype,
+        )
+        draft = drafter.decode_step(draft_point, check_capacity=False)
+        sync_s = 0.0
+        if self.draft_platform is not None:
+            sync_s = spec.window_sync_s(self.platform.kv_ingest_bytes_per_s)
+        return spec.effective_step_cost(draft, verify, sync_s=sync_s)
 
     def outstanding_tokens(self) -> int:
         """Decode tokens still owed to admitted, queued and in-transfer
@@ -454,6 +502,14 @@ class ClusterConfig:
     autoscaler: AutoscalerConfig | None = None
     #: $/pod-hour pricing behind the report's ``usd_per_mtok``.
     cost_model: CostModel = CostModel()
+    #: Draft/verify speculative decoding on every decode pod (``None``
+    #: = plain decode, bit-identical to the pre-specdec simulator).
+    #: See :class:`repro.specdec.SpecDecConfig`: per-step decode cost
+    #: becomes an acceptance-rate-amortised speculative window, active
+    #: sequences hold ``lookahead`` extra KV tokens of block headroom
+    #: for unverified draft tokens, and split placement prices drafts
+    #: on a registry platform plus the per-window hand-off.
+    specdec: SpecDecConfig | None = None
     #: Opt-in observability (see :mod:`repro.obs`): request lifecycle
     #: spans + event-boundary metric sampling, surfaced as the report's
     #: ``trace``/``timeline``.  ``None`` (the default) records nothing
@@ -1328,7 +1384,7 @@ class ClusterReport:
 # The simulator
 # ----------------------------------------------------------------------
 (_ARRIVAL, _PREFILL_DONE, _KV_ARRIVE, _STEP, _RESUME, _SWAP_BACK,
- _PREFILL_WAKE, _AUTOSCALE, _POD_READY) = range(9)
+ _PREFILL_WAKE, _AUTOSCALE, _POD_READY, _TOOL_RESUME) = range(10)
 
 
 class ClusterSim:
@@ -1364,6 +1420,13 @@ class ClusterSim:
         #: and the epoch at which each prefix group last changed.
         self._fleet_epoch = 0
         self._group_epochs: dict[tuple[str, int], int] = {}
+        #: Split-placement draft platform, built once from the registry
+        #: and shared by every decode pod (``None`` = no specdec, or
+        #: colocated drafting on each pod's own hardware).
+        self._draft_platform: Platform | None = None
+        if config.specdec is not None:
+            sizing = Workload(config.specdec.draft_model, batch_size=32, seq_len=8192)
+            self._draft_platform = config.specdec.resolve_draft_platform(sizing=sizing)
         self._build_pods()
 
     def _build_pods(self) -> None:
@@ -1417,9 +1480,16 @@ class ClusterSim:
                 # through a prefill pod (recompute-on-resume).
                 requeue_preempted=False,
                 table=self._table,
+                draft_tokens=(
+                    config.specdec.draft_kv_tokens
+                    if config.specdec is not None
+                    else 0
+                ),
             ),
             weight_dtype=config.weight_dtype,
             kv_dtype=config.kv_dtype,
+            specdec=config.specdec,
+            draft_platform=self._draft_platform,
         )
         pod.scheduler.swap_decider = self._swap_decider(pod)
         pod.store.on_prefix_change = self._on_prefix_change
@@ -1487,7 +1557,7 @@ class ClusterSim:
     def _handlers(self) -> list:
         """Dispatch table for :func:`repro.serving.engine.run_loop`,
         indexed by event kind."""
-        table: list = [None] * 9
+        table: list = [None] * 10
         table[_ARRIVAL] = self._on_arrival
         table[_PREFILL_DONE] = self._on_prefill_done
         table[_KV_ARRIVE] = self._on_kv_arrive_event
@@ -1503,6 +1573,9 @@ class ClusterSim:
         table[_PREFILL_WAKE] = self._on_wake
         table[_AUTOSCALE] = self._on_autoscale_tick
         table[_POD_READY] = self._on_pod_ready
+        # A tool-call pause ends: the parked sequence rejoins its pod's
+        # batch (its KV blocks never left the device).
+        table[_TOOL_RESUME] = self._on_tool_resume_event
         return table
 
     def _stale(self, kind: int, payload: object) -> bool:
@@ -1526,6 +1599,15 @@ class ClusterSim:
     def _on_swap_back_event(self, now: float, payload: object) -> None:
         pod, record = payload
         self._on_swap_back(now, pod, record)
+
+    def _on_tool_resume_event(self, now: float, payload: object) -> None:
+        """A device-parked tool call finished: the sequence rejoins its
+        pod's batch (its KV blocks never left the device)."""
+        pod, entry = payload
+        pod.scheduler.resume_parked(entry)
+        if not pod.stepping:
+            pod.stepping = True
+            self._push(now, _STEP, pod)
 
     def _on_wake(self, now: float, payload: object) -> None:
         pass
@@ -2163,6 +2245,31 @@ class ClusterSim:
                 # is not booked before events that precede the step's
                 # end.
                 self._push(end, _RESUME, record)
+        for parked, think_s in pod.scheduler.take_parked():
+            record = self._records_by_id[parked.request.request_id]
+            if obs is not None:
+                obs.count("tool_paused")
+            if isinstance(parked, QueuedRequest):
+                # Swapped park: the pause's KV rides the host tier and
+                # re-enters through the ordinary swap-back path once
+                # both the think time and the round trip have elapsed.
+                record.num_swaps += 1
+                record.resume_tokens = parked.tokens_done
+                round_trip_s = 2.0 * parked.swap_bytes / self._swap_rate(pod)
+                if obs is not None:
+                    obs.span(
+                        parked.request.request_id, SWAP, end,
+                        end + round_trip_s, pod=pod.pod_id,
+                        tenant=parked.request.tenant, detail="tool_park",
+                    )
+                    obs.count("swapped")
+                self._push(
+                    end + think_s + round_trip_s, _SWAP_BACK, (pod, record)
+                )
+            else:
+                # Device park: the KV lease never moves, the sequence
+                # just sits out its think time and rejoins the batch.
+                self._push(end + think_s, _TOOL_RESUME, (pod, parked))
         pod.busy_s += step_s
         pod.energy_j += step_j
         self._push(end, _STEP, pod)
@@ -2200,6 +2307,10 @@ class ClusterSim:
         single-step path.
         """
         scheduler = pod.scheduler
+        if scheduler.draft_tokens > 0:
+            # Speculative headroom skews the block-growth geometry the
+            # lane replays; keep specdec runs on the single-step path.
+            return False
         active = scheduler.active
         paged = scheduler.reservation is Reservation.PAGED
         block_tokens = scheduler.block_tokens
@@ -2210,6 +2321,10 @@ class ClusterSim:
         total = 0  # summed context_len, for the batch-mean step cost
         for entry in active:
             if entry.prefill_remaining > 0 or entry.first_token_s is None:
+                return False
+            if entry.pauses_taken < len(entry.request.tool_pauses):
+                # A pending tool-call pause is an observable boundary
+                # the walkers cannot predict.
                 return False
             request = entry.request
             done = entry.tokens_done
@@ -2441,6 +2556,8 @@ class ClusterSim:
         nothing in a quiet span frees pod memory (growth only takes
         more)."""
         scheduler = pod.scheduler
+        if scheduler.draft_tokens > 0:
+            return None  # see the matching guard in _bulk_quiet_steps
         if not scheduler.would_admit_nothing():
             return None
         active = scheduler.active
@@ -2453,6 +2570,8 @@ class ClusterSim:
         for entry in active:
             if entry.prefill_remaining > 0 or entry.first_token_s is None:
                 return None
+            if entry.pauses_taken < len(entry.request.tool_pauses):
+                return None  # pending tool pause: observable boundary
             request = entry.request
             done = entry.tokens_done
             quiet = request.decode_len - done - 1
@@ -2592,6 +2711,7 @@ class ClusterSim:
                 pod.draining
                 and not pod.scheduler.active
                 and not pod.scheduler.queue
+                and not pod.scheduler.parked
                 and pod.in_transfer_tokens == 0
                 and id(pod) not in pinned
             ):

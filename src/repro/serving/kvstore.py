@@ -126,6 +126,10 @@ class KvStoreStats:
     swap_ins: int = 0
     swap_out_bytes: float = 0.0
     swap_in_bytes: float = 0.0
+    #: Tool-call pauses that parked a sequence mid-decode.  Parked KV
+    #: either stays resident on the device or rides the host tier
+    #: (``swap_outs``/``swap_ins`` above) depending on the swap policy.
+    tool_parks: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -252,6 +256,12 @@ class KvBlockStore:
         """No lease, no swapped sequence -- only (reclaimable) cache may
         remain resident."""
         return not self._leases and not self._swapped
+
+    @property
+    def has_swapped(self) -> bool:
+        """Any sequence parked on the host tier (its swap-back is a
+        pending event, so the pod is not stranded)."""
+        return bool(self._swapped)
 
     # ------------------------------------------------------------------
     # Device-tier leases (the old embedded scheduler accounting)
@@ -412,6 +422,15 @@ class KvBlockStore:
         """Full shared blocks pinned (each replaces one allocation)."""
         lease = self._leases.get(seq_id)
         return lease.shared_blocks if lease is not None else 0
+
+    def holds_shared_refs(self, seq_id: int) -> bool:
+        """Does ``seq_id`` reference any shared blocks on the device
+        tier?  True for prefixes pinned by :meth:`acquire_prefix` *and*
+        for blocks donated via :meth:`register_prefix` that survived a
+        swap round trip -- both keep their blocks out of the
+        reclaimable ref-0 pool."""
+        lease = self._leases.get(seq_id)
+        return lease is not None and bool(lease.shared)
 
     @mutates
     def register_prefix(

@@ -117,6 +117,13 @@ class Request:
     #: fleet simulator's admission control charges this tenant's token
     #: bucket and the report's ``per_tenant()`` groups on it.
     tenant: str = ""
+    #: Tool-call pauses: ``(tokens_done, think_time_s)`` pairs, strictly
+    #: ascending in ``tokens_done``.  After emitting that many decode
+    #: tokens the sequence parks -- its KV blocks stay on the pod (or go
+    #: to the host swap tier) while the "tool" runs -- and decode
+    #: resumes ``think_time_s`` later.  Empty (the default) decodes
+    #: straight through.
+    tool_pauses: tuple[tuple[int, float], ...] = ()
 
     def __post_init__(self) -> None:
         if self.prompt_len < 1:
@@ -129,6 +136,18 @@ class Request:
             )
         if self.prefix_id is None and self.prefix_len > 0:
             raise ValueError("prefix_len > 0 requires a prefix_id")
+        last = 0
+        for at, think_s in self.tool_pauses:
+            if not last < at < self.decode_len:
+                raise ValueError(
+                    "tool_pauses must be strictly ascending and inside "
+                    f"(0, decode_len), got pause at {at} of {self.tool_pauses}"
+                )
+            if not think_s > 0.0:
+                raise ValueError(
+                    f"tool pause think times must be positive, got {think_s}"
+                )
+            last = at
 
     @property
     def total_len(self) -> int:
@@ -368,6 +387,21 @@ class TrafficClass:
     prefix_share_prob: float = 0.0
     prefix_fanout: int = 8
     prefix_frac: float = 0.5
+    #: Reasoning test-time-scaling structure (all defaults off; until a
+    #: knob is turned on the generated stream -- including its RNG
+    #: consumption -- is identical to before).  ``cot_turns`` splits
+    #: decode into that many sampled chain-of-thought bursts separated
+    #: by tool-call pauses whose think time is log-normal with mean
+    #: ``think_time_mean_s`` (spread ``think_time_sigma``); the request
+    #: parks its KV on the pod between turns.
+    cot_turns: int = 1
+    think_time_mean_s: float = 2.0
+    think_time_sigma: float = 0.6
+    #: Self-consistency fan-out: each logical arrival emits this many
+    #: samples at the same instant, sharing the *full* prompt as a fresh
+    #: prefix group (each sample draws its own decode shape).  Takes
+    #: precedence over ``prefix_share_prob`` group assignment.
+    self_consistency_n: int = 1
 
     def __post_init__(self) -> None:
         if self.weight <= 0:
@@ -380,6 +414,16 @@ class TrafficClass:
             raise ValueError("prefix_fanout must be >= 1")
         if not 0.0 < self.prefix_frac <= 1.0:
             raise ValueError("prefix_frac must be in (0, 1]")
+        if self.cot_turns < 1:
+            raise ValueError(f"cot_turns must be >= 1, got {self.cot_turns}")
+        if not self.think_time_mean_s > 0:
+            raise ValueError("think_time_mean_s must be positive")
+        if not self.think_time_sigma > 0:
+            raise ValueError("think_time_sigma must be positive")
+        if self.self_consistency_n < 1:
+            raise ValueError(
+                f"self_consistency_n must be >= 1, got {self.self_consistency_n}"
+            )
 
     @property
     def expected_prompt_len(self) -> float:
@@ -776,16 +820,100 @@ class RequestGenerator:
         groups[class_index] = (group_id, prefix_len, 1)
         return group_id, prefix_len
 
+    def _reasoning_shape(
+        self, rng: random.Random, cls: TrafficClass, first_turn: int
+    ) -> tuple[int, tuple[tuple[int, float], ...]]:
+        """Decode length and tool-call pauses of one multi-turn CoT
+        sample: the remaining ``cot_turns - 1`` burst lengths are drawn
+        from the class's decode distribution and each inter-turn pause
+        gets a log-normal think time.  Only called when ``cot_turns >
+        1``, so plain classes consume no RNG here.
+        """
+        turns = [first_turn]
+        for _ in range(cls.cot_turns - 1):
+            turns.append(
+                self._sample_length(
+                    rng, cls.decode_mean, cls.decode_sigma,
+                    cls.min_len, cls.max_decode,
+                )
+            )
+        sigma = cls.think_time_sigma
+        mu = math.log(cls.think_time_mean_s) - sigma * sigma / 2.0
+        pauses: list[tuple[int, float]] = []
+        done = 0
+        for turn in turns[:-1]:
+            done += turn
+            pauses.append((done, rng.lognormvariate(mu, sigma)))
+        return sum(turns), tuple(pauses)
+
+    def _emit_arrival(
+        self,
+        requests: list[Request],
+        rng: random.Random,
+        request_id: int,
+        arrival_s: float,
+        cls: TrafficClass,
+        prompt: int,
+        decode: int,
+        prefix_id: int | None,
+        prefix_len: int,
+        next_group: list[int],
+        priority: int,
+    ) -> int:
+        """Emit one logical arrival (1 request, or ``self_consistency_n``
+        fan-out samples sharing the full prompt); returns the next free
+        request id.  With every reasoning knob at its default this
+        appends exactly the one request the pre-reasoning generator
+        built, consuming no extra RNG.
+        """
+        if cls.self_consistency_n > 1:
+            # The fan-out shares the whole prompt as a fresh prefix
+            # group (overriding any prefix_share_prob assignment -- the
+            # caller skips it for fan-out classes).
+            prefix_id = next_group[0]
+            next_group[0] += 1
+            prefix_len = prompt
+        for sample in range(cls.self_consistency_n):
+            sample_decode = decode
+            if sample > 0:
+                # Siblings re-draw their own decode shape: the samples
+                # share a prompt, not a chain of thought.
+                sample_decode = self._sample_length(
+                    rng, cls.decode_mean, cls.decode_sigma,
+                    cls.min_len, cls.max_decode,
+                )
+            pauses: tuple[tuple[int, float], ...] = ()
+            if cls.cot_turns > 1:
+                sample_decode, pauses = self._reasoning_shape(
+                    rng, cls, sample_decode
+                )
+            requests.append(
+                Request(
+                    request_id=request_id,
+                    arrival_s=arrival_s,
+                    model=cls.model,
+                    prompt_len=prompt,
+                    decode_len=sample_decode,
+                    priority=priority,
+                    prefix_id=prefix_id,
+                    prefix_len=prefix_len,
+                    tool_pauses=pauses,
+                )
+            )
+            request_id += 1
+        return request_id
+
     def generate(self, duration_s: float) -> list[Request]:
         """All requests arriving in ``[0, duration_s)``, sorted by time."""
         if duration_s <= 0:
             raise ValueError(f"duration_s must be > 0, got {duration_s}")
         rng = random.Random(self.seed)
-        requests = []
+        requests: list[Request] = []
         groups: dict[int, tuple[int, int, int]] = {}
         next_group = [0]
         class_index = {id(cls): i for i, cls in enumerate(self.classes)}
-        for index, arrival in enumerate(self._arrival_times(rng, duration_s)):
+        request_id = 0
+        for arrival in self._arrival_times(rng, duration_s):
             cls = self._pick_class(rng)
             prompt = self._sample_length(
                 rng, cls.prompt_mean, cls.prompt_sigma, cls.min_len, cls.max_prompt
@@ -795,21 +923,13 @@ class RequestGenerator:
             )
             prefix_id: int | None = None
             prefix_len = 0
-            if cls.prefix_share_prob > 0.0:
+            if cls.self_consistency_n <= 1 and cls.prefix_share_prob > 0.0:
                 prefix_id, prefix_len = self._assign_prefix(
                     rng, groups, class_index[id(cls)], cls, prompt, next_group
                 )
-            requests.append(
-                Request(
-                    request_id=index,
-                    arrival_s=arrival,
-                    model=cls.model,
-                    prompt_len=prompt,
-                    decode_len=decode,
-                    priority=cls.priority,
-                    prefix_id=prefix_id,
-                    prefix_len=prefix_len,
-                )
+            request_id = self._emit_arrival(
+                requests, rng, request_id, arrival, cls, prompt, decode,
+                prefix_id, prefix_len, next_group, cls.priority,
             )
         return requests
 
@@ -822,11 +942,12 @@ class RequestGenerator:
         trace replays the schedule with this generator's length mix.
         """
         rng = random.Random(self.seed)
-        requests = []
+        requests: list[Request] = []
         groups: dict[int, tuple[int, int, int]] = {}
         next_group = [0]
         class_index = {id(cls): i for i, cls in enumerate(self.classes)}
-        for index, row in enumerate(trace.rows):
+        request_id = 0
+        for row in trace.rows:
             cls = self._pick_class(rng)
             prompt = (
                 row.prompt_len
@@ -846,23 +967,13 @@ class RequestGenerator:
             )
             prefix_id: int | None = None
             prefix_len = 0
-            if cls.prefix_share_prob > 0.0:
+            if cls.self_consistency_n <= 1 and cls.prefix_share_prob > 0.0:
                 prefix_id, prefix_len = self._assign_prefix(
                     rng, groups, class_index[id(cls)], cls, prompt, next_group
                 )
-            requests.append(
-                Request(
-                    request_id=index,
-                    arrival_s=row.arrival_s,
-                    model=cls.model,
-                    prompt_len=prompt,
-                    decode_len=decode,
-                    priority=(
-                        row.priority if row.priority is not None
-                        else cls.priority
-                    ),
-                    prefix_id=prefix_id,
-                    prefix_len=prefix_len,
-                )
+            request_id = self._emit_arrival(
+                requests, rng, request_id, row.arrival_s, cls, prompt, decode,
+                prefix_id, prefix_len, next_group,
+                row.priority if row.priority is not None else cls.priority,
             )
         return requests

@@ -149,6 +149,9 @@ class ActiveRequest:
     shared_blocks: int = 0
     #: Guard so a sequence publishes its prefix into the cache once.
     prefix_registered: bool = False
+    #: Tool-call pauses of ``request.tool_pauses`` already taken (parked
+    #: or consumed by a resume past their position).
+    pauses_taken: int = 0
     #: Row in the run's :class:`~repro.serving.requests.RequestTable`
     #: (-1 for standalone schedulers without a table).
     row: int = -1
@@ -227,8 +230,18 @@ class ContinuousBatchScheduler:
     #: keys read the interned columns instead of chasing ``.request``
     #: attribute chains.  ``None`` for standalone use.
     table: RequestTable | None = None
+    #: Speculative-decoding KV headroom (tokens): every paged sequence
+    #: is charged this many extra tokens of block capacity for
+    #: speculated-but-unverified draft tokens (set by the cluster from
+    #: its :class:`~repro.specdec.SpecDecConfig`; 0 = plain decode,
+    #: bit-identical accounting).
+    draft_tokens: int = 0
     queue: list[QueuedRequest] = field(default_factory=list)
     active: list[ActiveRequest] = field(default_factory=list)
+    #: Sequences parked mid-decode by a tool-call pause: out of the
+    #: batch, KV blocks still leased, waiting for the cluster's resume
+    #: event (see :meth:`take_parked`).
+    parked: list[ActiveRequest] = field(default_factory=list)
     num_preemptions: int = 0
     #: Running total of decode tokens still owed by queued + active
     #: requests -- the O(1) load metric the cluster router balances on
@@ -241,10 +254,19 @@ class ContinuousBatchScheduler:
     #: timestamps before every step.
     newly_started: list[ActiveRequest] = field(default_factory=list, repr=False)
     _preempted: list[QueuedRequest] = field(default_factory=list, repr=False)
+    #: Pause hand-offs since the last :meth:`take_parked` drain: either
+    #: a device-parked :class:`ActiveRequest` (KV stays leased) or a
+    #: swapped-out :class:`QueuedRequest` (KV went to the host tier),
+    #: each with its sampled think time.
+    _just_parked: list[tuple[ActiveRequest | QueuedRequest, float]] = field(
+        default_factory=list, repr=False
+    )
 
     def __post_init__(self) -> None:
         if self.kv_budget_bytes <= 0:
             raise ValueError("kv_budget_bytes must be positive")
+        if self.draft_tokens < 0:
+            raise ValueError("draft_tokens must be >= 0")
         if self.max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         if self.block_tokens < 1:
@@ -285,18 +307,22 @@ class ContinuousBatchScheduler:
         return max(1, math.ceil(tokens / self.block_tokens))
 
     def paged_total_bytes(self, request: Request) -> float:
-        """Block-rounded footprint at the request's final token."""
-        return self._blocks_for(request.total_len) * self.bytes_per_block_for(request)
+        """Block-rounded footprint at the request's final token (plus
+        any speculative draft-token headroom)."""
+        return self._blocks_for(
+            request.total_len + self.draft_tokens
+        ) * self.bytes_per_block_for(request)
 
     def _admission_bytes(self, queued: QueuedRequest) -> float:
         """KV that must be allocated to admit ``queued``: the resident
-        context (prompt, plus resumed decode progress) -- never the
-        full-context reservation under PAGED.  Shared prefix blocks the
-        request already pins in the store need no allocation."""
+        context (prompt, plus resumed decode progress, plus speculative
+        draft-token headroom) -- never the full-context reservation
+        under PAGED.  Shared prefix blocks the request already pins in
+        the store need no allocation."""
         request = queued.request
         if self.reservation is Reservation.FULL:
             return self.reservation_bytes(request)
-        blocks = self._blocks_for(queued.resume_context)
+        blocks = self._blocks_for(queued.resume_context + self.draft_tokens)
         blocks = max(blocks - self.store.pinned_full_blocks(request.request_id), 0)
         return blocks * self.bytes_per_block_for(request)
 
@@ -469,7 +495,44 @@ class ContinuousBatchScheduler:
                     break
             queued = self.queue.pop(index)
             admitted.append(self._activate(queued, now))
+        if (
+            not admitted
+            and not self.active
+            and not self.parked
+            and not self.store.has_swapped
+            and self.queue
+        ):
+            self._rescue_stranded(now, admitted)
         return admitted
+
+    @mutates
+    def _rescue_stranded(
+        self, now: float, admitted: list[ActiveRequest]
+    ) -> None:
+        """Break a pool stranded by queued requests' own prefix pins.
+
+        Fully cached requests skip prefill and wait here holding
+        ref-counted pins on their prefix blocks (acquired at prefill
+        service start).  Enough *distinct* pinned prefixes can fill the
+        pool with blocks that are neither leased nor reclaimable
+        (ref > 0), so with nothing in flight no admission can ever
+        succeed -- the pod would stop stepping and strand the queue
+        forever.  Recovery mirrors preemption-recompute: every queued
+        request but the head candidate drops its pins (the blocks
+        return to reclaimable ref-0 cache) and will re-prefill its
+        context at admission; the head then admits through the ordinary
+        idle-pool bypass, evicting as needed."""
+        head = self.queue[0]
+        released = False
+        for queued in self.queue[1:]:
+            seq_id = queued.request.request_id
+            if self.store.holds_shared_refs(seq_id):
+                self.store.release(seq_id)
+                queued.needs_prefill = True
+                released = True
+        if released and self._admissible(head):
+            self.queue.pop(0)
+            admitted.append(self._activate(head, now))
 
     @mutates
     def _activate(self, queued: QueuedRequest, now: float) -> ActiveRequest:
@@ -500,6 +563,10 @@ class ContinuousBatchScheduler:
             bytes_per_block=bytes_per_block,
             shared_blocks=shared_blocks,
             preemptions=queued.preemptions,
+            # A resume past a pause's position must not re-take it.
+            pauses_taken=sum(
+                1 for at, _ in request.tool_pauses if at <= queued.tokens_done
+            ),
             row=queued.row,
         )
         self.store.admit(request.request_id, reserved, blocks, bytes_per_block)
@@ -616,6 +683,55 @@ class ContinuousBatchScheduler:
         return out
 
     # ------------------------------------------------------------------
+    # Tool-call parking
+    # ------------------------------------------------------------------
+    @mutates
+    def _park(self, entry: ActiveRequest, now: float, think_s: float) -> None:
+        """Park ``entry`` for a tool-call pause: it leaves the batch
+        with its KV either staying leased on the device or -- when the
+        swap policy approves -- swapped to the host tier, freeing the
+        pool for the think time.  The cluster drains
+        :meth:`take_parked` and schedules the resume."""
+        self.active.remove(entry)
+        self.store.stats.tool_parks += 1
+        if (
+            self.swap_decider is not None
+            and self.store.can_swap(entry.kv_reserved_bytes)
+            and self.swap_decider(entry)
+        ):
+            swap_bytes = self.store.swap_out(entry.request.request_id)
+            queued = QueuedRequest(
+                now, entry.request, needs_prefill=False,
+                preemptions=entry.preemptions,
+                tokens_done=entry.tokens_done,
+                swapped=True, swap_bytes=swap_bytes,
+                row=entry.row,
+            )
+            # Like a preemption hand-back: its owed tokens leave this
+            # pod until the swap-back re-enqueues them.
+            self.owed_tokens -= entry.remaining_tokens
+            self._just_parked.append((queued, think_s))
+        else:
+            self.parked.append(entry)
+            self._just_parked.append((entry, think_s))
+
+    def take_parked(self) -> list[tuple[ActiveRequest | QueuedRequest, float]]:
+        """Drain sequences parked by a tool-call pause since the last
+        :meth:`advance`, each with its sampled think time: an
+        :class:`ActiveRequest` stayed on-device (resume with
+        :meth:`resume_parked`), a :class:`QueuedRequest` was swapped to
+        the host tier (resume through the swap-back path)."""
+        out, self._just_parked = self._just_parked, []
+        return out
+
+    @mutates
+    def resume_parked(self, entry: ActiveRequest) -> None:
+        """A parked sequence's tool call finished: rejoin the batch
+        (its KV blocks never left the device)."""
+        self.parked.remove(entry)
+        self.active.append(entry)
+
+    # ------------------------------------------------------------------
     # Step accounting
     # ------------------------------------------------------------------
     @property
@@ -630,7 +746,7 @@ class ContinuousBatchScheduler:
 
     @property
     def has_work(self) -> bool:
-        return bool(self.active or self.queue)
+        return bool(self.active or self.queue or self.parked)
 
     def mean_context_len(self) -> int:
         """Context length the next step is evaluated at (batch mean);
@@ -647,9 +763,10 @@ class ContinuousBatchScheduler:
 
     def _needs_block(self, entry: ActiveRequest) -> bool:
         """Does emitting the next token overflow the held blocks
-        (private plus shared prefix blocks)?"""
+        (private plus shared prefix blocks)?  Speculative draft tokens
+        keep their headroom resident, so they count against capacity."""
         capacity = (entry.shared_blocks + entry.blocks_held) * self.block_tokens
-        return entry.context_len > capacity
+        return entry.context_len + self.draft_tokens > capacity
 
     def _ingest_chunk(self, entry: ActiveRequest) -> None:
         """Stream the next context chunk into the pool (chunked
@@ -691,6 +808,15 @@ class ContinuousBatchScheduler:
             if entry.first_token_s is None:
                 entry.first_token_s = step_end_s
                 self.newly_started.append(entry)
+            pauses = entry.request.tool_pauses
+            if (
+                entry.pauses_taken < len(pauses)
+                and entry.tokens_done == pauses[entry.pauses_taken][0]
+            ):
+                think_s = pauses[entry.pauses_taken][1]
+                entry.pauses_taken += 1
+                self._park(entry, step_end_s, think_s)
+                continue
             if entry.done:
                 # Retire immediately: a finished entry must free its KV
                 # before later entries grow, and must never be chosen as
@@ -698,8 +824,10 @@ class ContinuousBatchScheduler:
                 finished.append(entry)
                 self.active.remove(entry)
                 self.store.release(entry.request.request_id)
-        if not self.active:
+        if not self.active and not self.parked:
             # Zero out float dust: positive residue would otherwise block
-            # a future budget-filling request forever.
+            # a future budget-filling request forever.  (Parked leases
+            # still hold real bytes, so a pod with parked sequences
+            # keeps its ledger.)
             self.store.reset_pool_dust()
         return finished

@@ -1,9 +1,21 @@
-"""Speculative decoding model (paper Section X, Fig 14)."""
+"""Speculative decoding model (paper Section X, Fig 14).
 
+:mod:`repro.specdec.speculative` is the window arithmetic;
+:mod:`repro.specdec.fleet` packages it as serving configuration
+(:class:`SpecDecConfig`) that the cluster simulator's decode pods
+consume.
+"""
+
+from repro.specdec.fleet import SpecDecConfig
 from repro.specdec.speculative import (
     SpeculativeConfig,
     speculative_speedup,
     speculative_tokens_per_s,
 )
 
-__all__ = ["SpeculativeConfig", "speculative_speedup", "speculative_tokens_per_s"]
+__all__ = [
+    "SpecDecConfig",
+    "SpeculativeConfig",
+    "speculative_speedup",
+    "speculative_tokens_per_s",
+]

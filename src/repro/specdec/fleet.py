@@ -1,0 +1,120 @@
+"""Speculative decoding as fleet configuration.
+
+:class:`SpecDecConfig` is the serving-side face of
+:mod:`repro.specdec.speculative`: attach one to a
+:class:`repro.serving.cluster.ClusterConfig` (or a
+:class:`repro.api.Scenario`) and every decode pod runs draft/verify
+speculation -- each committed token costs one speculative *window*
+amortised over the acceptance rate instead of one plain target step.
+
+The config names the draft placement:
+
+- **colocated** (``draft_platform=None``): the verify pod's own hardware
+  also runs the draft model, so draft steps are priced on the pod's
+  platform;
+- **split** (``draft_platform="gpu"`` etc.): drafts run on a separate
+  platform built from the registry (the paper's GPU-drafts-for-RPU-
+  verifiers arrangement), and each window additionally pays a hand-off --
+  draft tokens out, accepted tokens back -- across the verify platform's
+  ingest link.
+
+Speculated-but-unverified tokens hold real KV on the target: the paged
+scheduler charges ``lookahead`` extra tokens of block headroom per active
+sequence while speculation is on (``charge_draft_kv``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping
+
+from repro.models.config import ModelConfig
+from repro.models.llama3 import LLAMA3_8B
+from repro.specdec.speculative import SpeculativeConfig, speculative_tokens_per_s
+
+if TYPE_CHECKING:
+    from repro.models.workload import Workload
+    from repro.platform.base import Platform, StepCost
+
+
+@dataclass(frozen=True)
+class SpecDecConfig:
+    """Fleet-wide draft/verify speculative decoding.
+
+    ``draft_model`` defaults to the paper's Llama3-8B draft.
+    ``draft_platform`` is a platform-registry name (``"gpu"``,
+    ``"h200"``, ...) for split placement, or ``None`` to colocate the
+    draft on each verify pod; ``draft_options`` are forwarded to the
+    registry builder.  ``sync_bytes_per_token`` sizes the per-token
+    hand-off payload (token ids + acceptance mask) that crosses the
+    link twice per window under split placement.
+    """
+
+    draft_model: ModelConfig = LLAMA3_8B
+    draft_platform: str | None = None
+    draft_options: Mapping[str, object] = field(default_factory=dict)
+    speculation: SpeculativeConfig = SpeculativeConfig()
+    charge_draft_kv: bool = True
+    sync_bytes_per_token: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.sync_bytes_per_token < 0:
+            raise ValueError("sync_bytes_per_token must be >= 0")
+
+    @property
+    def lookahead(self) -> int:
+        return self.speculation.lookahead
+
+    @property
+    def accepted_per_window(self) -> float:
+        return self.speculation.accepted_per_window
+
+    @property
+    def draft_kv_tokens(self) -> int:
+        """Extra KV tokens of headroom each active sequence holds for
+        speculated-but-unverified draft tokens (0 when not charged)."""
+        return self.lookahead if self.charge_draft_kv else 0
+
+    def resolve_draft_platform(
+        self, *, sizing: "Workload | None" = None
+    ) -> "Platform | None":
+        """Build the split-placement draft platform from the registry,
+        or ``None`` for colocated drafting."""
+        if self.draft_platform is None:
+            return None
+        from repro.platform.registry import build_platform
+
+        return build_platform(
+            self.draft_platform, sizing=sizing, **dict(self.draft_options)
+        )
+
+    def window_sync_s(self, link_bytes_per_s: float) -> float:
+        """Hand-off latency one window pays under split placement:
+        draft tokens out plus accepted tokens back over the link."""
+        if link_bytes_per_s <= 0:
+            raise ValueError("link_bytes_per_s must be positive")
+        return 2.0 * self.lookahead * self.sync_bytes_per_token / link_bytes_per_s
+
+    def effective_step_cost(
+        self,
+        draft: "StepCost",
+        verify: "StepCost",
+        *,
+        sync_s: float = 0.0,
+    ) -> tuple[float, float]:
+        """Per-committed-token ``(latency_s, energy_j)``.
+
+        One window costs ``lookahead`` draft steps, one verify step and
+        the hand-off, and commits ``accepted_per_window`` tokens -- the
+        latency route goes through
+        :func:`~repro.specdec.speculative.speculative_tokens_per_s` so
+        the fleet and the figure bench share one arithmetic.
+        """
+        tokens_per_s = speculative_tokens_per_s(
+            draft.latency_s, verify.latency_s + sync_s, self.speculation
+        )
+        latency_s = 1.0 / tokens_per_s
+        energy_j = (
+            self.lookahead * draft.energy_j + verify.energy_j
+        ) / self.accepted_per_window
+        return latency_s, energy_j

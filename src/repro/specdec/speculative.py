@@ -25,8 +25,10 @@ class SpeculativeConfig:
             raise ValueError("lookahead must be >= 1")
         if not 1.0 <= self.accepted_per_window <= self.lookahead + 1:
             raise ValueError(
-                "accepted_per_window must be in [1, lookahead + 1] "
-                "(the +1 is the free token from the target's own sample)"
+                f"accepted_per_window={self.accepted_per_window} must be in "
+                f"[1, lookahead + 1] = [1, {self.lookahead + 1}] -- the +1 is "
+                "the free token from the target's own sample; the paper's "
+                "operating point is lookahead=8 with 4.6 accepted per window"
             )
 
 
@@ -40,9 +42,17 @@ def speculative_tokens_per_s(
     One window costs ``lookahead`` sequential draft steps plus one target
     verification pass (the window verifies as a single batched step) and
     commits ``accepted_per_window`` tokens.
+
+    ``draft_step_s == 0`` is deliberately legal: it is the *free-draft
+    limit*, where the window costs one verification pass and throughput
+    saturates at ``accepted_per_window`` tokens per verify step -- the
+    acceptance-rate upper bound on any speculative speedup.
     """
     if draft_step_s < 0 or target_verify_s <= 0:
-        raise ValueError("step latencies must be positive")
+        raise ValueError(
+            "draft_step_s must be >= 0 (0 models the free-draft limit) "
+            "and target_verify_s must be > 0"
+        )
     window_s = config.lookahead * draft_step_s + target_verify_s
     return config.accepted_per_window / window_s
 

@@ -355,6 +355,80 @@ class TestZeroCompletionReport:
         assert "0.00 / 0.00" not in rendered
 
 
+class TestAllShedReport:
+    """Denominator guards when admission control sheds (nearly)
+    everything: ``usd_per_mtok``, ``fairness``, the summary tables and
+    ``to_json`` must all stay finite instead of dividing by zero."""
+
+    @pytest.fixture(scope="class")
+    def starved_run(self):
+        # A bucket that refills ~nothing: the seed arrival is admitted
+        # free at zero pressure, everything behind it in the queue pays
+        # an empty bucket and is shed at the door.
+        from repro.serving.tenancy import AdmissionConfig
+
+        config = dataclasses.replace(
+            disaggregated_cluster(LLAMA3_70B, kv_budget_bytes=3e9),
+            admission=AdmissionConfig(
+                enabled=True,
+                pressure_floor=0.01,
+                queue_depth_scale=0.5,
+                tokens_per_s_per_weight=1e-6,
+                burst_s=1e-3,
+            ),
+        )
+        requests = [
+            Request(i, 0.0, LLAMA3_70B, prompt_len=512, decode_len=256)
+            for i in range(8)
+        ]
+        return simulate(config, requests)
+
+    def test_everything_behind_the_seed_sheds(self, starved_run):
+        assert len(starved_run.shed) >= 5
+        assert 1 <= len(starved_run.completed) <= 3
+        assert starved_run.num_submitted == 8
+
+    def test_fairness_and_unit_economics_stay_finite(self, starved_run):
+        import math
+
+        assert starved_run.usd_per_mtok >= 0.0
+        assert not math.isnan(starved_run.fairness)
+        rendered = starved_run.summary_table(group_by="tenant").render()
+        assert "shed" in rendered.lower() or starved_run.shed
+
+    def test_all_shed_report_divides_by_nothing(self, starved_run):
+        """The fully-starved degenerate: zero completions with a
+        non-empty shed list (a report shape external simulators can
+        hand-build).  Every guarded denominator must report its
+        sentinel, not raise."""
+        report = dataclasses.replace(
+            starved_run, completed=(), table=None, _memo={}
+        )
+        assert not report.completed
+        assert report.shed
+        assert report.decode_tokens == 0
+        assert report.usd_per_mtok == 0.0  # no tokens -> no unit econ
+        assert report.goodput == 0.0
+        assert report.tokens_per_s == 0.0
+        assert report.fairness == 1.0  # all-zero attainment degenerate
+        rendered = report.summary_table().render()
+        assert "n/a" in rendered
+        assert "shed (admission control)" in rendered
+        tenant_view = report.summary_table(group_by="tenant").render()
+        assert "0.0%" in tenant_view
+
+    def test_all_shed_report_round_trips_json(self, starved_run):
+        import json
+
+        report = dataclasses.replace(
+            starved_run, completed=(), table=None, _memo={}
+        )
+        payload = json.dumps(report.to_json())
+        decoded = json.loads(payload)
+        assert decoded["usd_per_mtok"] == 0.0
+        assert decoded["fairness"] == 1.0
+
+
 class TestPrefillDtypeThreading:
     def test_prefill_pods_charge_cluster_dtypes(self):
         from repro.models.dtypes import DType

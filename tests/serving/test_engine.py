@@ -30,6 +30,7 @@ from repro.serving.requests import (
     TrafficClass,
 )
 from repro.serving.scheduler import Policy, Reservation
+from repro.specdec import SpecDecConfig
 from repro.serving.tenancy import (
     BATCH,
     INTERACTIVE,
@@ -321,6 +322,27 @@ def _fleet_ops():
     return config, TrafficSpec(tenants=tenants).requests(LLAMA3_8B)
 
 
+def _reasoning_requests():
+    """CoT bursts with tool pauses plus self-consistency fan-out --
+    the PR 10 traffic structure, at digest-friendly scale."""
+    classes = (
+        TrafficClass(
+            LLAMA3_70B,
+            prompt_mean=1024, decode_mean=2048,
+            prompt_sigma=0.5, decode_sigma=0.5,
+            cot_turns=3, think_time_mean_s=0.5,
+        ),
+        TrafficClass(
+            LLAMA3_70B,
+            prompt_mean=1024, decode_mean=512,
+            prompt_sigma=0.5, decode_sigma=0.5,
+            self_consistency_n=4,
+        ),
+    )
+    gen = RequestGenerator(classes=classes, rate_rps=2.0, seed=53)
+    return gen.generate(10.0)
+
+
 #: name -> () -> (config, requests).  Every branchy feature the
 #: simulator grew over PRs 2-6 appears in at least one scenario.
 SCENARIOS = {
@@ -452,6 +474,28 @@ SCENARIOS = {
             trace=ArrivalTrace.flash_crowd(3.0, 10.0, seed=47),
         ).requests(LLAMA3_8B),
     ),
+    # PR 10 additions: speculative decoding on the fleet.  Reasoning
+    # lengths against a tight 70B pool so draft-KV headroom, the
+    # effective-TPOT transform and preemption all interact.
+    "specdec_fleet": lambda: (
+        _base(LLAMA3_70B, 3e9, specdec=SpecDecConfig()),
+        _traffic(
+            model=LLAMA3_70B, rate=2.5, seed=59,
+            prompt_mean=2048, decode_mean=4096,
+        ),
+    ),
+    # Specdec x reasoning traffic: CoT tool pauses (device parks and
+    # AUTO-policy swapped parks over the host tier) plus
+    # self-consistency prefix groups under the prefix cache.
+    "specdec_reasoning": lambda: (
+        _base(
+            LLAMA3_70B, 3e9,
+            specdec=SpecDecConfig(),
+            prefix_caching=True,
+            swap_policy=SwapPolicy.AUTO,
+        ),
+        _reasoning_requests(),
+    ),
 }
 
 #: Pinned on the pre-refactor checkout (PR 6 code path).  Do not
@@ -480,6 +524,10 @@ DIGESTS = {
     "chunked_ingest": "a280e2ed71a6e486d462fb7f8450642ea2141ecf6e36845af6656a50cca74cee",
     "colocated_decode": "ddcd859cdb4a855e5468792cfa6e45052d255d4c955752771ac9d02bf9c679cc",
     "flash_crowd_trace": "13793cd274c4ca044bc1ec94dca85f82a0e6332294908f770cac521a70c05258",
+    # PR 10 scenarios, pinned at introduction (same capture tool; the 20
+    # pins above were verified unchanged in the same run).
+    "specdec_fleet": "a6c8bf29abb0aa86dffd5f766ba943e33e5464ab0fcfe31c6e3765618b6c2d8d",
+    "specdec_reasoning": "b46a841cc6c62515a4bd32006409f421f8e07d13047652ea7ae06c768e47c7ca",
 }
 
 

@@ -299,3 +299,139 @@ class TestRequestTable:
         parts = table.tenant_rows()
         assert parts == {"a": [0, 2], "b": [1, 4], "": [3]}
         assert sorted(r for rows in parts.values() for r in rows) == [0, 1, 2, 3, 4]
+
+
+class TestReasoningTraffic:
+    """PR 10: multi-turn CoT, tool pauses, self-consistency fan-out."""
+
+    def test_section_ix_split(self):
+        cls = reasoning_traffic(LLAMA3_70B)
+        assert cls.prompt_mean == 2048
+        assert cls.decode_mean == 4096
+        # The reasoning structure knobs are off in the plain class.
+        assert cls.cot_turns == 1
+        assert cls.self_consistency_n == 1
+
+    def test_composes_with_prefix_share_without_perturbing_rng(self):
+        from dataclasses import replace
+
+        shared = replace(reasoning_traffic(LLAMA3_70B), prefix_share_prob=0.6)
+        plain = TrafficClass(
+            LLAMA3_70B, prompt_mean=2048, decode_mean=4096,
+            prefix_share_prob=0.6,
+        )
+        a = RequestGenerator(classes=(shared,), rate_rps=2.0, seed=7)
+        b = RequestGenerator(classes=(plain,), rate_rps=2.0, seed=7)
+        assert a.generate(30.0) == b.generate(30.0)
+
+    def test_default_knobs_do_not_touch_the_stream(self):
+        """Turning the reasoning knobs to their defaults (even with
+        changed think-time statistics, which only matter when pauses
+        exist) must leave the default RNG stream bit-identical."""
+        from dataclasses import replace
+
+        base = TrafficClass(
+            LLAMA3_70B, prompt_mean=2048, decode_mean=4096,
+            prefix_share_prob=0.6,
+        )
+        knobbed = replace(
+            base, cot_turns=1, self_consistency_n=1, think_time_mean_s=9.0
+        )
+        a = RequestGenerator(classes=(base,), rate_rps=2.0, seed=11)
+        b = RequestGenerator(classes=(knobbed,), rate_rps=2.0, seed=11)
+        assert a.generate(30.0) == b.generate(30.0)
+
+    def test_cot_turns_produce_tool_pauses(self):
+        cls = TrafficClass(
+            LLAMA3_8B, prompt_mean=256, decode_mean=128, cot_turns=3
+        )
+        requests = RequestGenerator(
+            classes=(cls,), rate_rps=4.0, seed=5
+        ).generate(10.0)
+        assert requests
+        for request in requests:
+            assert len(request.tool_pauses) == 2
+            positions = [at for at, _ in request.tool_pauses]
+            assert positions == sorted(positions)
+            assert all(0 < at < request.decode_len for at in positions)
+            assert all(think > 0.0 for _, think in request.tool_pauses)
+
+    def test_self_consistency_fanout_shares_full_prompt(self):
+        cls = TrafficClass(
+            LLAMA3_8B, prompt_mean=256, decode_mean=128,
+            self_consistency_n=4,
+        )
+        requests = RequestGenerator(
+            classes=(cls,), rate_rps=2.0, seed=5
+        ).generate(10.0)
+        assert len(requests) % 4 == 0
+        assert [r.request_id for r in requests] == list(range(len(requests)))
+        for i in range(0, len(requests), 4):
+            group = requests[i:i + 4]
+            founder = group[0]
+            assert founder.prefix_id is not None
+            for sibling in group:
+                assert sibling.arrival_s == founder.arrival_s
+                assert sibling.prefix_id == founder.prefix_id
+                assert sibling.prompt_len == founder.prompt_len
+                assert sibling.prefix_len == founder.prompt_len
+        # Distinct logical arrivals get distinct groups.
+        assert len({r.prefix_id for r in requests}) == len(requests) // 4
+
+    def test_self_consistency_overrides_prefix_share(self):
+        cls = TrafficClass(
+            LLAMA3_8B, prompt_mean=256, decode_mean=128,
+            self_consistency_n=3, prefix_share_prob=1.0, prefix_frac=0.5,
+        )
+        requests = RequestGenerator(
+            classes=(cls,), rate_rps=2.0, seed=5
+        ).generate(10.0)
+        # Fan-out groups share the *full* prompt, not prefix_frac of it.
+        for request in requests:
+            assert request.prefix_len == request.prompt_len
+
+    def test_cot_composes_with_self_consistency(self):
+        cls = TrafficClass(
+            LLAMA3_8B, prompt_mean=256, decode_mean=128,
+            cot_turns=2, self_consistency_n=2,
+        )
+        requests = RequestGenerator(
+            classes=(cls,), rate_rps=2.0, seed=5
+        ).generate(10.0)
+        assert requests
+        for request in requests:
+            assert len(request.tool_pauses) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrafficClass(LLAMA3_8B, cot_turns=0)
+        with pytest.raises(ValueError):
+            TrafficClass(LLAMA3_8B, think_time_mean_s=0.0)
+        with pytest.raises(ValueError):
+            TrafficClass(LLAMA3_8B, think_time_sigma=0.0)
+        with pytest.raises(ValueError):
+            TrafficClass(LLAMA3_8B, self_consistency_n=0)
+
+    def test_request_tool_pause_validation(self):
+        Request(0, 0.0, LLAMA3_8B, 128, 64, tool_pauses=((10, 1.0), (30, 2.0)))
+        with pytest.raises(ValueError):  # not ascending
+            Request(0, 0.0, LLAMA3_8B, 128, 64,
+                    tool_pauses=((30, 1.0), (10, 2.0)))
+        with pytest.raises(ValueError):  # at decode end
+            Request(0, 0.0, LLAMA3_8B, 128, 64, tool_pauses=((64, 1.0),))
+        with pytest.raises(ValueError):  # zero think time
+            Request(0, 0.0, LLAMA3_8B, 128, 64, tool_pauses=((10, 0.0),))
+
+    def test_replay_carries_reasoning_structure(self):
+        from repro.serving.requests import ArrivalTrace, TraceRow
+
+        cls = TrafficClass(
+            LLAMA3_8B, prompt_mean=256, decode_mean=128,
+            cot_turns=2, self_consistency_n=2,
+        )
+        trace = ArrivalTrace((TraceRow(0.5), TraceRow(1.0)))
+        requests = RequestGenerator(classes=(cls,), seed=5).replay(trace)
+        assert len(requests) == 4  # 2 rows x 2 samples
+        for request in requests:
+            assert len(request.tool_pauses) == 1
+            assert request.prefix_len == request.prompt_len

@@ -55,3 +55,101 @@ class TestSpeedup:
             speculative_tokens_per_s(-0.1, 1.0)
         with pytest.raises(ValueError):
             speculative_tokens_per_s(0.1, 0.0)
+
+
+class TestAcceptanceBounds:
+    """Edge cases of the acceptance window (the PR 10 guard fix)."""
+
+    def test_lookahead_one_bounds(self):
+        # With L=1 the window commits between 1 token (every draft
+        # rejected, target's own sample survives) and 2 (draft token
+        # accepted + the free target sample).
+        SpeculativeConfig(lookahead=1, accepted_per_window=1.0)
+        SpeculativeConfig(lookahead=1, accepted_per_window=2.0)
+        with pytest.raises(ValueError):
+            SpeculativeConfig(lookahead=1, accepted_per_window=2.0001)
+        with pytest.raises(ValueError):
+            SpeculativeConfig(lookahead=1, accepted_per_window=0.9999)
+
+    def test_acceptance_at_lower_bound(self):
+        config = SpeculativeConfig(lookahead=8, accepted_per_window=1.0)
+        # Every window still commits exactly one token: the draft tax
+        # is pure overhead, so the rate is strictly below plain decode.
+        assert speculative_speedup(0.2, 1.0, config=config) < 1.0
+
+    def test_acceptance_at_upper_bound(self):
+        config = SpeculativeConfig(lookahead=8, accepted_per_window=9.0)
+        rate = speculative_tokens_per_s(0.0, 1.0, config)
+        assert rate == pytest.approx(9.0)
+
+    def test_error_message_names_the_free_token_and_the_paper(self):
+        with pytest.raises(ValueError) as exc:
+            SpeculativeConfig(lookahead=4, accepted_per_window=5.5)
+        message = str(exc.value)
+        assert "[1, lookahead + 1] = [1, 5]" in message
+        assert "free token" in message
+        assert "lookahead=8 with 4.6 accepted per window" in message
+
+    def test_latency_guard_documents_free_draft_limit(self):
+        with pytest.raises(ValueError) as exc:
+            speculative_tokens_per_s(-0.1, 1.0)
+        assert "free-draft limit" in str(exc.value)
+        assert "free-draft" in speculative_tokens_per_s.__doc__
+
+
+class TestSpecDecConfig:
+    def test_defaults(self):
+        from repro.models.llama3 import LLAMA3_8B
+        from repro.specdec import SpecDecConfig
+
+        config = SpecDecConfig()
+        assert config.draft_model is LLAMA3_8B
+        assert config.draft_platform is None
+        assert config.lookahead == 8
+        assert config.accepted_per_window == 4.6
+        assert config.draft_kv_tokens == 8
+        assert config.resolve_draft_platform() is None
+
+    def test_draft_kv_headroom_gate(self):
+        from repro.specdec import SpecDecConfig
+
+        assert SpecDecConfig(charge_draft_kv=False).draft_kv_tokens == 0
+
+    def test_split_placement_builds_from_registry(self):
+        from repro.specdec import SpecDecConfig
+
+        platform = SpecDecConfig(
+            draft_platform="gpu"
+        ).resolve_draft_platform()
+        assert platform is not None
+        assert "gpu" in type(platform).__name__.lower()
+
+    def test_window_sync_cost(self):
+        from repro.specdec import SpecDecConfig
+
+        config = SpecDecConfig(sync_bytes_per_token=8.0)
+        # 8 tokens out + 8 back at 8 B each over a 128 B/s link.
+        assert config.window_sync_s(128.0) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            config.window_sync_s(0.0)
+
+    def test_rejects_negative_sync_bytes(self):
+        from repro.specdec import SpecDecConfig
+
+        with pytest.raises(ValueError):
+            SpecDecConfig(sync_bytes_per_token=-1.0)
+
+    def test_effective_step_cost_matches_window_arithmetic(self):
+        from repro.platform import StepCost
+        from repro.specdec import SpecDecConfig
+
+        config = SpecDecConfig()
+        draft = StepCost(latency_s=0.194, energy_j=2.0)
+        verify = StepCost(latency_s=1.0, energy_j=30.0)
+        latency_s, energy_j = config.effective_step_cost(draft, verify)
+        # Latency: one window over 4.6 committed tokens, ~1/1.8 of a
+        # plain step; energy: (8 drafts + 1 verify) over 4.6 tokens.
+        assert latency_s == pytest.approx((8 * 0.194 + 1.0) / 4.6)
+        assert energy_j == pytest.approx((8 * 2.0 + 30.0) / 4.6)
+        slower, _ = config.effective_step_cost(draft, verify, sync_s=0.5)
+        assert slower > latency_s
